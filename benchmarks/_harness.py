@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench runs one experiment's *full* (non-fast) version exactly
+once under pytest-benchmark, prints the regenerated table/figure to the
+terminal (pytest's capture temporarily disabled so ``pytest
+benchmarks/`` output shows the same rows/series the paper reports),
+persists the rendering under ``benchmarks/output/``, and asserts the
+headline claims hold.
+"""
+
+import os
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["run_once", "emit"]
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def emit(result: ExperimentResult, capfd=None) -> None:
+    """Print the rendered artifact and save it to benchmarks/output/."""
+    text = result.render()
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, f"{result.experiment_id}.txt"),
+              "w") as handle:
+        handle.write(text)
+        handle.write("\n")
+    if capfd is not None:
+        with capfd.disabled():
+            print()
+            print(text)
+            print()
+    else:
+        print()
+        print(text)
+        print()
+
+
+def run_once(benchmark, fn, capfd=None, **kwargs) -> ExperimentResult:
+    """Benchmark ``fn`` with a single timed invocation."""
+    result = benchmark.pedantic(
+        lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0,
+    )
+    emit(result, capfd=capfd)
+    return result

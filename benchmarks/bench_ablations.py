@@ -1,0 +1,30 @@
+"""Bench: ablations of the design choices called out in DESIGN.md §4."""
+
+from _harness import run_once
+from repro.experiments import ablations
+
+
+def bench_ablation_slowstart(benchmark, capfd):
+    result = run_once(benchmark, ablations.run_slowstart_ablation, capfd=capfd)
+    assert result.metrics["gradient_shrinks_without_ramp"] == 1.0
+
+
+def bench_ablation_join(benchmark, capfd):
+    result = run_once(benchmark, ablations.run_join_ablation, capfd=capfd)
+    assert result.metrics["effect_shrinks_with_simultaneous_join"] == 1.0
+
+
+def bench_ablation_scheduler(benchmark, capfd):
+    result = run_once(benchmark, ablations.run_scheduler_ablation, capfd=capfd)
+    assert result.metrics["minrtt_at_least_as_good"] == 1.0
+
+
+def bench_ablation_coupling(benchmark, capfd):
+    result = run_once(benchmark, ablations.run_coupling_ablation, capfd=capfd)
+    assert result.metrics["all_complete"] == 1.0
+
+
+def bench_ablation_delack(benchmark, capfd):
+    result = run_once(benchmark, ablations.run_delack_ablation, capfd=capfd)
+    assert result.metrics["delack_halves_ack_traffic"] == 1.0
+    assert result.metrics["delack_not_faster"] == 1.0

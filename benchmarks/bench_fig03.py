@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 3 (WiFi-vs-LTE throughput-difference CDFs)."""
+
+import pytest
+
+from _harness import run_once
+from repro.experiments import fig03
+
+
+def bench_fig03(benchmark, capfd):
+    result = run_once(benchmark, fig03.run, capfd=capfd)
+    metrics = result.metrics
+    assert metrics["lte_win_fraction_uplink"] == pytest.approx(0.42, abs=0.06)
+    assert metrics["lte_win_fraction_downlink"] == pytest.approx(0.35, abs=0.06)
+    assert metrics["lte_win_fraction_combined"] == pytest.approx(0.40, abs=0.06)
+    # The tails span >10 Mbit/s in both directions, as in the figure.
+    assert metrics["uplink_diff_p5_mbps"] < -3.0
+    assert metrics["downlink_diff_p95_mbps"] > 8.0

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 4 (ping-RTT difference CDF)."""
+
+import pytest
+
+from _harness import run_once
+from repro.experiments import fig04
+
+
+def bench_fig04(benchmark, capfd):
+    result = run_once(benchmark, fig04.run, capfd=capfd)
+    assert result.metrics["lte_rtt_lower_fraction"] == pytest.approx(
+        0.20, abs=0.06)
+    # WiFi is usually faster (negative median difference).
+    assert result.metrics["rtt_diff_median_ms"] < 0.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 7 (MPTCP vs single-path TCP by flow size)."""
+
+from _harness import run_once
+from repro.experiments import fig07
+
+
+def bench_fig07(benchmark, capfd):
+    result = run_once(benchmark, fig07.run, capfd=capfd)
+    metrics = result.metrics
+    # 7a: with disparate links, MPTCP never beats the best TCP.
+    assert metrics["a_best_mptcp_over_best_tcp_at_1MB"] < 1.0
+    # 7b: with comparable links, MPTCP wins at 1 MB.
+    assert metrics["b_best_mptcp_over_best_tcp_at_1MB"] >= 1.0
+    # Small flows: best single-path TCP at least ties everywhere.
+    assert metrics["a_best_tcp_over_best_mptcp_at_10KB"] >= 0.999
+    assert metrics["b_best_tcp_over_best_mptcp_at_10KB"] >= 0.999

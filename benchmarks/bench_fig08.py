@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 8 (primary-subflow choice by flow size)."""
+
+from _harness import run_once
+from repro.experiments import fig08
+
+
+def bench_fig08(benchmark, capfd):
+    result = run_once(benchmark, fig08.run, capfd=capfd)
+    metrics = result.metrics
+    # Paper medians 60/49/28 %: monotone decreasing with flow size, and
+    # the short-flow effect within a factor of two of the paper's.
+    assert metrics["ordering_small_gt_large"] == 1.0
+    assert metrics["median_rel_diff[10KB]"] > metrics["median_rel_diff[100KB]"]
+    assert 30.0 <= metrics["median_rel_diff[10KB]"] <= 90.0

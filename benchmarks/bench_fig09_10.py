@@ -1,0 +1,10 @@
+"""Bench: regenerate Figures 9/10 (throughput evolution by primary)."""
+
+from _harness import run_once
+from repro.experiments import fig09_10
+
+
+def bench_fig09_10(benchmark, capfd):
+    result = run_once(benchmark, fig09_10.run, capfd=capfd)
+    assert result.metrics["fig09_tput_ratio_better_primary_at_1s"] > 1.2
+    assert result.metrics["fig10_tput_ratio_better_primary_at_1s"] > 1.2

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figures 11/12 (absolute gap vs relative ratio)."""
+
+from _harness import run_once
+from repro.experiments import fig11_12
+
+
+def bench_fig11_12(benchmark, capfd):
+    result = run_once(benchmark, fig11_12.run, capfd=capfd)
+    for fig in ("fig11", "fig12"):
+        assert result.metrics[f"{fig}_abs_gap_grows"] == 1.0
+        assert result.metrics[f"{fig}_rel_ratio_shrinks"] == 1.0

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 13 (coupled vs decoupled CC by flow size)."""
+
+from _harness import run_once
+from repro.experiments import fig13
+
+
+def bench_fig13(benchmark, capfd):
+    result = run_once(benchmark, fig13.run, capfd=capfd)
+    metrics = result.metrics
+    # Paper medians 16/16/34 %: CC choice matters most for long flows.
+    assert metrics["ordering_large_gt_small"] == 1.0
+    assert 8.0 <= metrics["median_rel_diff[1MB]"] <= 60.0

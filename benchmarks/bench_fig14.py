@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 14 (network choice vs CC choice head-to-head)."""
+
+from _harness import run_once
+from repro.experiments import fig14
+
+
+def bench_fig14(benchmark, capfd):
+    result = run_once(benchmark, fig14.run, capfd=capfd)
+    # The paper's two crossover claims.
+    assert result.metrics["network_dominates_10KB"] == 1.0
+    assert result.metrics["cc_dominates_1MB"] == 1.0

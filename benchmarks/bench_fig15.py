@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 15 (Full-MPTCP / Backup packet timelines)."""
+
+from _harness import run_once
+from repro.experiments import fig15
+
+
+def bench_fig15(benchmark, capfd):
+    result = run_once(benchmark, fig15.run, capfd=capfd)
+    metrics = result.metrics
+    assert metrics["a_both_paths_carry_data"] == 1.0
+    assert metrics["b_both_paths_carry_data"] == 1.0
+    assert metrics["c_backup_data_packets"] == 0.0
+    assert metrics["d_backup_data_packets"] == 0.0
+    assert metrics["e_failover_completes"] == 1.0
+    assert metrics["f_failover_completes"] == 1.0
+    assert metrics["g_stalled_while_unplugged"] == 1.0
+    assert metrics["g_resumes_after_replug"] == 1.0
+    assert metrics["g_backup_window_updates"] == 1.0
+    assert metrics["h_failover_within_2s"] == 1.0

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 16 and the §3.6.2 energy table."""
+
+from _harness import run_once
+from repro.experiments import fig16
+
+
+def bench_fig16(benchmark, capfd):
+    result = run_once(benchmark, fig16.run, capfd=capfd)
+    assert result.metrics["short_flows_save_little"] == 1.0
+    assert result.metrics["long_flows_save_more"] == 1.0

@@ -1,0 +1,9 @@
+"""Bench: regenerate Figure 17 (app traffic patterns)."""
+
+from _harness import run_once
+from repro.experiments import fig17
+
+
+def bench_fig17(benchmark, capfd):
+    result = run_once(benchmark, fig17.run, capfd=capfd)
+    assert result.metrics["correctly_categorized"] == 6.0

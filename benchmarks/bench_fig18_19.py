@@ -1,0 +1,14 @@
+"""Bench: regenerate Figures 18/19 (short-flow app replay + oracles)."""
+
+from _harness import run_once
+from repro.experiments import fig18_19
+
+
+def bench_fig18_19(benchmark, capfd):
+    result = run_once(benchmark, fig18_19.run, capfd=capfd)
+    metrics = result.metrics
+    # Short-flow finding: MPTCP adds no appreciable benefit over simply
+    # picking the right network for single-path TCP.
+    assert metrics["short_flow_single_path_oracle_wins"] == 1.0
+    # Every oracle reduces response time vs default WiFi-TCP.
+    assert metrics["normalized[Single-Path-TCP Oracle]"] < 0.95

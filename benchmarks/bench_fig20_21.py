@@ -1,0 +1,16 @@
+"""Bench: regenerate Figures 20/21 (long-flow app replay + oracles)."""
+
+from _harness import run_once
+from repro.experiments import fig20_21
+
+
+def bench_fig20_21(benchmark, capfd):
+    result = run_once(benchmark, fig20_21.run, capfd=capfd)
+    metrics = result.metrics
+    # Long-flow finding: MPTCP helps markedly beyond network selection.
+    assert metrics["long_flow_mptcp_oracle_wins"] == 1.0
+    best_mptcp = min(
+        value for key, value in metrics.items()
+        if key.startswith("normalized[") and "MPTCP" in key
+    )
+    assert best_mptcp < metrics["normalized[Single-Path-TCP Oracle]"]

@@ -1,0 +1,51 @@
+"""Bench: the §7 adaptive-policy extension across all 20 locations.
+
+Not a paper artifact — the paper poses the question ("how can we
+automatically decide...?") as future work; this bench quantifies the
+answer this reproduction's adaptive policy gives.
+"""
+
+import os
+
+from repro.analysis.report import Table
+from repro.policy import STANDARD_POLICIES, evaluate_policies
+
+
+def bench_policy_evaluation(benchmark, capfd):
+    def run():
+        return {
+            size: evaluate_policies(STANDARD_POLICIES(), size)
+            for size in (20 * 1024, 1024 * 1024)
+        }
+
+    evaluations = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        ["policy", "20 KB (x oracle)", "20 KB win", "1 MB (x oracle)",
+         "1 MB win"],
+        title="Adaptive network selection vs static policies (20 locations)",
+    )
+    short, long_ = evaluations[20 * 1024], evaluations[1024 * 1024]
+    for name in ("always-wifi", "always-mptcp", "best-path-tcp",
+                 "paper-adaptive", "oracle"):
+        table.add_row([
+            name,
+            short.mean_normalized(name),
+            f"{100 * short.win_rate(name):.0f}%",
+            long_.mean_normalized(name),
+            f"{100 * long_.win_rate(name):.0f}%",
+        ])
+    text = table.render()
+    out_dir = os.path.join(os.path.dirname(__file__), "output")
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "policy.txt"), "w") as handle:
+        handle.write(text + "\n")
+    with capfd.disabled():
+        print("\n" + text + "\n")
+
+    # The adaptive policy dominates Android's shipping policy at both
+    # flow sizes and tracks the oracle closely for short flows.
+    for evaluation in (short, long_):
+        assert (evaluation.mean_normalized("paper-adaptive")
+                <= evaluation.mean_normalized("always-wifi") + 1e-9)
+    assert short.mean_normalized("paper-adaptive") < 1.1

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table 2 (the 20 emulated locations)."""
+
+from _harness import run_once
+from repro.experiments import table2
+
+
+def bench_table2(benchmark, capfd):
+    result = run_once(benchmark, table2.run, capfd=capfd)
+    assert result.metrics["location_count"] == 20
+    assert result.metrics["dual_cc_locations"] == 7
+    assert 5 <= result.metrics["lte_nominally_better_count"] <= 12

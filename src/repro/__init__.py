@@ -1,0 +1,44 @@
+"""repro — reproduction of "WiFi, LTE, or Both?" (Deng et al., IMC 2014).
+
+A packet-level discrete-event reproduction of the paper's measurement
+apparatus: single-path TCP and MPTCP stacks, Mahimahi-style link
+emulation, an LTE/WiFi radio energy model, a synthetic Cell-vs-WiFi
+crowdsourced dataset, and an HTTP record/replay engine — plus one
+experiment module per table and figure in the paper.
+
+Quickstart
+----------
+>>> from repro import Scenario, PathConfig, MptcpOptions
+>>> sc = Scenario()
+>>> _ = sc.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5, rtt_ms=40))
+>>> _ = sc.add_path(PathConfig(name="lte", down_mbps=15, up_mbps=8, rtt_ms=70))
+>>> conn = sc.mptcp(total_bytes=1_000_000,
+...                 options=MptcpOptions(primary="wifi",
+...                                      congestion_control="decoupled"))
+>>> result = sc.run_transfer(conn)
+>>> result.completed
+True
+"""
+
+from repro.core.rng import DEFAULT_SEED
+from repro.net.path import PathConfig
+from repro.net.trace import DeliveryTrace
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import TcpConnection
+from repro.mptcp.connection import MptcpConnection, MptcpOptions
+from repro.scenario import Scenario, TransferResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_SEED",
+    "PathConfig",
+    "DeliveryTrace",
+    "TcpConfig",
+    "TcpConnection",
+    "MptcpConnection",
+    "MptcpOptions",
+    "Scenario",
+    "TransferResult",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Analysis toolkit: CDFs, paper metrics, timelines, and reports."""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import (
+    median,
+    percentile,
+    relative_difference,
+    relative_ratio,
+    fraction_below,
+    fraction_above,
+)
+from repro.analysis.throughput import (
+    average_throughput_series,
+    instantaneous_throughput_series,
+)
+from repro.analysis.plotting import ascii_cdf, ascii_series, ascii_timeline
+from repro.analysis.report import Table
+from repro.analysis.bootstrap import BootstrapResult, bootstrap_ci, jain_fairness_index
+from repro.analysis.export import write_dat, write_series_files, gnuplot_script
+
+__all__ = [
+    "Cdf",
+    "median",
+    "percentile",
+    "relative_difference",
+    "relative_ratio",
+    "fraction_below",
+    "fraction_above",
+    "average_throughput_series",
+    "instantaneous_throughput_series",
+    "ascii_cdf",
+    "ascii_series",
+    "ascii_timeline",
+    "Table",
+    "BootstrapResult",
+    "bootstrap_ci",
+    "jain_fairness_index",
+    "write_dat",
+    "write_series_files",
+    "gnuplot_script",
+]

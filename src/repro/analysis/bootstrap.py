@@ -1,0 +1,93 @@
+"""Bootstrap confidence intervals and fairness indices.
+
+The paper reports point medians; for a simulation study it is cheap to
+also quantify how stable those medians are.  The experiments' headline
+metrics use these helpers when judging whether a measured median is
+consistent with the paper's value.
+"""
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.analysis.stats import median
+from repro.core.errors import ConfigurationError
+
+__all__ = ["BootstrapResult", "bootstrap_ci", "jain_fairness_index"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A statistic with its bootstrap confidence interval."""
+
+    statistic: float
+    low: float
+    high: float
+    confidence: float
+    resamples: int
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __repr__(self) -> str:
+        return (
+            f"BootstrapResult({self.statistic:.4g} "
+            f"[{self.low:.4g}, {self.high:.4g}] "
+            f"@{100 * self.confidence:.0f}%)"
+        )
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = median,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    rng: random.Random = None,
+) -> BootstrapResult:
+    """Percentile-bootstrap CI for ``statistic`` over ``samples``."""
+    values = list(samples)
+    if not values:
+        raise ConfigurationError("need at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence out of range: {confidence}")
+    if resamples < 10:
+        raise ConfigurationError(f"too few resamples: {resamples}")
+    rng = rng if rng is not None else random.Random(0)
+
+    point = statistic(values)
+    estimates: List[float] = []
+    n = len(values)
+    for _ in range(resamples):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        estimates.append(statistic(resample))
+    estimates.sort()
+    alpha = (1.0 - confidence) / 2.0
+    low_index = int(alpha * (resamples - 1))
+    high_index = int((1.0 - alpha) * (resamples - 1))
+    return BootstrapResult(
+        statistic=point,
+        low=estimates[low_index],
+        high=estimates[high_index],
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def jain_fairness_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index: (Σx)² / (n · Σx²), in (0, 1].
+
+    1 means perfectly equal allocations — useful for judging how LIA
+    coupling shares a bottleneck between subflows (RFC 6356's design
+    goal) compared to decoupled Reno.
+    """
+    values = [v for v in allocations]
+    if not values:
+        raise ConfigurationError("need at least one allocation")
+    if any(v < 0 for v in values):
+        raise ConfigurationError("allocations must be non-negative")
+    total = sum(values)
+    if total == 0:
+        return 1.0
+    squares = sum(v * v for v in values)
+    return total * total / (len(values) * squares)

@@ -1,0 +1,78 @@
+"""Empirical cumulative distribution functions.
+
+Every figure in §2 and §3 of the paper is a CDF; this class provides
+the evaluations those figures need (fraction below a threshold, value
+at a percentile) plus an export suitable for plotting.
+"""
+
+import bisect
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Cdf"]
+
+
+class Cdf:
+    """An empirical CDF over a finite sample."""
+
+    def __init__(self, samples: Iterable[float]):
+        self._sorted: List[float] = sorted(samples)
+        if not self._sorted:
+            raise ConfigurationError("cannot build a CDF from zero samples")
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def samples(self) -> List[float]:
+        """Sorted underlying samples."""
+        return list(self._sorted)
+
+    @property
+    def min(self) -> float:
+        return self._sorted[0]
+
+    @property
+    def max(self) -> float:
+        return self._sorted[-1]
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect.bisect_right(self._sorted, x) / len(self._sorted)
+
+    def fraction_below(self, x: float) -> float:
+        """P(X < x) — the paper's "grey region" statistic."""
+        return bisect.bisect_left(self._sorted, x) / len(self._sorted)
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` in [0, 100] (linear interpolation)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile out of range: {q}")
+        if len(self._sorted) == 1:
+            return self._sorted[0]
+        rank = q / 100.0 * (len(self._sorted) - 1)
+        low = int(rank)
+        high = min(low + 1, len(self._sorted) - 1)
+        fraction = rank - low
+        return self._sorted[low] * (1 - fraction) + self._sorted[high] * fraction
+
+    @property
+    def median(self) -> float:
+        return self.percentile(50.0)
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(x, F(x)) pairs for plotting, downsampled to ``max_points``."""
+        n = len(self._sorted)
+        if n <= max_points:
+            indices: Sequence[int] = range(n)
+        else:
+            step = (n - 1) / (max_points - 1)
+            indices = sorted({round(i * step) for i in range(max_points)})
+        return [(self._sorted[i], (i + 1) / n) for i in indices]
+
+    def __repr__(self) -> str:
+        return (
+            f"Cdf(n={len(self)}, min={self.min:.3g}, "
+            f"median={self.median:.3g}, max={self.max:.3g})"
+        )

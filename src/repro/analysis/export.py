@@ -1,0 +1,90 @@
+"""Export experiment series in gnuplot-friendly formats.
+
+The paper's figures were produced with gnuplot; these helpers write
+the same whitespace-separated ``.dat`` files (one block per series, or
+one file per series), so anyone wanting publication-style plots can
+point gnuplot — or matplotlib — at the output of any experiment.
+"""
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["write_dat", "write_series_files", "gnuplot_script"]
+
+Point = Tuple[float, float]
+
+
+def write_dat(
+    path: str,
+    series: Dict[str, Sequence[Point]],
+    header: str = "",
+) -> str:
+    """Write all series into one ``.dat`` file as gnuplot index blocks.
+
+    Blocks are separated by two blank lines; plot with
+    ``plot 'file.dat' index N``.
+    Returns the path written.
+    """
+    if not series:
+        raise ConfigurationError("no series to export")
+    lines: List[str] = []
+    if header:
+        for row in header.splitlines():
+            lines.append(f"# {row}")
+    for index, (name, points) in enumerate(series.items()):
+        lines.append(f"# index {index}: {name}")
+        for x, y in points:
+            lines.append(f"{x:.9g} {y:.9g}")
+        lines.append("")
+        lines.append("")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines))
+    return path
+
+
+def write_series_files(
+    directory: str,
+    series: Dict[str, Sequence[Point]],
+    prefix: str = "series",
+) -> List[str]:
+    """Write one two-column ``.dat`` file per series; returns the paths."""
+    if not series:
+        raise ConfigurationError("no series to export")
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for name, points in series.items():
+        slug = "".join(c if c.isalnum() else "_" for c in name).strip("_")
+        path = os.path.join(directory, f"{prefix}_{slug}.dat")
+        with open(path, "w") as handle:
+            handle.write(f"# {name}\n")
+            for x, y in points:
+                handle.write(f"{x:.9g} {y:.9g}\n")
+        paths.append(path)
+    return paths
+
+
+def gnuplot_script(
+    dat_path: str,
+    series_names: Sequence[str],
+    output_png: str,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str = "",
+) -> str:
+    """Return a gnuplot script plotting the blocks of ``dat_path``."""
+    plots = ", \\\n     ".join(
+        f"'{dat_path}' index {i} with lines title '{name}'"
+        for i, name in enumerate(series_names)
+    )
+    return "\n".join([
+        "set terminal pngcairo size 800,500",
+        f"set output '{output_png}'",
+        f"set xlabel '{xlabel}'",
+        f"set ylabel '{ylabel}'",
+        f"set title '{title}'" if title else "",
+        "set key bottom right",
+        f"plot {plots}",
+        "",
+    ])

@@ -1,0 +1,98 @@
+"""ASCII renderings of the paper's figures for the bench harness.
+
+The benchmark harness prints the same series the paper plots; these
+helpers render them as terminal-friendly plots so the "shape" claims
+(who wins, where curves cross) can be eyeballed straight from
+``pytest benchmarks/`` output.
+"""
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_cdf", "ascii_series", "ascii_timeline"]
+
+Point = Tuple[float, float]
+
+
+def _render_grid(
+    series: Dict[str, Sequence[Point]],
+    width: int,
+    height: int,
+    x_label: str,
+    y_label: str,
+) -> str:
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return "(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    lines = []
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"  {y_label} (y: {y_min:.3g}..{y_max:.3g})   {legend}")
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width)
+    lines.append(f"   {x_label} (x: {x_min:.3g}..{x_max:.3g})")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series: Dict[str, Sequence[Point]],
+    width: int = 70,
+    height: int = 16,
+    x_label: str = "value",
+) -> str:
+    """Render one or more CDFs ((x, F(x)) series) as ASCII."""
+    return _render_grid(series, width, height, x_label, "CDF")
+
+
+def ascii_series(
+    series: Dict[str, Sequence[Point]],
+    width: int = 70,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render generic (x, y) series as ASCII."""
+    return _render_grid(series, width, height, x_label, y_label)
+
+
+def ascii_timeline(
+    events_by_lane: Dict[str, List[float]],
+    t_min: float,
+    t_max: float,
+    width: int = 78,
+) -> str:
+    """Render packet-activity lanes (the paper's Fig. 15 style).
+
+    Each lane is a row; a ``|`` marks at least one packet event in that
+    time column.
+    """
+    if t_max <= t_min:
+        t_max = t_min + 1.0
+    lines = []
+    for lane, events in events_by_lane.items():
+        row = [" "] * width
+        for t in events:
+            if t_min <= t <= t_max:
+                col = int((t - t_min) / (t_max - t_min) * (width - 1))
+                row[col] = "|"
+        lines.append(f"  {lane:>5s} {''.join(row)}")
+    lines.append(f"        {'^' + format(t_min, '.0f') + 's':<{width // 2}}"
+                 f"{format(t_max, '.0f') + 's^':>{width // 2}}")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Plain-text tables for the bench harness and the CLI runner."""
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A minimal aligned-column text table.
+
+    >>> t = Table(["name", "value"], title="demo")
+    >>> t.add_row(["alpha", 1.5])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    name   | value
+    -------+------
+    alpha  | 1.50
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        self.columns = list(columns)
+        self.title = title
+        self._rows: List[List[str]] = []
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append([self._format(v) for v in values])
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in self._rows))
+            if self._rows
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        header = " | ".join(
+            f"{name:<{widths[i]}}" for i, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self._rows:
+            lines.append(
+                " | ".join(f"{cell:<{widths[i]}}" for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,76 @@
+"""The paper's summary statistics.
+
+Section 3 defines two relative metrics used throughout Figures 8, 13
+and 14::
+
+    r_network = |MPTCP_LTE - MPTCP_WiFi| / MPTCP_WiFi
+    r_cwnd    = |MPTCP_decoupled - MPTCP_coupled| / MPTCP_coupled
+
+both expressed in percent.  This module provides those plus small
+order-statistics helpers.
+"""
+
+from typing import Iterable, List
+
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "median",
+    "percentile",
+    "relative_difference",
+    "relative_ratio",
+    "fraction_below",
+    "fraction_above",
+]
+
+
+def _sorted_samples(values: Iterable[float]) -> List[float]:
+    samples = sorted(values)
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    return samples
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Percentile with linear interpolation (q in [0, 100])."""
+    samples = _sorted_samples(values)
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"percentile out of range: {q}")
+    if len(samples) == 1:
+        return samples[0]
+    rank = q / 100.0 * (len(samples) - 1)
+    low = int(rank)
+    high = min(low + 1, len(samples) - 1)
+    fraction = rank - low
+    return samples[low] * (1 - fraction) + samples[high] * fraction
+
+
+def median(values: Iterable[float]) -> float:
+    """50th percentile."""
+    return percentile(values, 50.0)
+
+
+def relative_difference(variant: float, baseline: float) -> float:
+    """``|variant - baseline| / baseline`` in percent (paper §3.4/§3.5)."""
+    if baseline <= 0:
+        raise ConfigurationError(f"baseline must be positive: {baseline}")
+    return abs(variant - baseline) / baseline * 100.0
+
+
+def relative_ratio(numerator: float, denominator: float) -> float:
+    """``numerator / denominator`` (Figures 11b and 12b)."""
+    if denominator <= 0:
+        raise ConfigurationError(f"denominator must be positive: {denominator}")
+    return numerator / denominator
+
+
+def fraction_below(values: Iterable[float], threshold: float) -> float:
+    """Fraction of samples strictly below ``threshold``."""
+    samples = _sorted_samples(values)
+    return sum(1 for v in samples if v < threshold) / len(samples)
+
+
+def fraction_above(values: Iterable[float], threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold``."""
+    samples = _sorted_samples(values)
+    return sum(1 for v in samples if v > threshold) / len(samples)

@@ -1,0 +1,87 @@
+"""Throughput timeseries extracted from connection delivery logs.
+
+Figures 9 and 10 of the paper plot "the average throughput from the
+time the MPTCP session is established, to the current time t"; these
+helpers turn a delivery log — a list of ``(time, cumulative bytes)``
+points — into exactly that series, plus a windowed instantaneous
+variant.
+"""
+
+from typing import List, Sequence, Tuple
+
+from repro.core.units import throughput_mbps
+
+__all__ = ["average_throughput_series", "instantaneous_throughput_series"]
+
+Point = Tuple[float, float]
+
+
+def average_throughput_series(
+    delivery_log: Sequence[Tuple[float, int]],
+    start_time: float,
+    step_s: float = 0.05,
+    end_time: float = None,
+) -> List[Point]:
+    """Cumulative-average throughput vs time (the paper's Fig. 9/10 metric).
+
+    Each output point ``(t, mbps)`` is total bytes delivered by ``t``
+    divided by ``t - start_time``.
+    """
+    if not delivery_log:
+        return []
+    if end_time is None:
+        end_time = delivery_log[-1][0]
+    points: List[Point] = []
+    index = 0
+    delivered = 0
+    step = 1
+    while True:
+        t = start_time + step * step_s  # avoid float accumulation drift
+        if t > end_time + 1e-9:
+            break
+        while index < len(delivery_log) and delivery_log[index][0] <= t + 1e-9:
+            delivered = delivery_log[index][1]
+            index += 1
+        points.append((t, throughput_mbps(delivered, t - start_time)))
+        step += 1
+    return points
+
+
+def instantaneous_throughput_series(
+    delivery_log: Sequence[Tuple[float, int]],
+    start_time: float,
+    window_s: float = 0.2,
+    step_s: float = 0.05,
+    end_time: float = None,
+) -> List[Point]:
+    """Sliding-window throughput vs time.
+
+    Useful for visualizing subflow ramp-up; not used by the paper's
+    figures directly but handy for debugging and the examples.
+    """
+    if not delivery_log:
+        return []
+    if end_time is None:
+        end_time = delivery_log[-1][0]
+    times = [t for t, _ in delivery_log]
+    cums = [c for _, c in delivery_log]
+
+    def delivered_by(when: float) -> float:
+        import bisect
+
+        index = bisect.bisect_right(times, when) - 1
+        if index < 0:
+            return 0.0
+        return cums[index]
+
+    points: List[Point] = []
+    step = 1
+    while True:
+        t = start_time + step * step_s
+        if t > end_time + 1e-9:
+            break
+        lo = max(start_time, t - window_s)
+        window_bytes = delivered_by(t + 1e-9) - delivered_by(lo + 1e-9)
+        points.append((t, throughput_mbps(window_bytes, t - lo)))
+        step += 1
+    return points

@@ -1,0 +1,33 @@
+"""Core simulation substrate: event loop, packets, RNG streams, units.
+
+Everything in :mod:`repro` that needs simulated time runs on top of
+:class:`~repro.core.events.EventLoop`.  The loop is a plain
+discrete-event scheduler: components register callbacks at absolute or
+relative simulated times, and the loop executes them in timestamp order.
+"""
+
+from repro.core.errors import (
+    ReproError,
+    SimulationError,
+    ConfigurationError,
+    TraceFormatError,
+)
+from repro.core.events import EventLoop, Event, Timer
+from repro.core.packet import Packet, PacketFlags
+from repro.core.rng import RngStreams, DEFAULT_SEED
+from repro.core import units
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "ConfigurationError",
+    "TraceFormatError",
+    "EventLoop",
+    "Event",
+    "Timer",
+    "Packet",
+    "PacketFlags",
+    "RngStreams",
+    "DEFAULT_SEED",
+    "units",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific exceptions derive from :class:`ReproError` so that
+callers can catch everything from this package with a single clause
+while still distinguishing configuration mistakes from runtime
+simulation faults.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid values."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an inconsistent or impossible state."""
+
+
+class TraceFormatError(ReproError):
+    """A delivery-opportunity trace file could not be parsed."""
+
+
+class ReplayError(ReproError):
+    """A recorded HTTP session could not be replayed."""

@@ -1,0 +1,176 @@
+"""Discrete-event loop used by every simulated component.
+
+The design is deliberately minimal: a binary heap of ``(time, seq,
+callback)`` entries.  ``seq`` is a monotonically increasing tiebreaker
+so that events scheduled at the same instant run in FIFO order, which
+keeps runs fully deterministic.
+
+Example
+-------
+>>> loop = EventLoop()
+>>> fired = []
+>>> _ = loop.call_at(1.5, lambda: fired.append(loop.now))
+>>> _ = loop.call_later(0.5, lambda: fired.append(loop.now))
+>>> loop.run()
+>>> fired
+[0.5, 1.5]
+"""
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+from repro.core.errors import SimulationError
+
+__all__ = ["Event", "EventLoop", "Timer"]
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`EventLoop.call_at` / :meth:`EventLoop.call_later`
+    so callers can cancel the callback before it fires.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.
+
+        Cancelling an already-fired or already-cancelled event is a
+        no-op; the loop simply skips cancelled entries when it pops
+        them.
+        """
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler.
+
+    Simulated time is a float number of seconds starting at 0.  The
+    loop never advances past an event without running it, and events at
+    equal timestamps run in the order they were scheduled.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when:.6f} < {self._now:.6f}"
+            )
+        event = Event(when, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+        """Run events in order until the queue empties.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire after this
+            time; the clock is then advanced to exactly ``until``.
+        max_events:
+            Safety valve against runaway simulations.
+        """
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback()
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {max_events} events"
+                    )
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 50_000_000) -> None:
+        """Run until no events remain (alias of :meth:`run` without bound)."""
+        self.run(until=None, max_events=max_events)
+
+
+class Timer:
+    """A restartable one-shot timer (e.g. a TCP retransmission timer).
+
+    Wraps the cancel-and-reschedule dance so protocol code can simply
+    ``start``/``stop``/``restart``.
+    """
+
+    def __init__(self, loop: EventLoop, callback: Callable[[], None]):
+        self._loop = loop
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is armed and has not yet fired."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time at which the timer will fire, if armed."""
+        if self.running:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm the timer ``delay`` seconds from now, replacing any prior arm."""
+        self.stop()
+        self._event = self._loop.call_later(delay, self._fire)
+
+    def stop(self) -> None:
+        """Disarm the timer if it is armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

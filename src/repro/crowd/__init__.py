@@ -1,0 +1,30 @@
+"""Synthetic Cell vs WiFi crowdsourced dataset (paper §2).
+
+The paper's dataset came from 750 users of the *Cell vs WiFi* Android
+app across 16 countries.  The dataset itself is not redistributable
+here, so this package provides a *world model*: per-location WiFi/LTE
+condition distributions calibrated against every aggregate the paper
+publishes (Table 1 run counts and LTE-win percentages, the Fig. 3
+throughput-difference CDFs, the Fig. 4 RTT-difference CDF), plus a
+faithful model of the app's measurement-collection state machine
+(Fig. 2) including the filtering steps described in §2.2.
+"""
+
+from repro.crowd.geo import GeoPoint, haversine_km
+from repro.crowd.world import SiteProfile, TABLE1_SITES, WorldModel
+from repro.crowd.dataset import MeasurementRun, Dataset
+from repro.crowd.app import CellVsWifiApp
+from repro.crowd.kmeans import GeoCluster, cluster_runs
+
+__all__ = [
+    "GeoPoint",
+    "haversine_km",
+    "SiteProfile",
+    "TABLE1_SITES",
+    "WorldModel",
+    "MeasurementRun",
+    "Dataset",
+    "CellVsWifiApp",
+    "GeoCluster",
+    "cluster_runs",
+]

@@ -1,0 +1,91 @@
+"""CLI: the Cell vs WiFi app experience (paper Fig. 1), simulated.
+
+The real app measured both networks and told the user which to use.
+This CLI does the same against the synthetic world model::
+
+    python -m repro.crowd --site "US (Boston, MA)"
+    python -m repro.crowd --list-sites
+    python -m repro.crowd --site Israel --runs 5
+
+Output mirrors the app's verdict plus the measured numbers the verdict
+rests on.
+"""
+
+import argparse
+import sys
+
+from repro.core.rng import DEFAULT_SEED
+from repro.crowd.app import CellVsWifiApp
+from repro.crowd.world import TABLE1_SITES
+
+__all__ = ["main"]
+
+
+def _find_site(name: str):
+    matches = [s for s in TABLE1_SITES if name.lower() in s.name.lower()]
+    if not matches:
+        return None
+    # Prefer the shortest (most specific) match.
+    return min(matches, key=lambda s: len(s.name))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.crowd",
+        description="Simulate a Cell vs WiFi measurement run.",
+    )
+    parser.add_argument("--site", default="US (Boston, MA)",
+                        help="Table-1 site name (substring match)")
+    parser.add_argument("--runs", type=int, default=1,
+                        help="number of measurement runs to perform")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--list-sites", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_sites:
+        for site in TABLE1_SITES:
+            print(f"{site.name:28s} ({site.lat:6.1f}, {site.lon:7.1f})  "
+                  f"{site.runs:4d} runs, LTE wins "
+                  f"{100 * site.lte_win_fraction:.0f}%")
+        return 0
+
+    site = _find_site(args.site)
+    if site is None:
+        print(f"unknown site {args.site!r}; use --list-sites", file=sys.stderr)
+        return 2
+    if args.runs < 1:
+        print("--runs must be >= 1", file=sys.stderr)
+        return 2
+
+    app = CellVsWifiApp(seed=args.seed)
+    print(f"Measuring at {site.name} "
+          f"({site.lat:.1f}, {site.lon:.1f})...\n")
+    for index in range(args.runs):
+        run = app.collect_run(site, index, user_id=0)
+        print(f"run {index + 1}:")
+        if run.measured_wifi:
+            print(f"  WiFi:     {run.wifi_down_mbps:6.2f} down / "
+                  f"{run.wifi_up_mbps:5.2f} up Mbit/s, "
+                  f"ping {run.wifi_rtt_ms:5.1f} ms")
+        else:
+            print("  WiFi:     unavailable (association failed)")
+        if run.measured_cell:
+            print(f"  {run.cellular_technology or 'cell':8s}: "
+                  f"{run.cell_down_mbps:6.2f} down / "
+                  f"{run.cell_up_mbps:5.2f} up Mbit/s, "
+                  f"ping {run.cell_rtt_ms:5.1f} ms")
+        else:
+            print("  Cellular: unavailable (data disabled)")
+
+        if run.complete:
+            verdict = ("USE CELLULAR" if run.lte_wins_downlink
+                       else "USE WIFI")
+            print(f"  -> {verdict}")
+        else:
+            print("  -> (no comparison possible this run)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

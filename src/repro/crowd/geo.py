@@ -1,0 +1,32 @@
+"""Geographic primitives: points and great-circle distance."""
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GeoPoint", "haversine_km", "EARTH_RADIUS_KM"]
+
+EARTH_RADIUS_KM = 6371.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A latitude/longitude pair in degrees."""
+
+    lat: float
+    lon: float
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in km."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))

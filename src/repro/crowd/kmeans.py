@@ -1,0 +1,118 @@
+"""Geographic clustering of measurement runs (paper Table 1).
+
+The paper "groups nearby runs together using a k-means clustering
+algorithm, with a cluster radius of r = 100 kilometers; i.e., all runs
+in each group are within 200 kilometers of each other".  We implement
+exactly that: k-means over (lat, lon) with haversine assignment,
+growing k (farthest-point seeding) until every run lies within the
+radius of its centroid.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.crowd.dataset import MeasurementRun
+from repro.crowd.geo import GeoPoint, haversine_km
+
+__all__ = ["GeoCluster", "cluster_runs"]
+
+
+@dataclass
+class GeoCluster:
+    """One location group from Table 1."""
+
+    center: GeoPoint
+    runs: List[MeasurementRun] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.runs)
+
+    @property
+    def radius_km(self) -> float:
+        if not self.runs:
+            return 0.0
+        return max(run.point.distance_km(self.center) for run in self.runs)
+
+    def lte_win_fraction(self) -> float:
+        """Fraction of runs where LTE downlink throughput beat WiFi."""
+        if not self.runs:
+            return 0.0
+        wins = sum(1 for run in self.runs if run.lte_wins_downlink)
+        return wins / len(self.runs)
+
+
+def _mean_point(runs: Sequence[MeasurementRun]) -> GeoPoint:
+    lat = sum(run.point.lat for run in runs) / len(runs)
+    lon = sum(run.point.lon for run in runs) / len(runs)
+    return GeoPoint(lat, lon)
+
+
+def _assign(
+    runs: Sequence[MeasurementRun], centers: List[GeoPoint]
+) -> List[List[MeasurementRun]]:
+    buckets: List[List[MeasurementRun]] = [[] for _ in centers]
+    for run in runs:
+        best = min(
+            range(len(centers)), key=lambda i: run.point.distance_km(centers[i])
+        )
+        buckets[best].append(run)
+    return buckets
+
+
+def _kmeans(
+    runs: Sequence[MeasurementRun], centers: List[GeoPoint], iterations: int = 25
+) -> List[GeoCluster]:
+    for _ in range(iterations):
+        buckets = _assign(runs, centers)
+        new_centers = [
+            _mean_point(bucket) if bucket else centers[i]
+            for i, bucket in enumerate(buckets)
+        ]
+        moved = max(
+            haversine_km(a.lat, a.lon, b.lat, b.lon)
+            for a, b in zip(centers, new_centers)
+        )
+        centers = new_centers
+        if moved < 0.5:
+            break
+    buckets = _assign(runs, centers)
+    return [
+        GeoCluster(center=centers[i], runs=bucket)
+        for i, bucket in enumerate(buckets)
+        if bucket
+    ]
+
+
+def cluster_runs(
+    runs: Sequence[MeasurementRun],
+    radius_km: float = 100.0,
+    max_clusters: Optional[int] = None,
+) -> List[GeoCluster]:
+    """Cluster runs so each lies within ``radius_km`` of its centroid.
+
+    Farthest-point seeding keeps the procedure deterministic: the first
+    center is the first run's location, and each additional center is
+    the run farthest from all existing centers.
+    """
+    if radius_km <= 0:
+        raise ConfigurationError(f"radius must be positive: {radius_km}")
+    runs = list(runs)
+    if not runs:
+        return []
+    if max_clusters is None:
+        max_clusters = len(runs)
+
+    centers = [runs[0].point]
+    while True:
+        clusters = _kmeans(runs, centers)
+        worst = max(clusters, key=lambda c: c.radius_km)
+        if worst.radius_km <= radius_km or len(centers) >= max_clusters:
+            return sorted(clusters, key=lambda c: -c.size)
+        # Seed a new center at the run farthest from every center.
+        farthest = max(
+            runs,
+            key=lambda run: min(run.point.distance_km(c) for c in centers),
+        )
+        centers = [c.center for c in clusters] + [farthest.point]

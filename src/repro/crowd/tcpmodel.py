@@ -1,0 +1,65 @@
+"""Closed-form model of a 1-MByte TCP transfer's throughput.
+
+The crowdsourced dataset contains thousands of runs; simulating every
+one packet-by-packet would be wasteful when the quantity consumed by
+the paper's analysis is just the average throughput of a 1 MB flow.
+This analytic model — handshake, slow-start ramp, then link-rate
+transfer — matches the packet simulator closely (validated in
+``tests/crowd/test_tcpmodel.py``), and the Fig. 6 experiment checks
+the two agree at the CDF level.
+"""
+
+from repro.core.errors import ConfigurationError
+from repro.core.units import throughput_mbps
+
+__all__ = ["transfer_time_s", "estimate_tcp_throughput_mbps"]
+
+
+def transfer_time_s(
+    rate_mbps: float,
+    rtt_ms: float,
+    nbytes: int,
+    mss_bytes: int = 1448,
+    initial_cwnd: int = 10,
+) -> float:
+    """Time to move ``nbytes`` over a clean link of ``rate_mbps``.
+
+    Models: one RTT of handshake, exponential slow-start rounds until
+    the window covers the bandwidth-delay product, then ACK-clocked
+    transfer at the link rate, plus half an RTT for the last byte to
+    arrive.
+    """
+    if rate_mbps <= 0:
+        raise ConfigurationError(f"rate must be positive: {rate_mbps}")
+    if rtt_ms < 0:
+        raise ConfigurationError(f"negative RTT: {rtt_ms}")
+    if nbytes <= 0:
+        return 0.0
+    rtt = rtt_ms / 1000.0
+    rate_bps = rate_mbps * 1e6 / 8.0
+    total_segments = max(1, (nbytes + mss_bytes - 1) // mss_bytes)
+    bdp_segments = max(1.0, rate_bps * rtt / mss_bytes)
+
+    elapsed = rtt  # SYN / SYN-ACK
+    sent = 0.0
+    cwnd = float(initial_cwnd)
+    while sent < total_segments and cwnd < bdp_segments:
+        round_segments = min(cwnd, total_segments - sent)
+        sent += round_segments
+        elapsed += rtt
+        cwnd *= 2.0
+    if sent < total_segments:
+        elapsed += (total_segments - sent) * mss_bytes / rate_bps + rtt / 2.0
+    return elapsed
+
+
+def estimate_tcp_throughput_mbps(
+    rate_mbps: float,
+    rtt_ms: float,
+    nbytes: int = 1_048_576,
+    mss_bytes: int = 1448,
+    initial_cwnd: int = 10,
+) -> float:
+    """Average throughput (Mbit/s) of an ``nbytes`` transfer."""
+    elapsed = transfer_time_s(rate_mbps, rtt_ms, nbytes, mss_bytes, initial_cwnd)
+    return throughput_mbps(nbytes, elapsed)

@@ -1,0 +1,256 @@
+"""The synthetic world behind the Cell vs WiFi app.
+
+Each :class:`SiteProfile` corresponds to one row of the paper's
+Table 1: a geographic anchor, a number of complete measurement runs,
+and the fraction of those runs in which LTE beat WiFi.  The world
+model turns a profile into per-run draws of (WiFi, LTE) × (uplink,
+downlink) throughput and ping RTTs:
+
+* log-throughputs are jointly normal; the LTE-vs-WiFi log-median gap
+  per site is chosen by a probit inversion so the probability that
+  LTE wins matches the site's Table-1 percentage;
+* uplink gets a small extra LTE tilt (the paper measured 42 % LTE wins
+  on the uplink vs 35 % on the downlink);
+* RTT log-differences are calibrated so LTE has the lower ping RTT in
+  ~20 % of runs overall (Fig. 4).
+"""
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import DEFAULT_SEED, RngStreams
+from repro.crowd.geo import GeoPoint
+
+__all__ = ["SiteProfile", "TABLE1_SITES", "WorldModel", "RunConditions"]
+
+
+@dataclass(frozen=True)
+class SiteProfile:
+    """One Table-1 location: anchor point, run count, LTE-win rate."""
+
+    name: str
+    lat: float
+    lon: float
+    runs: int
+    lte_win_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.runs < 0:
+            raise ConfigurationError(f"negative run count for {self.name}")
+        if not 0.0 <= self.lte_win_fraction <= 1.0:
+            raise ConfigurationError(
+                f"lte_win_fraction out of range for {self.name}"
+            )
+
+    @property
+    def point(self) -> GeoPoint:
+        return GeoPoint(self.lat, self.lon)
+
+
+#: The paper's Table 1, verbatim: name, (lat, lon), complete runs, and
+#: the percentage of runs where LTE throughput beat WiFi.
+TABLE1_SITES: List[SiteProfile] = [
+    SiteProfile("US (Boston, MA)", 42.4, -71.1, 884, 0.10),
+    SiteProfile("Israel", 31.8, 35.0, 276, 0.55),
+    SiteProfile("US (Portland)", 45.6, -122.7, 164, 0.45),
+    SiteProfile("Estonia", 59.4, 27.4, 124, 0.71),
+    SiteProfile("South Korea", 37.5, 126.9, 108, 0.66),
+    SiteProfile("US (Orlando)", 28.4, -81.4, 92, 0.35),
+    SiteProfile("US (Miami)", 26.0, -80.2, 84, 0.52),
+    SiteProfile("Malaysia", 4.24, 103.4, 76, 0.68),
+    SiteProfile("Brazil", -23.6, -46.8, 56, 0.04),
+    SiteProfile("Germany", 52.5, 13.3, 40, 0.20),
+    SiteProfile("Spain", 28.0, -16.7, 40, 0.80),
+    SiteProfile("Thailand (Phichit)", 16.1, 100.2, 40, 0.80),
+    SiteProfile("US (New York)", 40.9, -73.8, 24, 0.33),
+    SiteProfile("Japan", 36.4, 139.3, 16, 0.25),
+    SiteProfile("Sweden", 59.6, 18.6, 16, 0.00),
+    SiteProfile("Thailand (Chiang Mai)", 18.8, 99.0, 16, 0.75),
+    SiteProfile("US (Chicago)", 42.0, -88.2, 16, 0.25),
+    SiteProfile("Hungary", 47.4, 16.8, 8, 0.00),
+    SiteProfile("Italy", 44.2, 8.3, 8, 0.00),
+    SiteProfile("US (Salt Lake City)", 40.8, -111.9, 8, 0.00),
+    SiteProfile("Colombia", 7.1, -70.7, 4, 0.00),
+    SiteProfile("US (Santa Fe)", 35.9, -106.3, 4, 0.00),
+]
+
+
+def _probit(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    p = min(max(p, 1e-6), 1.0 - 1e-6)
+    # Coefficients for the central region approximation.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+@dataclass
+class RunConditions:
+    """Ground-truth network conditions for one measurement run."""
+
+    point: GeoPoint
+    wifi_down_mbps: float
+    wifi_up_mbps: float
+    lte_down_mbps: float
+    lte_up_mbps: float
+    wifi_rtt_ms: float
+    lte_rtt_ms: float
+    cellular_technology: str  # "LTE", "HSPA+", or "3G"
+
+
+class WorldModel:
+    """Draws per-run ground-truth conditions for each Table-1 site."""
+
+    #: Per-technology log-throughput spread within one site.
+    SIGMA = 0.55
+    #: Extra uplink tilt toward LTE, in log space (the paper saw more
+    #: LTE wins on the uplink: 42 % vs 35 %).
+    UPLINK_LTE_TILT = 0.35
+    #: RTT spread in log space.
+    RTT_SIGMA = 0.45
+    #: Fraction of cellular runs on a non-LTE technology (filtered out
+    #: by the paper's network-type check).
+    NON_LTE_FRACTION = 0.15
+    #: Measurement noise used during calibration (must match the app's
+    #: :attr:`~repro.crowd.app.CellVsWifiApp.NOISE_SIGMA`).
+    CALIBRATION_NOISE = 0.12
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        self.seed = seed
+        self._streams = RngStreams(seed).fork("crowd.world")
+        self._site_params = {}
+        for site in TABLE1_SITES:
+            rng = self._streams.get(f"site.{site.name}")
+            wifi_median = rng.uniform(4.0, 14.0)
+            sigma_diff = math.sqrt(2.0) * self.SIGMA
+            gap = _probit(site.lte_win_fraction) * sigma_diff
+            lte_median = wifi_median * math.exp(gap)
+            # RTT: LTE lower ~20 % overall; per-site jitter around that.
+            rtt_target = min(max(0.24 + rng.uniform(-0.10, 0.10), 0.02), 0.6)
+            wifi_rtt_median = rng.uniform(25.0, 80.0)
+            rtt_gap = -_probit(rtt_target) * math.sqrt(2.0) * self.RTT_SIGMA
+            lte_rtt_median = wifi_rtt_median * math.exp(rtt_gap)
+            lte_median = self._calibrate_lte_median(
+                site, wifi_median, lte_median, wifi_rtt_median, lte_rtt_median
+            )
+            self._site_params[site.name] = (
+                wifi_median, lte_median, wifi_rtt_median, lte_rtt_median
+            )
+
+    def _calibrate_lte_median(
+        self,
+        site: SiteProfile,
+        wifi_median: float,
+        lte_median: float,
+        wifi_rtt_median: float,
+        lte_rtt_median: float,
+    ) -> float:
+        """Adjust the LTE throughput median so *measured* wins match Table 1.
+
+        The app measures 1-MB TCP flows, whose throughput is handicapped
+        by the technology's RTT (slow start), so calibrating on raw
+        link rates would undershoot LTE wins.  We Monte-Carlo the whole
+        measurement pipeline and bisect a log-space multiplier.
+        """
+        from repro.crowd.tcpmodel import estimate_tcp_throughput_mbps
+
+        rng = self._streams.get(f"calibrate.{site.name}")
+        draws = []
+        for _ in range(400):
+            draws.append((
+                math.exp(self.SIGMA * rng.gauss(0, 1)),
+                math.exp(self.SIGMA * rng.gauss(0, 1)),
+                math.exp(self.RTT_SIGMA * rng.gauss(0, 1)),
+                math.exp(self.RTT_SIGMA * rng.gauss(0, 1)),
+                math.exp(self.CALIBRATION_NOISE * rng.gauss(0, 1)),
+                math.exp(self.CALIBRATION_NOISE * rng.gauss(0, 1)),
+            ))
+
+        def win_fraction(candidate: float) -> float:
+            wins = 0
+            for w_mult, l_mult, w_rtt_m, l_rtt_m, w_noise, l_noise in draws:
+                wifi_meas = estimate_tcp_throughput_mbps(
+                    wifi_median * w_mult, wifi_rtt_median * w_rtt_m
+                ) * w_noise
+                lte_meas = estimate_tcp_throughput_mbps(
+                    candidate * l_mult, lte_rtt_median * l_rtt_m
+                ) * l_noise
+                if lte_meas > wifi_meas:
+                    wins += 1
+            return wins / len(draws)
+
+        lo, hi = lte_median * 0.2, lte_median * 8.0
+        for _ in range(18):
+            mid = math.sqrt(lo * hi)
+            if win_fraction(mid) < site.lte_win_fraction:
+                lo = mid
+            else:
+                hi = mid
+        return math.sqrt(lo * hi)
+
+    def draw_run(self, site: SiteProfile, run_index: int) -> RunConditions:
+        """Ground truth for run ``run_index`` at ``site`` (deterministic)."""
+        rng = self._streams.get(f"run.{site.name}.{run_index}")
+        wifi_med, lte_med, wifi_rtt_med, lte_rtt_med = self._site_params[site.name]
+        wifi_down = wifi_med * math.exp(self.SIGMA * rng.gauss(0, 1))
+        lte_down = lte_med * math.exp(self.SIGMA * rng.gauss(0, 1))
+        wifi_up = wifi_down * rng.uniform(0.35, 0.8)
+        lte_up = (
+            lte_down * rng.uniform(0.3, 0.7) * math.exp(self.UPLINK_LTE_TILT)
+        )
+        wifi_rtt = wifi_rtt_med * math.exp(self.RTT_SIGMA * rng.gauss(0, 1))
+        lte_rtt = lte_rtt_med * math.exp(self.RTT_SIGMA * rng.gauss(0, 1))
+        # GPS jitter: runs cluster within a metro area, not one point.
+        point = GeoPoint(
+            site.lat + rng.gauss(0.0, 0.15), site.lon + rng.gauss(0.0, 0.15)
+        )
+        roll = rng.random()
+        if roll < self.NON_LTE_FRACTION / 2.0:
+            technology = "3G"
+        elif roll < self.NON_LTE_FRACTION:
+            technology = "HSPA+"
+        else:
+            technology = "LTE"
+        if technology == "3G":
+            # Legacy cellular: much slower than LTE.
+            lte_down *= 0.15
+            lte_up *= 0.15
+            lte_rtt *= 2.0
+        return RunConditions(
+            point=point,
+            wifi_down_mbps=max(0.1, wifi_down),
+            wifi_up_mbps=max(0.05, wifi_up),
+            lte_down_mbps=max(0.1, lte_down),
+            lte_up_mbps=max(0.05, lte_up),
+            wifi_rtt_ms=min(max(5.0, wifi_rtt), 1200.0),
+            lte_rtt_ms=min(max(15.0, lte_rtt), 1200.0),
+            cellular_technology=technology,
+        )
+
+    def runs_for(self, site: SiteProfile) -> List[RunConditions]:
+        """All of a site's complete-run ground truths."""
+        return [self.draw_run(site, i) for i in range(site.runs)]

@@ -1,0 +1,109 @@
+"""Figures 11 and 12: absolute difference vs relative ratio by flow size.
+
+For the two primary-subflow choices, the *absolute* throughput gap
+grows with flow size while the *relative* ratio shrinks — i.e. picking
+the right primary matters most, proportionally, for small flows.
+Fig. 11 is measured where LTE is faster; Fig. 12 where WiFi is faster.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.plotting import ascii_series
+from repro.core.rng import DEFAULT_SEED
+from repro.experiments.common import (
+    ExperimentResult,
+    WARM_FLOW_CONFIG,
+    register,
+    run_mptcp_at,
+)
+from repro.experiments.fig09_10 import _illustrative_conditions
+from repro.linkem.conditions import LocationCondition
+
+__all__ = ["run", "size_profile"]
+
+ONE_MBYTE = 1_048_576
+PROFILE_SIZES_KB = list(range(25, 1025, 50))
+
+
+def size_profile(
+    condition: LocationCondition, seed: int, sizes_kb: List[int]
+) -> Dict[str, List[Tuple[float, float]]]:
+    """MPTCP(LTE) and MPTCP(WiFi) throughput vs flow size, plus ratio."""
+    runs = {
+        "MPTCP(LTE)": run_mptcp_at(condition, "lte", "decoupled", ONE_MBYTE,
+                                   seed=seed, config=WARM_FLOW_CONFIG),
+        "MPTCP(WiFi)": run_mptcp_at(condition, "wifi", "decoupled", ONE_MBYTE,
+                                    seed=seed, config=WARM_FLOW_CONFIG),
+    }
+    absolute: Dict[str, List[Tuple[float, float]]] = {}
+    for label, result in runs.items():
+        points = []
+        for kb in sizes_kb:
+            tput = result.throughput_at_bytes(kb * 1024)
+            if tput is not None:
+                points.append((float(kb), tput))
+        absolute[label] = points
+    ratio = []
+    for (kb, lte_t), (_, wifi_t) in zip(absolute["MPTCP(LTE)"], absolute["MPTCP(WiFi)"]):
+        if wifi_t > 0:
+            ratio.append((kb, lte_t / wifi_t))
+    return {**absolute, "ratio LTE/WiFi": ratio}
+
+
+def _gap_and_ratio(profile, kb: float) -> Tuple[float, float]:
+    def value(name):
+        for x, y in profile[name]:
+            if x == kb:
+                return y
+        return 0.0
+
+    lte_t = value("MPTCP(LTE)")
+    wifi_t = value("MPTCP(WiFi)")
+    gap = abs(lte_t - wifi_t)
+    lo = min(lte_t, wifi_t)
+    ratio = max(lte_t, wifi_t) / lo if lo > 0 else 0.0
+    return gap, ratio
+
+
+@register("fig11_12")
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    lte_better, wifi_better = _illustrative_conditions()
+    sizes = PROFILE_SIZES_KB[::4] if fast else PROFILE_SIZES_KB
+
+    panels = []
+    metrics = {}
+    for fig, condition in (("fig11", lte_better), ("fig12", wifi_better)):
+        profile = size_profile(condition, seed, sizes)
+        absolute = {k: v for k, v in profile.items() if k != "ratio LTE/WiFi"}
+        panels.append(
+            f"{fig}a: absolute throughput (condition #{condition.condition_id})\n"
+            + ascii_series(absolute, x_label="flow size (KB)", y_label="tput Mbps")
+        )
+        panels.append(
+            f"{fig}b: relative throughput ratio\n"
+            + ascii_series(
+                {"ratio": profile["ratio LTE/WiFi"]},
+                x_label="flow size (KB)", y_label="LTE/WiFi",
+            )
+        )
+        small_kb, large_kb = float(sizes[1]), float(sizes[-1])
+        small_gap, small_ratio = _gap_and_ratio(profile, small_kb)
+        large_gap, large_ratio = _gap_and_ratio(profile, large_kb)
+        metrics[f"{fig}_abs_gap_grows"] = float(large_gap > small_gap)
+        metrics[f"{fig}_rel_ratio_shrinks"] = float(small_ratio > large_ratio)
+        metrics[f"{fig}_ratio_at_{int(small_kb)}KB"] = small_ratio
+        metrics[f"{fig}_ratio_at_{int(large_kb)}KB"] = large_ratio
+
+    targets = {
+        "fig11_abs_gap_grows": 1.0,
+        "fig11_rel_ratio_shrinks": 1.0,
+        "fig12_abs_gap_grows": 1.0,
+        "fig12_rel_ratio_shrinks": 1.0,
+    }
+    return ExperimentResult(
+        experiment_id="fig11_12",
+        title="Absolute gap grows, relative ratio shrinks, with flow size",
+        body="\n\n".join(panels),
+        metrics=metrics,
+        paper_targets=targets,
+    )

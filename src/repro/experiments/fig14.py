@@ -1,0 +1,132 @@
+"""Figure 14: network choice vs congestion-control choice, head to head.
+
+For each flow size, overlays the CDF of r_network (relative difference
+from changing the primary-subflow network, CC held fixed) with the CDF
+of r_cwnd (from changing the congestion control, network held fixed).
+Paper medians — Network: 60/43/25 %, CC: 16/16/34 % for
+10 KB/100 KB/1 MB: the network choice dominates for small flows, the
+CC choice for large ones.
+"""
+
+from typing import Dict, List
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.plotting import ascii_cdf
+from repro.analysis.stats import relative_difference
+from repro.core.rng import DEFAULT_SEED
+from repro.experiments.common import (
+    ExperimentResult,
+    FLOW_SIZES,
+    WARM_FLOW_CONFIG,
+    config_seed,
+    flow_conditions,
+    register,
+    run_mptcp_at,
+)
+from repro.linkem.conditions import DUAL_CC_CONDITION_IDS
+
+__all__ = ["run", "network_and_cc_differences"]
+
+ONE_MBYTE = 1_048_576
+
+
+def network_and_cc_differences(
+    seed: int,
+    runs_per_config: int = 5,
+    directions: tuple = ("down", "up"),
+    condition_ids: tuple = DUAL_CC_CONDITION_IDS,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Samples of r_network and r_cwnd per flow size (§3.5).
+
+    Measures all four (primary × CC) configurations per run, then forms
+    both pairwise metrics exactly as the paper defines them.
+    """
+    conditions = {c.condition_id: c for c in flow_conditions(seed)}
+    out = {
+        "Network": {name: [] for name in FLOW_SIZES},
+        "CC": {name: [] for name in FLOW_SIZES},
+    }
+    for condition_id in condition_ids:
+        condition = conditions[condition_id]
+        for direction in directions:
+            for repeat in range(runs_per_config):
+                run_seed = seed + repeat * 104729 + condition_id
+                tput: Dict[tuple, Dict[str, float]] = {}
+                for primary in ("lte", "wifi"):
+                    for cc in ("coupled", "decoupled"):
+                        result = run_mptcp_at(
+                            condition, primary, cc, ONE_MBYTE,
+                            direction=direction,
+                            seed=config_seed(run_seed, f"{primary}.{cc}"),
+                            config=WARM_FLOW_CONFIG,
+                        )
+                        tput[(primary, cc)] = {
+                            name: result.throughput_at_bytes(nbytes) or 0.0
+                            for name, nbytes in FLOW_SIZES.items()
+                        }
+                for name in FLOW_SIZES:
+                    for cc in ("coupled", "decoupled"):
+                        base = tput[("wifi", cc)][name]
+                        variant = tput[("lte", cc)][name]
+                        if base > 0 and variant > 0:
+                            out["Network"][name].append(
+                                relative_difference(variant, base)
+                            )
+                    for primary in ("lte", "wifi"):
+                        base = tput[(primary, "coupled")][name]
+                        variant = tput[(primary, "decoupled")][name]
+                        if base > 0 and variant > 0:
+                            out["CC"][name].append(
+                                relative_difference(variant, base)
+                            )
+    return out
+
+
+@register("fig14")
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    diffs = network_and_cc_differences(
+        seed,
+        runs_per_config=1 if fast else 5,
+        directions=("down",) if fast else ("down", "up"),
+        condition_ids=DUAL_CC_CONDITION_IDS[:3] if fast else DUAL_CC_CONDITION_IDS,
+    )
+    panels = []
+    metrics = {}
+    for name in FLOW_SIZES:
+        cdfs = {
+            label: Cdf(values[name])
+            for label, values in diffs.items()
+            if values[name]
+        }
+        panels.append(
+            f"flow size {name}:\n"
+            + ascii_cdf(
+                {label: cdf.points() for label, cdf in cdfs.items()},
+                x_label="relative difference (%)",
+            )
+        )
+        for label, cdf in cdfs.items():
+            metrics[f"median[{label},{name}]"] = cdf.median
+    metrics["network_dominates_10KB"] = float(
+        metrics["median[Network,10KB]"] > metrics["median[CC,10KB]"]
+    )
+    metrics["cc_dominates_1MB"] = float(
+        metrics["median[CC,1MB]"] > metrics["median[Network,1MB]"]
+    )
+    targets = {
+        "median[Network,10KB]": 60.0,
+        "median[Network,100KB]": 43.0,
+        "median[Network,1MB]": 25.0,
+        "median[CC,10KB]": 16.0,
+        "median[CC,100KB]": 16.0,
+        "median[CC,1MB]": 34.0,
+        "network_dominates_10KB": 1.0,
+        "cc_dominates_1MB": 1.0,
+    }
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Network choice vs congestion-control choice per flow size",
+        body="\n\n".join(panels),
+        metrics=metrics,
+        paper_targets=targets,
+    )

@@ -1,0 +1,88 @@
+"""CLI entry point: run any or all of the paper's experiments.
+
+Usage::
+
+    repro-experiments --list
+    repro-experiments fig03 fig08
+    repro-experiments --all --fast
+"""
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List
+
+from repro.core.rng import DEFAULT_SEED
+from repro.experiments.common import EXPERIMENTS
+
+__all__ = ["main", "load_all_experiments", "EXPERIMENT_MODULES"]
+
+#: Every experiment module, in paper order.
+EXPERIMENT_MODULES = [
+    "table1",
+    "fig03",
+    "fig04",
+    "fig06",
+    "table2",
+    "fig07",
+    "fig08",
+    "fig09_10",
+    "fig11_12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18_19",
+    "fig20_21",
+]
+
+
+def load_all_experiments() -> None:
+    """Import every experiment module so the registry is populated."""
+    for module in EXPERIMENT_MODULES:
+        importlib.import_module(f"repro.experiments.{module}")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of Deng et al., IMC'14.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (e.g. fig08 table1)")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced sweep sizes (seconds instead of minutes)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+
+    load_all_experiments()
+    if args.list:
+        for name in EXPERIMENT_MODULES:
+            print(name)
+        return 0
+
+    names = EXPERIMENT_MODULES if args.all else args.experiments
+    if not names:
+        parser.print_help()
+        return 2
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](seed=args.seed, fast=args.fast)
+        print(result.render())
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Table 1: geographic coverage of the crowdsourced dataset.
+
+Generates the synthetic Cell vs WiFi dataset, applies the paper's
+filters, clusters runs geographically (k-means, r = 100 km), and
+prints the same columns as the paper: location, coordinates, run
+count, and the percentage of runs where LTE beat WiFi.
+"""
+
+from typing import Dict
+
+from repro.analysis.report import Table
+from repro.core.rng import DEFAULT_SEED
+from repro.crowd.app import CellVsWifiApp
+from repro.crowd.kmeans import cluster_runs
+from repro.crowd.world import TABLE1_SITES
+from repro.experiments.common import ExperimentResult, register
+
+__all__ = ["run"]
+
+
+def _nearest_site_name(cluster) -> str:
+    return min(
+        TABLE1_SITES, key=lambda site: cluster.center.distance_km(site.point)
+    ).name
+
+
+@register("table1")
+def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+    """Reproduce Table 1.  ``fast`` restricts to the 8 largest sites."""
+    sites = TABLE1_SITES[:8] if fast else TABLE1_SITES
+    app = CellVsWifiApp(seed=seed)
+    dataset = app.collect_all(sites)
+    analysis = dataset.analysis_set()
+    clusters = cluster_runs(analysis.runs, radius_km=100.0)
+
+    table = Table(
+        ["location", "(lat, long)", "# of runs", "LTE %"],
+        title="Table 1: location groups (k-means, r=100 km)",
+    )
+    metrics: Dict[str, float] = {}
+    targets: Dict[str, float] = {}
+    site_by_name = {site.name: site for site in sites}
+    for cluster in clusters:
+        name = _nearest_site_name(cluster)
+        lte_pct = 100.0 * cluster.lte_win_fraction()
+        table.add_row([
+            name,
+            f"({cluster.center.lat:.1f}, {cluster.center.lon:.1f})",
+            cluster.size,
+            f"{lte_pct:.0f}%",
+        ])
+        site = site_by_name.get(name)
+        if site is not None and site.runs >= 80:
+            key = f"lte_win_pct[{name}]"
+            metrics[key] = lte_pct
+            targets[key] = 100.0 * site.lte_win_fraction
+
+    metrics["total_filtered_runs"] = float(len(analysis))
+    targets["total_filtered_runs"] = float(sum(site.runs for site in sites))
+    metrics["cluster_count"] = float(len(clusters))
+    targets["cluster_count"] = float(len(sites))
+    metrics["raw_runs_before_filtering"] = float(len(dataset))
+
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Geographic coverage and diversity of crowd-sourced data",
+        body=table.render(),
+        metrics=metrics,
+        paper_targets=targets,
+    )

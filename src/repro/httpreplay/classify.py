@@ -1,0 +1,41 @@
+"""Short-flow vs long-flow app categorization (paper §4.2).
+
+"short-flow dominated apps have only short connections or long-lived
+connections with little data transferred.  long-flow dominated apps
+have one or multiple long-lasting flows transferring large amounts of
+data."
+"""
+
+import enum
+
+from repro.httpreplay.session import AppSession
+
+__all__ = ["FlowCategory", "classify_session", "LONG_FLOW_BYTES"]
+
+#: A connection moving at least this much is a "long flow" — several
+#: seconds of transfer at typical mobile rates.
+LONG_FLOW_BYTES = 500 * 1024
+
+#: A session is long-flow dominated when long flows carry at least
+#: this fraction of its bytes.
+LONG_FLOW_BYTE_SHARE = 0.5
+
+
+class FlowCategory(enum.Enum):
+    SHORT_FLOW_DOMINATED = "short-flow dominated"
+    LONG_FLOW_DOMINATED = "long-flow dominated"
+
+
+def classify_session(session: AppSession) -> FlowCategory:
+    """Categorize an app session per the paper's definition."""
+    total = session.total_bytes
+    if total == 0:
+        return FlowCategory.SHORT_FLOW_DOMINATED
+    long_bytes = sum(
+        connection.response_bytes
+        for connection in session.connections
+        if connection.response_bytes >= LONG_FLOW_BYTES
+    )
+    if long_bytes / total >= LONG_FLOW_BYTE_SHARE:
+        return FlowCategory.LONG_FLOW_DOMINATED
+    return FlowCategory.SHORT_FLOW_DOMINATED

@@ -1,0 +1,57 @@
+"""HTTP message model used by the record/replay machinery."""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["HttpRequest", "HttpResponse", "TIME_SENSITIVE_HEADERS"]
+
+#: Request-header fields Mahimahi's ReplayShell ignores when matching,
+#: because they "have likely changed since recording" (§4.1).
+TIME_SENSITIVE_HEADERS = frozenset({
+    "if-modified-since",
+    "if-none-match",
+    "if-unmodified-since",
+    "date",
+    "cookie",
+    "authorization",
+    "user-agent",
+    "accept-datetime",
+})
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One HTTP request."""
+
+    method: str
+    url: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body_bytes: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Approximate size on the wire (request line + headers + body)."""
+        header_bytes = sum(len(k) + len(v) + 4 for k, v in self.headers.items())
+        return len(self.method) + len(self.url) + 12 + header_bytes + self.body_bytes
+
+    def matching_key(self) -> tuple:
+        """Identity used by the replayer, time-sensitive headers removed."""
+        stable = tuple(sorted(
+            (k.lower(), v) for k, v in self.headers.items()
+            if k.lower() not in TIME_SENSITIVE_HEADERS
+        ))
+        return (self.method.upper(), self.url, stable)
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One HTTP response."""
+
+    status: int = 200
+    headers: Dict[str, str] = field(default_factory=dict)
+    body_bytes: int = 0
+
+    @property
+    def wire_bytes(self) -> int:
+        header_bytes = sum(len(k) + len(v) + 4 for k, v in self.headers.items())
+        return 17 + header_bytes + self.body_bytes

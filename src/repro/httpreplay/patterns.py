@@ -1,0 +1,211 @@
+"""Synthetic mobile-app traffic patterns (paper Fig. 17).
+
+Built to match the structure the paper reports for each app:
+
+* **CNN launch / click** — "short-flow dominated": many connections,
+  each transferring a small amount of data; some persist with trickle
+  transfers.
+* **IMDB launch** — short-flow dominated; **IMDB click** — the user
+  plays a movie trailer, downloaded in a single large HTTP request
+  (connection 30 in the paper's Fig. 17d).
+* **Dropbox launch** — a handful of tiny control connections;
+  **Dropbox click** — the user opens a PDF, fetched whole on one
+  connection (connection 8 in Fig. 17f).
+
+All sizes and offsets are drawn from seeded streams, so a given seed
+always yields the identical session.
+"""
+
+import random
+from typing import Callable, Dict, List
+
+from repro.core.rng import DEFAULT_SEED, RngStreams
+from repro.httpreplay.message import HttpRequest, HttpResponse
+from repro.httpreplay.session import AppSession, RecordedConnection, Transaction
+
+__all__ = [
+    "PATTERN_BUILDERS",
+    "dropbox_upload",
+    "cnn_launch",
+    "cnn_click",
+    "imdb_launch",
+    "imdb_click",
+    "dropbox_launch",
+    "dropbox_click",
+]
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _request(app: str, connection_id: int, index: int, rng: random.Random) -> HttpRequest:
+    return HttpRequest(
+        method="GET",
+        url=f"http://{app}.example/asset/{connection_id}/{index}",
+        headers={
+            "Host": f"{app}.example",
+            "User-Agent": "CellVsWifi-Replay/1.0",
+            "If-Modified-Since": "Thu, 01 May 2014 00:00:00 GMT",
+            "Accept": "*/*",
+        },
+        body_bytes=rng.randrange(0, 200),
+    )
+
+
+def _connection(
+    app: str,
+    connection_id: int,
+    open_offset_s: float,
+    response_sizes: List[int],
+    rng: random.Random,
+) -> RecordedConnection:
+    transactions = []
+    for index, size in enumerate(response_sizes):
+        transactions.append(Transaction(
+            request=_request(app, connection_id, index, rng),
+            response=HttpResponse(
+                status=200,
+                headers={"Content-Type": "application/octet-stream"},
+                body_bytes=size,
+            ),
+            client_think_s=0.0 if index == 0 else rng.uniform(0.05, 0.4),
+            server_think_s=rng.uniform(0.01, 0.08),
+        ))
+    return RecordedConnection(
+        connection_id=connection_id,
+        open_offset_s=open_offset_s,
+        transactions=transactions,
+    )
+
+
+def _short_flow_session(
+    name: str,
+    app: str,
+    seed: int,
+    connection_count: int,
+    size_range: (int, int) = (3 * KB, 150 * KB),
+    spread_s: float = 2.5,
+) -> AppSession:
+    rng = RngStreams(seed).fork(f"patterns.{name}").get("main")
+    connections = []
+    for cid in range(1, connection_count + 1):
+        open_offset = rng.uniform(0.0, spread_s) if cid > 1 else 0.0
+        n_txn = rng.choice([1, 1, 1, 2, 2, 3])
+        sizes = [
+            int(rng.uniform(*size_range) * rng.choice([0.2, 0.5, 1.0, 1.0]))
+            or 2 * KB
+            for _ in range(n_txn)
+        ]
+        connections.append(_connection(app, cid, open_offset, sizes, rng))
+    return AppSession(name=name, connections=connections)
+
+
+def cnn_launch(seed: int = DEFAULT_SEED) -> AppSession:
+    """CNN app launch: ~19 small connections (Fig. 17a)."""
+    return _short_flow_session("cnn_launch", "cnn", seed, connection_count=19)
+
+
+def cnn_click(seed: int = DEFAULT_SEED) -> AppSession:
+    """CNN user click: ~24 small connections (Fig. 17b)."""
+    return _short_flow_session("cnn_click", "cnn", seed, connection_count=24)
+
+
+def imdb_launch(seed: int = DEFAULT_SEED) -> AppSession:
+    """IMDB launch: ~14 small connections (Fig. 17c)."""
+    return _short_flow_session(
+        "imdb_launch", "imdb", seed, connection_count=14,
+        size_range=(2 * KB, 80 * KB),
+    )
+
+
+def imdb_click(seed: int = DEFAULT_SEED) -> AppSession:
+    """IMDB click playing a movie trailer (Fig. 17d): long-flow dominated.
+
+    Connection 30 downloads the whole trailer in one HTTP request.
+    """
+    session = _short_flow_session(
+        "imdb_click", "imdb", seed, connection_count=29,
+        size_range=(2 * KB, 60 * KB), spread_s=3.5,
+    )
+    rng = RngStreams(seed).fork("patterns.imdb_click.trailer").get("main")
+    trailer = _connection(
+        "imdb", 30, rng.uniform(1.0, 2.0),
+        [int(7.5 * MB + rng.uniform(-0.5, 0.5) * MB)], rng,
+    )
+    session.connections.append(trailer)
+    return session
+
+
+def dropbox_launch(seed: int = DEFAULT_SEED) -> AppSession:
+    """Dropbox launch: ~6 tiny control connections (Fig. 17e)."""
+    return _short_flow_session(
+        "dropbox_launch", "dropbox", seed, connection_count=6,
+        size_range=(1 * KB, 30 * KB),
+    )
+
+
+def dropbox_click(seed: int = DEFAULT_SEED) -> AppSession:
+    """Dropbox click opening a PDF (Fig. 17f): long-flow dominated.
+
+    Connection 8 downloads the whole file in one HTTP request.
+    """
+    rng = RngStreams(seed).fork("patterns.dropbox_click").get("main")
+    connections = []
+    for cid in range(1, 12 + 1):
+        open_offset = rng.uniform(0.0, 2.0) if cid > 1 else 0.0
+        if cid == 8:
+            sizes = [int(4 * MB + rng.uniform(-0.4, 0.4) * MB)]
+        else:
+            sizes = [int(rng.uniform(1 * KB, 40 * KB)) or 2 * KB]
+        connections.append(_connection("dropbox", cid, open_offset, sizes, rng))
+    return AppSession(name="dropbox_click", connections=connections)
+
+
+def dropbox_upload(seed: int = DEFAULT_SEED) -> AppSession:
+    """Dropbox photo upload (extension; not a Fig. 17 pattern).
+
+    The paper's Dropbox traces are downloads; the upload direction is
+    the natural companion workload: a couple of control connections
+    plus one connection pushing a ~2 MB photo upstream (a large
+    request body with a tiny JSON response).
+    """
+    rng = RngStreams(seed).fork("patterns.dropbox_upload").get("main")
+    connections = []
+    for cid in (1, 2):
+        sizes = [int(rng.uniform(1 * KB, 20 * KB))]
+        connections.append(_connection(
+            "dropbox", cid, 0.0 if cid == 1 else rng.uniform(0, 0.5),
+            sizes, rng,
+        ))
+    photo = Transaction(
+        request=HttpRequest(
+            method="POST",
+            url="http://dropbox.example/upload/photo",
+            headers={"Host": "dropbox.example",
+                     "Content-Type": "image/jpeg"},
+            body_bytes=int(2 * MB + rng.uniform(-0.2, 0.2) * MB),
+        ),
+        response=HttpResponse(
+            status=200,
+            headers={"Content-Type": "application/json"},
+            body_bytes=int(rng.uniform(200, 2000)),
+        ),
+        server_think_s=rng.uniform(0.05, 0.15),
+    )
+    connections.append(RecordedConnection(
+        connection_id=3, open_offset_s=rng.uniform(0.2, 0.8),
+        transactions=[photo],
+    ))
+    return AppSession(name="dropbox_upload", connections=connections)
+
+
+#: Name → builder for all six Fig. 17 patterns (the upload extension
+#: is exported separately, since it is not part of the paper's figure).
+PATTERN_BUILDERS: Dict[str, Callable[[int], AppSession]] = {
+    "cnn_launch": cnn_launch,
+    "cnn_click": cnn_click,
+    "imdb_launch": imdb_launch,
+    "imdb_click": imdb_click,
+    "dropbox_launch": dropbox_launch,
+    "dropbox_click": dropbox_click,
+}

@@ -1,0 +1,97 @@
+"""RecordShell analog: capture request/response pairs from a session.
+
+Mahimahi's RecordShell is a UNIX shell that transparently stores every
+HTTP exchange as a request/response pair on disk.  Here, recording a
+synthetic :class:`~repro.httpreplay.session.AppSession` produces a
+:class:`ReplayArchive` — the stored-pair set ReplayShell matches
+against — which can be persisted to disk as JSON (standing in for
+Mahimahi's per-exchange protobuf files).
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.errors import ReplayError
+from repro.httpreplay.message import HttpRequest, HttpResponse
+from repro.httpreplay.session import AppSession
+
+__all__ = ["ReplayArchive", "RecordShell"]
+
+
+@dataclass
+class ReplayArchive:
+    """The on-disk store of request/response pairs, in memory."""
+
+    pairs: Dict[tuple, HttpResponse] = field(default_factory=dict)
+    #: Recording order, for inspection and tests.
+    log: List[Tuple[HttpRequest, HttpResponse]] = field(default_factory=list)
+
+    def store(self, request: HttpRequest, response: HttpResponse) -> None:
+        self.pairs[request.matching_key()] = response
+        self.log.append((request, response))
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    # -- persistence (Mahimahi keeps recordings on disk) ---------------
+    def save(self, path: str) -> None:
+        """Write the archive as JSON."""
+        payload = [
+            {
+                "request": {
+                    "method": request.method,
+                    "url": request.url,
+                    "headers": dict(request.headers),
+                    "body_bytes": request.body_bytes,
+                },
+                "response": {
+                    "status": response.status,
+                    "headers": dict(response.headers),
+                    "body_bytes": response.body_bytes,
+                },
+            }
+            for request, response in self.log
+        ]
+        with open(path, "w") as handle:
+            json.dump({"format": "repro-replay-archive/1", "exchanges": payload},
+                      handle, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "ReplayArchive":
+        """Read an archive previously written by :meth:`save`."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload.get("format") != "repro-replay-archive/1":
+            raise ReplayError(f"not a replay archive: {path}")
+        archive = cls()
+        for exchange in payload["exchanges"]:
+            request = HttpRequest(
+                method=exchange["request"]["method"],
+                url=exchange["request"]["url"],
+                headers=dict(exchange["request"]["headers"]),
+                body_bytes=int(exchange["request"]["body_bytes"]),
+            )
+            response = HttpResponse(
+                status=int(exchange["response"]["status"]),
+                headers=dict(exchange["response"]["headers"]),
+                body_bytes=int(exchange["response"]["body_bytes"]),
+            )
+            archive.store(request, response)
+        return archive
+
+
+class RecordShell:
+    """Records all HTTP traffic of app sessions into an archive."""
+
+    def __init__(self) -> None:
+        self.archive = ReplayArchive()
+        self.sessions: List[AppSession] = []
+
+    def record(self, session: AppSession) -> AppSession:
+        """Run ``session`` through the recorder; returns it unchanged."""
+        for connection in session.connections:
+            for transaction in connection.transactions:
+                self.archive.store(transaction.request, transaction.response)
+        self.sessions.append(session)
+        return session

@@ -1,0 +1,41 @@
+"""ReplayShell analog: serve stored responses to matching requests.
+
+Matching ignores time-sensitive request headers (If-Modified-Since,
+cookies, …) exactly as Mahimahi's ReplayShell does, since those fields
+"have likely changed since recording".
+"""
+
+from typing import Optional
+
+from repro.core.errors import ReplayError
+from repro.httpreplay.message import HttpRequest, HttpResponse
+from repro.httpreplay.recorder import ReplayArchive
+
+__all__ = ["ReplayShell"]
+
+
+class ReplayShell:
+    """Matches incoming requests against a recorded archive."""
+
+    def __init__(self, archive: ReplayArchive):
+        self.archive = archive
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, request: HttpRequest) -> Optional[HttpResponse]:
+        """Stored response for ``request``, or ``None`` when unmatched."""
+        response = self.archive.pairs.get(request.matching_key())
+        if response is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return response
+
+    def serve(self, request: HttpRequest) -> HttpResponse:
+        """Like :meth:`lookup` but raises on a miss (strict replay)."""
+        response = self.lookup(request)
+        if response is None:
+            raise ReplayError(
+                f"no recorded response for {request.method} {request.url}"
+            )
+        return response

@@ -1,0 +1,33 @@
+"""Mahimahi-analog link emulation.
+
+The paper replays app traffic over emulated WiFi and LTE links using
+Mahimahi's trace-driven shells.  This package provides the same
+abstractions in-simulator:
+
+* :mod:`repro.linkem.traces` — synthetic LTE/WiFi delivery-opportunity
+  traces (Mahimahi file format compatible);
+* :mod:`repro.linkem.shells` — LinkShell / DelayShell / MpShell
+  equivalents that assemble :class:`~repro.scenario.Scenario` objects;
+* :mod:`repro.linkem.conditions` — the registry of 20 emulated network
+  conditions standing in for the paper's Table 2 locations.
+"""
+
+from repro.linkem.traces import synth_lte_trace, synth_wifi_trace
+from repro.linkem.shells import LinkSpec, MpShell
+from repro.linkem.conditions import (
+    LocationCondition,
+    TABLE2_LOCATIONS,
+    make_conditions,
+    build_scenario,
+)
+
+__all__ = [
+    "synth_lte_trace",
+    "synth_wifi_trace",
+    "LinkSpec",
+    "MpShell",
+    "LocationCondition",
+    "TABLE2_LOCATIONS",
+    "make_conditions",
+    "build_scenario",
+]

@@ -1,0 +1,63 @@
+"""CLI: synthesize Mahimahi-format delivery traces.
+
+Usage::
+
+    python -m repro.linkem lte 8.0 --duration-ms 8000 --out lte8.trace
+    python -m repro.linkem wifi 12.0 --contention 0.4 --out wifi12.trace
+
+The output files use Mahimahi's one-millisecond-per-line format and can
+be fed to real ``mm-link`` instances as well as back into this library
+via :meth:`repro.net.trace.DeliveryTrace.load`.
+"""
+
+import argparse
+import random
+import sys
+
+from repro.core.rng import DEFAULT_SEED
+from repro.linkem.traces import synth_lte_trace, synth_wifi_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.linkem",
+        description="Synthesize Mahimahi-format LTE/WiFi delivery traces.",
+    )
+    parser.add_argument("technology", choices=["lte", "wifi"])
+    parser.add_argument("mean_mbps", type=float,
+                        help="target long-run rate in Mbit/s")
+    parser.add_argument("--duration-ms", type=int, default=8000,
+                        help="trace period before it loops (default 8000)")
+    parser.add_argument("--volatility", type=float, default=0.15,
+                        help="LTE rate-walk volatility (default 0.15)")
+    parser.add_argument("--contention", type=float, default=0.3,
+                        help="WiFi busy-channel duty cycle (default 0.3)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--out", default="-",
+                        help="output path, or '-' for stdout")
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    if args.technology == "lte":
+        trace = synth_lte_trace(rng, args.mean_mbps,
+                                duration_ms=args.duration_ms,
+                                volatility=args.volatility)
+    else:
+        trace = synth_wifi_trace(rng, args.mean_mbps,
+                                 duration_ms=args.duration_ms,
+                                 contention=args.contention)
+
+    if args.out == "-":
+        for offset in trace.offsets_ms:
+            print(offset)
+    else:
+        trace.save(args.out)
+        print(f"wrote {len(trace)} opportunities "
+              f"(~{trace.mean_rate_mbps:.2f} Mbit/s, "
+              f"{trace.period_ms} ms period) to {args.out}",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

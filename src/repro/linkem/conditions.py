@@ -1,0 +1,166 @@
+"""The registry of 20 emulated network conditions (paper Table 2).
+
+The paper measured at 20 locations across 7 US cities, then reused the
+recorded traces as the 20 "network conditions" of the replay study
+(§5).  We synthesize 20 conditions whose joint WiFi/LTE statistics are
+calibrated against the paper's published aggregates:
+
+* the CDF of ``Tput(WiFi) − Tput(LTE)`` spans roughly −15…+25 Mbit/s
+  with LTE winning ~40 % of the time (Figs. 3 and 6);
+* LTE RTTs are usually, but not always, higher than WiFi (Fig. 4);
+* LTE links carry deep buffers (bufferbloat) and negligible channel
+  loss; WiFi links have shallower buffers and bursty contention loss.
+
+Condition IDs follow the paper's presentation convention: IDs 1 and 2
+are the strongest WiFi-advantage locations, IDs 3 and 4 the strongest
+LTE-advantage ones (cf. Figs. 18 and 20), and 5–20 cover the middle.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.rng import DEFAULT_SEED, RngStreams
+from repro.linkem.shells import LinkSpec, MpShell
+from repro.scenario import Scenario
+
+__all__ = [
+    "TABLE2_LOCATIONS",
+    "LocationCondition",
+    "make_conditions",
+    "build_scenario",
+]
+
+#: (city, description) rows exactly as printed in the paper's Table 2.
+TABLE2_LOCATIONS: List[Tuple[str, str]] = [
+    ("Amherst, MA", "University Campus, Indoor"),
+    ("Amherst, MA", "University Campus, Outdoor"),
+    ("Amherst, MA", "Cafe, Indoor"),
+    ("Amherst, MA", "Downtown, Outdoor"),
+    ("Amherst, MA", "Apartment, Indoor"),
+    ("Boston, MA", "Cafe, Indoor"),
+    ("Boston, MA", "Shopping Mall, Indoor"),
+    ("Boston, MA", "Subway, Outdoor"),
+    ("Boston, MA", "Airport, Indoor"),
+    ("Boston, MA", "Apartment, Indoor"),
+    ("Boston, MA", "Cafe, Indoor"),
+    ("Boston, MA", "Downtown, Outdoor"),
+    ("Boston, MA", "Store, Indoor"),
+    ("Santa Barbara, CA", "Hotel Lobby, Indoor"),
+    ("Santa Barbara, CA", "Hotel Room, Indoor"),
+    ("Santa Barbara, CA", "Conference Room, Indoor"),
+    ("Los Angeles, CA", "Airport, Indoor"),
+    ("Washington, D.C.", "Hotel Room, Indoor"),
+    ("Princeton, NJ", "Hotel Room, Indoor"),
+    ("Philadelphia, PA", "Hotel Room, Indoor"),
+]
+
+#: Locations (by final condition id) where both carriers and both
+#: congestion-control algorithms were measured (§3.5: "at 7 of the 20
+#: locations").
+DUAL_CC_CONDITION_IDS = (1, 2, 3, 4, 5, 6, 7)
+
+
+@dataclass
+class LocationCondition:
+    """One emulated measurement location."""
+
+    condition_id: int
+    city: str
+    description: str
+    wifi: LinkSpec
+    lte: LinkSpec
+
+    @property
+    def wifi_advantage_mbps(self) -> float:
+        """Nominal Tput(WiFi) − Tput(LTE) on the downlink."""
+        return self.wifi.down_mbps - self.lte.down_mbps
+
+    def shell(self, seed: int = DEFAULT_SEED) -> MpShell:
+        """The MpShell emulating this location."""
+        return MpShell(wifi=self.wifi, lte=self.lte, seed=seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"LocationCondition(#{self.condition_id} {self.city}: "
+            f"wifi {self.wifi.down_mbps:.1f}/{self.wifi.up_mbps:.1f} Mbps "
+            f"{self.wifi.rtt_ms:.0f} ms, "
+            f"lte {self.lte.down_mbps:.1f}/{self.lte.up_mbps:.1f} Mbps "
+            f"{self.lte.rtt_ms:.0f} ms)"
+        )
+
+
+def _lognormal(rng, median: float, sigma: float, lo: float, hi: float) -> float:
+    value = median * (2.718281828459045 ** (sigma * rng.gauss(0.0, 1.0)))
+    return min(max(value, lo), hi)
+
+
+def make_conditions(
+    seed: int = DEFAULT_SEED,
+    count: int = 20,
+    trace_driven: bool = False,
+    temporal_sigma: float = 0.0,
+) -> List[LocationCondition]:
+    """Generate the emulated-location registry.
+
+    Deterministic for a given ``seed``.  With ``trace_driven=True``
+    the resulting scenarios use synthesized delivery-opportunity traces
+    instead of fixed-rate links (slower but more faithful).
+    ``temporal_sigma`` adds run-to-run rate variation (redrawn per
+    scenario seed), modelling that the paper's configurations were
+    measured at different moments.
+    """
+    streams = RngStreams(seed).fork("linkem.conditions")
+    raw: List[Tuple[float, LinkSpec, LinkSpec]] = []
+    for index in range(count):
+        rng = streams.get(f"location.{index}")
+        wifi_down = _lognormal(rng, 9.0, 0.85, 0.8, 45.0)
+        lte_down = _lognormal(rng, 7.0, 0.70, 0.7, 35.0)
+        wifi = LinkSpec(
+            technology="wifi",
+            down_mbps=wifi_down,
+            up_mbps=max(0.5, wifi_down * rng.uniform(0.35, 0.7)),
+            rtt_ms=_lognormal(rng, 30.0, 0.55, 8.0, 350.0),
+            loss_rate=rng.choice([0.0, 0.001, 0.002, 0.004, 0.006]),
+            queue_packets=rng.choice([100, 150, 250]),
+            trace_driven=trace_driven,
+            temporal_sigma=temporal_sigma,
+        )
+        lte = LinkSpec(
+            technology="lte",
+            down_mbps=lte_down,
+            up_mbps=max(0.4, lte_down * rng.uniform(0.3, 0.6)),
+            rtt_ms=_lognormal(rng, 90.0, 0.45, 30.0, 450.0),
+            loss_rate=rng.choice([0.0, 0.0, 0.0005, 0.001]),
+            queue_packets=rng.choice([500, 800, 1200]),
+            trace_driven=trace_driven,
+            temporal_sigma=temporal_sigma,
+        )
+        raw.append((wifi.down_mbps - lte.down_mbps, wifi, lte))
+
+    # Paper-style IDs: 1–2 strongest WiFi advantage, 3–4 strongest LTE
+    # advantage, 5–20 in descending WiFi-advantage order.
+    by_advantage = sorted(raw, key=lambda item: -item[0])
+    ordered = (
+        by_advantage[:2] + by_advantage[-2:][::-1] + by_advantage[2:-2]
+    )
+    conditions = []
+    for condition_id, (_, wifi, lte) in enumerate(ordered, start=1):
+        city, description = TABLE2_LOCATIONS[(condition_id - 1) % len(TABLE2_LOCATIONS)]
+        conditions.append(
+            LocationCondition(
+                condition_id=condition_id,
+                city=city,
+                description=description,
+                wifi=wifi,
+                lte=lte,
+            )
+        )
+    return conditions
+
+
+def build_scenario(
+    condition: LocationCondition, seed: Optional[int] = None
+) -> Scenario:
+    """Fresh scenario (event loop + wifi/lte paths) for one condition."""
+    shell = condition.shell(seed=seed if seed is not None else DEFAULT_SEED)
+    return shell.build()

@@ -1,0 +1,123 @@
+"""Mahimahi-style shells assembled on top of the simulator.
+
+Mahimahi composes a network out of nested shells (``mm-delay`` inside
+``mm-link`` …).  Here a :class:`LinkSpec` declares one emulated
+interface (rate or trace, delay, buffer, loss) and :class:`MpShell`
+— the paper's multi-link extension — assembles a
+:class:`~repro.scenario.Scenario` exposing a ``wifi`` and an ``lte``
+path, ready to carry TCP or MPTCP connections.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import DEFAULT_SEED, RngStreams
+from repro.linkem.traces import synth_lte_trace, synth_wifi_trace
+from repro.net.path import PathConfig
+from repro.scenario import Scenario
+
+__all__ = ["LinkSpec", "MpShell"]
+
+
+@dataclass
+class LinkSpec:
+    """Declarative description of one emulated interface.
+
+    ``technology`` selects the trace synthesizer ("wifi" or "lte")
+    when ``trace_driven`` is set; otherwise the link is fixed-rate.
+    """
+
+    technology: str
+    down_mbps: float
+    up_mbps: float
+    rtt_ms: float
+    loss_rate: float = 0.0
+    queue_packets: int = 250
+    trace_driven: bool = False
+    #: Log-sigma of run-to-run rate variation.  The paper measured its
+    #: configurations *sequentially* (one multi-homed client), so every
+    #: pairwise comparison includes the network's temporal variability;
+    #: a fresh scenario seed redraws the link's effective rate.
+    temporal_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.technology not in ("wifi", "lte"):
+            raise ConfigurationError(
+                f"technology must be 'wifi' or 'lte': {self.technology!r}"
+            )
+        if self.down_mbps <= 0 or self.up_mbps <= 0:
+            raise ConfigurationError("link rates must be positive")
+        if self.temporal_sigma < 0:
+            raise ConfigurationError("temporal_sigma must be >= 0")
+
+    def to_path_config(self, name: str, rng_streams: RngStreams) -> PathConfig:
+        """Materialize this spec as a path configuration."""
+        import math
+
+        factor = 1.0
+        rtt_factor = 1.0
+        if self.temporal_sigma > 0:
+            jitter_rng = rng_streams.get(f"jitter.{name}")
+            factor = math.exp(self.temporal_sigma * jitter_rng.gauss(0.0, 1.0))
+            # Delays vary between runs too (load-dependent queueing in
+            # the access network), though less than rates do.
+            rtt_factor = math.exp(
+                0.6 * self.temporal_sigma * jitter_rng.gauss(0.0, 1.0)
+            )
+        down_mbps = self.down_mbps * factor
+        up_mbps = self.up_mbps * factor
+        rtt_ms = self.rtt_ms * rtt_factor
+        down_trace = up_trace = None
+        if self.trace_driven:
+            rng = rng_streams.get(f"trace.{name}")
+            if self.technology == "lte":
+                down_trace = synth_lte_trace(rng, down_mbps)
+                up_trace = synth_lte_trace(rng, up_mbps)
+            else:
+                down_trace = synth_wifi_trace(rng, down_mbps)
+                up_trace = synth_wifi_trace(rng, up_mbps)
+        return PathConfig(
+            name=name,
+            up_mbps=up_mbps,
+            down_mbps=down_mbps,
+            rtt_ms=rtt_ms,
+            up_trace=up_trace,
+            down_trace=down_trace,
+            queue_packets=self.queue_packets,
+            loss_rate=self.loss_rate,
+        )
+
+
+class MpShell:
+    """The paper's multi-link shell: one WiFi and one LTE interface.
+
+    >>> shell = MpShell(
+    ...     wifi=LinkSpec("wifi", down_mbps=12, up_mbps=6, rtt_ms=35),
+    ...     lte=LinkSpec("lte", down_mbps=9, up_mbps=4, rtt_ms=80),
+    ... )
+    >>> scenario = shell.build()
+    >>> sorted(scenario.path_names)
+    ['lte', 'wifi']
+    """
+
+    def __init__(
+        self,
+        wifi: LinkSpec,
+        lte: LinkSpec,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        self.wifi = wifi
+        self.lte = lte
+        self.seed = seed
+
+    def build(self, seed: Optional[int] = None) -> Scenario:
+        """Assemble a fresh scenario (new event loop, new links)."""
+        scenario = Scenario(seed=seed if seed is not None else self.seed)
+        scenario.add_path(self.wifi.to_path_config("wifi", scenario.rng))
+        scenario.add_path(self.lte.to_path_config("lte", scenario.rng))
+        return scenario
+
+    @property
+    def specs(self) -> Dict[str, LinkSpec]:
+        return {"wifi": self.wifi, "lte": self.lte}

@@ -1,0 +1,124 @@
+"""Synthetic delivery-opportunity traces for LTE and WiFi links.
+
+The paper drove Mahimahi with packet-delivery traces recorded from real
+radios.  With no radios here, we synthesize traces whose second-order
+structure matches the technologies' published behaviour:
+
+* **LTE** — a per-millisecond scheduler grant whose rate wanders as a
+  mean-reverting random walk (shadowing + scheduler share), so
+  throughput varies on ~100 ms–1 s timescales but rarely drops to zero.
+* **WiFi** — 802.11 contention: alternating clear/contended periods
+  (two-state Markov), with full aggregate rate when clear and a small
+  share when contended, yielding the bursty on/off delivery pattern
+  characteristic of busy APs.
+"""
+
+import random
+from typing import List
+
+from repro.core.errors import ConfigurationError
+from repro.net.trace import BYTES_PER_OPPORTUNITY, DeliveryTrace
+
+__all__ = ["synth_lte_trace", "synth_wifi_trace"]
+
+
+def _opportunities_from_rates(
+    per_ms_rates: List[float], rng: random.Random
+) -> List[int]:
+    """Turn a per-millisecond expected-opportunity series into timestamps.
+
+    Uses an accumulator (error diffusion) plus Bernoulli jitter so the
+    long-run rate is exact while individual milliseconds vary.
+    """
+    opportunities: List[int] = []
+    credit = 0.0
+    for ms, rate in enumerate(per_ms_rates, start=1):
+        credit += rate
+        whole = int(credit)
+        credit -= whole
+        # Probabilistically round the fractional remainder.
+        if credit > 0 and rng.random() < credit:
+            whole += 1
+            credit -= 1.0
+        opportunities.extend([ms] * whole)
+    return opportunities
+
+
+def _mbps_to_opps_per_ms(mbps: float) -> float:
+    return mbps * 1e6 / 8.0 / 1000.0 / BYTES_PER_OPPORTUNITY
+
+
+def synth_lte_trace(
+    rng: random.Random,
+    mean_mbps: float,
+    duration_ms: int = 4000,
+    volatility: float = 0.15,
+) -> DeliveryTrace:
+    """Synthesize an LTE-like delivery trace.
+
+    The instantaneous rate follows a mean-reverting log random walk
+    around ``mean_mbps``, updated every 50 ms (a typical fading /
+    scheduler-share timescale).
+    """
+    if mean_mbps <= 0:
+        raise ConfigurationError(f"mean_mbps must be positive: {mean_mbps}")
+    step_ms = 50
+    rates: List[float] = []
+    level = 1.0
+    for _ in range(0, duration_ms, step_ms):
+        level += volatility * rng.gauss(0.0, 1.0) - 0.3 * (level - 1.0)
+        level = min(max(level, 0.15), 3.0)
+        rates.extend([_mbps_to_opps_per_ms(mean_mbps * level)] * step_ms)
+    rates = rates[:duration_ms]
+    opportunities = _opportunities_from_rates(rates, rng)
+    if not opportunities or opportunities[-1] != duration_ms:
+        # Anchor the period so the Mahimahi file format (which infers
+        # the period from the last line) round-trips exactly.
+        opportunities.append(duration_ms)
+    return DeliveryTrace(opportunities, period_ms=duration_ms)
+
+
+def synth_wifi_trace(
+    rng: random.Random,
+    mean_mbps: float,
+    duration_ms: int = 4000,
+    contention: float = 0.3,
+) -> DeliveryTrace:
+    """Synthesize a WiFi-like delivery trace.
+
+    ``contention`` is the long-run fraction of time the channel is
+    busy with other stations; during contended periods this station
+    gets 15 % of the clear-channel rate.  The clear-channel rate is
+    chosen so the long-run mean equals ``mean_mbps``.
+    """
+    if mean_mbps <= 0:
+        raise ConfigurationError(f"mean_mbps must be positive: {mean_mbps}")
+    if not 0.0 <= contention < 1.0:
+        raise ConfigurationError(f"contention out of range: {contention}")
+    contended_share = 0.15
+    clear_rate = mean_mbps / ((1 - contention) + contention * contended_share)
+    # Mean sojourn times: ~100 ms clear bursts, scaled to hit the duty cycle.
+    mean_clear_ms = 100.0
+    mean_busy_ms = (
+        mean_clear_ms * contention / max(1 - contention, 1e-6)
+        if contention > 0
+        else 0.0
+    )
+    rates: List[float] = []
+    busy = False
+    remaining = 0
+    while len(rates) < duration_ms:
+        if remaining <= 0:
+            busy = not busy if rates else (rng.random() < contention)
+            mean_sojourn = mean_busy_ms if busy else mean_clear_ms
+            if mean_sojourn <= 0:
+                busy = False
+                mean_sojourn = mean_clear_ms
+            remaining = max(1, int(rng.expovariate(1.0 / mean_sojourn)))
+        rate = clear_rate * (contended_share if busy else 1.0)
+        rates.append(_mbps_to_opps_per_ms(rate))
+        remaining -= 1
+    opportunities = _opportunities_from_rates(rates[:duration_ms], rng)
+    if not opportunities or opportunities[-1] != duration_ms:
+        opportunities.append(duration_ms)
+    return DeliveryTrace(opportunities, period_ms=duration_ms)

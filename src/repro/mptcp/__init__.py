@@ -1,0 +1,36 @@
+"""Multipath TCP over multiple client interfaces.
+
+The model matches the Linux MPTCP v0.88 implementation measured in the
+paper: the *primary subflow* is established first on the interface
+chosen by the client; the second interface joins (MP_JOIN) only after
+the primary handshake completes.  Congestion control is either
+*decoupled* (independent Reno per subflow) or *coupled* (RFC 6356 LIA),
+and the connection runs in Full-MPTCP, Backup, or Single-Path mode.
+"""
+
+from repro.mptcp.scheduler import (
+    Scheduler,
+    MinRttScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.mptcp.connection import MptcpConnection, MptcpOptions
+from repro.mptcp.events import (
+    schedule_multipath_off,
+    schedule_multipath_on,
+    schedule_unplug,
+    schedule_replug,
+)
+
+__all__ = [
+    "Scheduler",
+    "MinRttScheduler",
+    "RoundRobinScheduler",
+    "make_scheduler",
+    "MptcpConnection",
+    "MptcpOptions",
+    "schedule_multipath_off",
+    "schedule_multipath_on",
+    "schedule_unplug",
+    "schedule_replug",
+]

@@ -1,0 +1,60 @@
+"""Failure-injection helpers for the §3.6 experiments.
+
+The paper disables interfaces in two ways with different observable
+behaviour:
+
+* ``iproute "multipath off"`` — the stack is notified and fails over
+  (Figs. 15e, 15f).  Model: :func:`schedule_multipath_off`.
+* physically unplugging the tethered phone — by default nothing is
+  notified and packets silently vanish (Fig. 15g's stall).  The paper
+  also observed one case (Fig. 15h, WiFi unplugged) where the kernel
+  *did* notice immediately; pass ``detected=True`` to model that.
+"""
+
+from repro.core.events import EventLoop
+from repro.net.path import Path
+
+__all__ = [
+    "schedule_multipath_off",
+    "schedule_multipath_on",
+    "schedule_unplug",
+    "schedule_replug",
+]
+
+
+def schedule_multipath_off(loop: EventLoop, path: Path, at: float) -> None:
+    """Administratively remove ``path`` at time ``at`` (stack notified)."""
+    loop.call_at(at, path.set_multipath_off)
+
+
+def schedule_multipath_on(loop: EventLoop, path: Path, at: float) -> None:
+    """Administratively restore ``path`` at time ``at``."""
+    loop.call_at(at, path.set_multipath_on)
+
+
+def schedule_unplug(
+    loop: EventLoop, path: Path, at: float, detected: bool = False
+) -> None:
+    """Physically disconnect ``path`` at time ``at``.
+
+    With ``detected=False`` (the Fig. 15g case) packets blackhole and
+    no endpoint learns anything.  With ``detected=True`` (the Fig. 15h
+    case) the netdev removal also raises the administrative signal, so
+    MPTCP fails over immediately.
+    """
+
+    def _unplug() -> None:
+        path.unplug()
+        if detected:
+            path.set_multipath_off()
+
+    loop.call_at(at, _unplug)
+
+
+def schedule_replug(loop: EventLoop, path: Path, at: float) -> None:
+    """Reconnect a previously unplugged ``path`` at time ``at``.
+
+    Reconnection is silent, exactly like the unplug: retransmission
+    timers discover the restored connectivity.
+    """
+    loop.call_at(at, path.replug)

@@ -1,0 +1,29 @@
+"""Network substrate: queues, links, loss models, paths.
+
+These components implement the data plane the transport stacks run
+over.  A :class:`~repro.net.path.Path` bundles an uplink and a downlink
+(:class:`~repro.net.link.Link` subclasses), each with a DropTail queue,
+a rate model (fixed-rate or Mahimahi-style delivery-opportunity trace),
+a propagation delay, and an optional stochastic loss model.
+"""
+
+from repro.net.queue import DropTailQueue, QueueStats
+from repro.net.loss import LossModel, NoLoss, BernoulliLoss, GilbertElliottLoss
+from repro.net.trace import DeliveryTrace
+from repro.net.link import Link, FixedRateLink, TraceDrivenLink
+from repro.net.path import Path, PathConfig
+
+__all__ = [
+    "DropTailQueue",
+    "QueueStats",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "DeliveryTrace",
+    "Link",
+    "FixedRateLink",
+    "TraceDrivenLink",
+    "Path",
+    "PathConfig",
+]

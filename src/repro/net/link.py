@@ -1,0 +1,199 @@
+"""Unidirectional link models.
+
+A link accepts packets from an endpoint (``send``), queues them in a
+DropTail buffer, serializes them according to its rate model, applies
+propagation delay, and hands them to its connected sink.  Two rate
+models are provided:
+
+* :class:`FixedRateLink` — constant bit-rate serialization.
+* :class:`TraceDrivenLink` — Mahimahi semantics: one packet may depart
+  per delivery opportunity of a looping :class:`~repro.net.trace.DeliveryTrace`.
+
+Links also expose the failure knobs used in §3.6 of the paper: an
+administrative ``up`` flag (iproute "multipath off") and a ``blackhole``
+flag (physically unplugging the tethered phone — packets vanish with no
+signal to the endpoint).
+"""
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional
+
+from repro.core.errors import ConfigurationError, SimulationError
+from repro.core.events import EventLoop
+from repro.core.packet import Packet
+from repro.net.loss import LossModel, NoLoss
+from repro.net.queue import DropTailQueue
+from repro.net.trace import DeliveryTrace
+
+__all__ = ["Link", "FixedRateLink", "TraceDrivenLink"]
+
+PacketSink = Callable[[Packet], None]
+PacketObserver = Callable[[Packet, float], None]
+
+
+class Link(ABC):
+    """Common queueing/delivery machinery for unidirectional links."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str = "link",
+        propagation_delay_s: float = 0.0,
+        queue: Optional[DropTailQueue] = None,
+        loss: Optional[LossModel] = None,
+    ) -> None:
+        if propagation_delay_s < 0:
+            raise ConfigurationError(
+                f"negative propagation delay: {propagation_delay_s}"
+            )
+        self.loop = loop
+        self.name = name
+        self.propagation_delay_s = propagation_delay_s
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.loss = loss if loss is not None else NoLoss()
+        self.up = True
+        self.blackhole = False
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.channel_drops = 0
+        self.blackholed_packets = 0
+        self._sink: Optional[PacketSink] = None
+        #: Called with (packet, time) when a packet starts transmission.
+        self.on_transmit: List[PacketObserver] = []
+        #: Called with (packet, time) when a packet reaches the sink.
+        self.on_deliver: List[PacketObserver] = []
+
+    def connect(self, sink: PacketSink) -> None:
+        """Attach the receiving endpoint."""
+        self._sink = sink
+
+    def send(self, packet: Packet) -> None:
+        """Entry point for endpoints: queue ``packet`` for transmission."""
+        if self._sink is None:
+            raise SimulationError(f"link {self.name} has no connected sink")
+        if self.blackhole or not self.up:
+            self.blackholed_packets += 1
+            return
+        if self.loss.should_drop(packet):
+            self.channel_drops += 1
+            return
+        if packet.sent_at < 0:
+            # Stamp at enqueue so RTT samples include queueing delay.
+            packet.sent_at = self.loop.now
+        if self.queue.offer(packet):
+            self._on_enqueue()
+
+    def _emit_transmit(self, packet: Packet) -> None:
+        now = self.loop.now
+        if packet.sent_at < 0:
+            packet.sent_at = now
+        for observer in self.on_transmit:
+            observer(packet, now)
+
+    def _deliver_after_propagation(self, packet: Packet) -> None:
+        self.loop.call_later(self.propagation_delay_s, lambda: self._deliver(packet))
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.blackhole:
+            # The phone was unplugged while this packet was in flight.
+            self.blackholed_packets += 1
+            return
+        assert self._sink is not None
+        now = self.loop.now
+        packet.delivered_at = now
+        self.delivered_packets += 1
+        self.delivered_bytes += packet.wire_bytes
+        for observer in self.on_deliver:
+            observer(packet, now)
+        self._sink(packet)
+
+    @abstractmethod
+    def _on_enqueue(self) -> None:
+        """Kick the rate model after a successful enqueue."""
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        if self.blackhole:
+            state = "blackhole"
+        return f"{type(self).__name__}({self.name}, {state}, q={len(self.queue)})"
+
+
+class FixedRateLink(Link):
+    """Constant-bit-rate link: serialization time = wire bytes / rate."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rate_mbps: float,
+        name: str = "link",
+        propagation_delay_s: float = 0.0,
+        queue: Optional[DropTailQueue] = None,
+        loss: Optional[LossModel] = None,
+    ) -> None:
+        super().__init__(loop, name, propagation_delay_s, queue, loss)
+        if rate_mbps <= 0:
+            raise ConfigurationError(f"rate must be positive: {rate_mbps}")
+        self.rate_bytes_per_sec = rate_mbps * 1e6 / 8.0
+        self._transmitting = False
+
+    def _on_enqueue(self) -> None:
+        if not self._transmitting:
+            self._start_transmission()
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.poll()
+        if packet is None:
+            return
+        self._transmitting = True
+        self._emit_transmit(packet)
+        tx_time = packet.wire_bytes / self.rate_bytes_per_sec
+        self.loop.call_later(tx_time, lambda: self._finish_transmission(packet))
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self._transmitting = False
+        self._deliver_after_propagation(packet)
+        if not self.queue.empty:
+            self._start_transmission()
+
+
+class TraceDrivenLink(Link):
+    """Mahimahi-style link: one packet departs per delivery opportunity.
+
+    Opportunities that arrive while the queue is empty are wasted, as in
+    a real radio scheduler grant that goes unused.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        trace: DeliveryTrace,
+        name: str = "link",
+        propagation_delay_s: float = 0.0,
+        queue: Optional[DropTailQueue] = None,
+        loss: Optional[LossModel] = None,
+    ) -> None:
+        super().__init__(loop, name, propagation_delay_s, queue, loss)
+        self.trace = trace
+        self._opportunity_scheduled = False
+
+    def _on_enqueue(self) -> None:
+        if not self._opportunity_scheduled:
+            self._schedule_next_opportunity()
+
+    def _schedule_next_opportunity(self) -> None:
+        next_time, count = self.trace.next_opportunity_with_count_after(
+            self.loop.now
+        )
+        self._opportunity_scheduled = True
+        self.loop.call_at(next_time, lambda: self._opportunity(count))
+
+    def _opportunity(self, count: int) -> None:
+        self._opportunity_scheduled = False
+        for _ in range(count):
+            packet = self.queue.poll()
+            if packet is None:
+                break
+            self._emit_transmit(packet)
+            self._deliver_after_propagation(packet)
+        if not self.queue.empty:
+            self._schedule_next_opportunity()

@@ -1,0 +1,84 @@
+"""Stochastic packet-loss models applied at link egress.
+
+Loss here models channel effects (interference, handover glitches) as
+opposed to congestive drops, which come from the DropTail queue.
+"""
+
+import random
+from abc import ABC, abstractmethod
+
+from repro.core.errors import ConfigurationError
+from repro.core.packet import Packet
+
+__all__ = ["LossModel", "NoLoss", "BernoulliLoss", "GilbertElliottLoss"]
+
+
+class LossModel(ABC):
+    """Decides, per packet, whether the channel corrupts it."""
+
+    @abstractmethod
+    def should_drop(self, packet: Packet) -> bool:
+        """Return True if ``packet`` is lost in the channel."""
+
+
+class NoLoss(LossModel):
+    """A perfect channel."""
+
+    def should_drop(self, packet: Packet) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with fixed probability ``p``."""
+
+    def __init__(self, p: float, rng: random.Random):
+        if not 0.0 <= p < 1.0:
+            raise ConfigurationError(f"loss probability out of range: {p}")
+        self.p = p
+        self._rng = rng
+
+    def should_drop(self, packet: Packet) -> bool:
+        return self.p > 0 and self._rng.random() < self.p
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (Gilbert–Elliott).
+
+    The channel alternates between a Good state (loss ``p_good``) and a
+    Bad state (loss ``p_bad``).  Transition probabilities are evaluated
+    per packet, which approximates bursty WiFi interference well enough
+    for the flow-level behaviours studied here.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        p_good_to_bad: float = 0.005,
+        p_bad_to_good: float = 0.2,
+        p_good: float = 0.0,
+        p_bad: float = 0.3,
+    ) -> None:
+        for name, value in [
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+        ]:
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} out of range: {value}")
+        self._rng = rng
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.p_good = p_good
+        self.p_bad = p_bad
+        self.in_bad_state = False
+
+    def should_drop(self, packet: Packet) -> bool:
+        if self.in_bad_state:
+            if self._rng.random() < self.p_bad_to_good:
+                self.in_bad_state = False
+        else:
+            if self._rng.random() < self.p_good_to_bad:
+                self.in_bad_state = True
+        p = self.p_bad if self.in_bad_state else self.p_good
+        return p > 0 and self._rng.random() < p

@@ -1,0 +1,178 @@
+"""Bidirectional paths (one per client interface).
+
+A :class:`Path` bundles an uplink and a downlink and carries the
+failure semantics the paper exercises in §3.6:
+
+* ``set_multipath_off()`` — administrative removal (iproute
+  "multipath off"): the endpoint is *notified* and can fail over.
+* ``unplug()`` — physical disconnection of the tethered phone: packets
+  silently blackhole and nothing is notified, reproducing the stalled
+  transfer of Fig. 15g.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.events import EventLoop
+from repro.net.link import FixedRateLink, Link, TraceDrivenLink
+from repro.net.loss import BernoulliLoss, LossModel, NoLoss
+from repro.net.queue import DropTailQueue
+from repro.net.trace import DeliveryTrace
+
+__all__ = ["PathConfig", "Path"]
+
+
+@dataclass
+class PathConfig:
+    """Declarative description of a path.
+
+    Either fixed rates (``up_mbps``/``down_mbps``) or delivery traces
+    (``up_trace``/``down_trace``) may be given per direction; a trace
+    takes precedence when both are set.
+    """
+
+    name: str = "path"
+    up_mbps: float = 10.0
+    down_mbps: float = 10.0
+    rtt_ms: float = 40.0
+    up_trace: Optional[DeliveryTrace] = None
+    down_trace: Optional[DeliveryTrace] = None
+    queue_packets: int = 250
+    loss_rate: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rtt_ms < 0:
+            raise ConfigurationError(f"negative RTT: {self.rtt_ms}")
+        if self.up_trace is None and self.up_mbps <= 0:
+            raise ConfigurationError(f"up_mbps must be positive: {self.up_mbps}")
+        if self.down_trace is None and self.down_mbps <= 0:
+            raise ConfigurationError(f"down_mbps must be positive: {self.down_mbps}")
+
+    @property
+    def effective_down_mbps(self) -> float:
+        """Mean downlink rate regardless of rate model."""
+        if self.down_trace is not None:
+            return self.down_trace.mean_rate_mbps
+        return self.down_mbps
+
+    @property
+    def effective_up_mbps(self) -> float:
+        """Mean uplink rate regardless of rate model."""
+        if self.up_trace is not None:
+            return self.up_trace.mean_rate_mbps
+        return self.up_mbps
+
+
+class Path:
+    """A client interface's bidirectional connectivity to the server."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: PathConfig,
+        loss_model: Optional[LossModel] = None,
+        loss_rng=None,
+    ) -> None:
+        self.loop = loop
+        self.config = config
+        self.name = config.name
+        one_way = config.rtt_ms / 2.0 / 1000.0
+
+        if loss_model is not None:
+            up_loss: LossModel = loss_model
+            down_loss: LossModel = loss_model
+        elif config.loss_rate > 0:
+            if loss_rng is None:
+                raise ConfigurationError(
+                    "loss_rate set but no RNG provided for the loss model"
+                )
+            up_loss = BernoulliLoss(config.loss_rate, loss_rng)
+            down_loss = BernoulliLoss(config.loss_rate, loss_rng)
+        else:
+            up_loss = NoLoss()
+            down_loss = NoLoss()
+
+        self.uplink = self._build_link(
+            direction="up",
+            trace=config.up_trace,
+            mbps=config.up_mbps,
+            delay=one_way,
+            loss=up_loss,
+        )
+        self.downlink = self._build_link(
+            direction="down",
+            trace=config.down_trace,
+            mbps=config.down_mbps,
+            delay=one_way,
+            loss=down_loss,
+        )
+        #: Callbacks invoked with this path when it is administratively
+        #: removed or restored (the "multipath off/on" signal).
+        self.on_admin_change: List[Callable[["Path"], None]] = []
+
+    def _build_link(self, direction: str, trace, mbps, delay, loss) -> Link:
+        name = f"{self.name}.{direction}"
+        queue = DropTailQueue(max_packets=self.config.queue_packets)
+        if trace is not None:
+            return TraceDrivenLink(
+                self.loop, trace, name=name, propagation_delay_s=delay,
+                queue=queue, loss=loss,
+            )
+        return FixedRateLink(
+            self.loop, mbps, name=name, propagation_delay_s=delay,
+            queue=queue, loss=loss,
+        )
+
+    @property
+    def admin_up(self) -> bool:
+        """Whether the path is administratively enabled."""
+        return self.uplink.up and self.downlink.up
+
+    @property
+    def unplugged(self) -> bool:
+        """Whether the path is physically disconnected (blackholing)."""
+        return self.uplink.blackhole or self.downlink.blackhole
+
+    @property
+    def usable(self) -> bool:
+        """Whether new packets sent on this path can reach the far side."""
+        return self.admin_up and not self.unplugged
+
+    def set_multipath_off(self) -> None:
+        """Administratively remove the path; endpoints are notified."""
+        self.uplink.up = False
+        self.downlink.up = False
+        for callback in list(self.on_admin_change):
+            callback(self)
+
+    def set_multipath_on(self) -> None:
+        """Administratively restore the path; endpoints are notified."""
+        self.uplink.up = True
+        self.downlink.up = True
+        for callback in list(self.on_admin_change):
+            callback(self)
+
+    def unplug(self) -> None:
+        """Silently blackhole both directions (no notification).
+
+        Queued packets are discarded as well — they were sitting in the
+        phone that just got disconnected.
+        """
+        self.uplink.blackhole = True
+        self.downlink.blackhole = True
+        self.uplink.queue.clear()
+        self.downlink.queue.clear()
+
+    def replug(self) -> None:
+        """Silently restore a blackholed path (still no notification)."""
+        self.uplink.blackhole = False
+        self.downlink.blackhole = False
+
+    def __repr__(self) -> str:
+        return (
+            f"Path({self.name}, up={self.config.effective_up_mbps:.1f}Mbps, "
+            f"down={self.config.effective_down_mbps:.1f}Mbps, "
+            f"rtt={self.config.rtt_ms:.0f}ms)"
+        )

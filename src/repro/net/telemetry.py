@@ -1,0 +1,68 @@
+"""Link telemetry: queue-occupancy sampling.
+
+Bufferbloat — the deep LTE queues whose self-inflicted delay shapes
+several of the paper's findings — is easiest to see as a queue-depth
+timeline.  :class:`QueueDepthTracker` samples a link's queue on a fixed
+period and exposes the series plus summary statistics.
+"""
+
+from typing import List, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.events import EventLoop
+from repro.net.link import Link
+
+__all__ = ["QueueDepthTracker"]
+
+
+class QueueDepthTracker:
+    """Periodically samples a link's queue depth.
+
+    Sampling starts immediately and continues until ``stop()`` or the
+    simulation ends; each sample is ``(time, packets, bytes)``.
+    """
+
+    def __init__(self, loop: EventLoop, link: Link,
+                 period_s: float = 0.01) -> None:
+        if period_s <= 0:
+            raise ConfigurationError(f"period_s must be positive: {period_s}")
+        self.loop = loop
+        self.link = link
+        self.period_s = period_s
+        self.samples: List[Tuple[float, int, int]] = []
+        self._running = True
+        self._tick()
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.samples.append(
+            (self.loop.now, len(self.link.queue), self.link.queue.bytes_queued)
+        )
+        self.loop.call_later(self.period_s, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling (pending tick becomes a no-op)."""
+        self._running = False
+
+    # -- summaries -------------------------------------------------------
+    @property
+    def max_depth_packets(self) -> int:
+        return max((packets for _, packets, _ in self.samples), default=0)
+
+    @property
+    def mean_depth_packets(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(packets for _, packets, _ in self.samples) / len(self.samples)
+
+    def occupancy_series(self) -> List[Tuple[float, float]]:
+        """(time, packets) points, ready for plotting."""
+        return [(t, float(packets)) for t, packets, _ in self.samples]
+
+    def queueing_delay_series(self, rate_mbps: float) -> List[Tuple[float, float]]:
+        """(time, seconds of queueing delay) at a nominal drain rate."""
+        if rate_mbps <= 0:
+            raise ConfigurationError(f"rate must be positive: {rate_mbps}")
+        bytes_per_s = rate_mbps * 1e6 / 8.0
+        return [(t, nbytes / bytes_per_s) for t, _, nbytes in self.samples]

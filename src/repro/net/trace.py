@@ -1,0 +1,166 @@
+"""Mahimahi-style packet-delivery-opportunity traces.
+
+Mahimahi's link shells model a variable-rate link as a list of
+millisecond timestamps; each timestamp is an *opportunity* to deliver
+one MTU-sized packet.  The trace loops forever: a trace whose last
+timestamp is ``P`` repeats with period ``P``.  We keep exactly that
+format (one integer millisecond per line) so real Mahimahi traces can
+be loaded directly.
+"""
+
+import bisect
+import os
+from typing import Iterable, List, Sequence
+
+from repro.core.errors import TraceFormatError
+
+__all__ = ["DeliveryTrace", "BYTES_PER_OPPORTUNITY"]
+
+#: Mahimahi delivers up to one 1504-byte frame per opportunity.
+BYTES_PER_OPPORTUNITY = 1504
+
+
+class DeliveryTrace:
+    """An infinitely-looping list of delivery opportunities.
+
+    Parameters
+    ----------
+    opportunities_ms:
+        Sorted millisecond offsets within one period.  Values of 0 are
+        shifted into the first period's end per Mahimahi semantics
+        (Mahimahi treats timestamp 0 as belonging to the period length).
+    period_ms:
+        Length of the repeating period; defaults to the last timestamp.
+    """
+
+    def __init__(self, opportunities_ms: Sequence[int], period_ms: int = 0):
+        if not opportunities_ms:
+            raise TraceFormatError("trace has no delivery opportunities")
+        offsets = sorted(int(ms) for ms in opportunities_ms)
+        if offsets[0] < 0:
+            raise TraceFormatError(f"negative timestamp in trace: {offsets[0]}")
+        self.period_ms = int(period_ms) if period_ms else offsets[-1]
+        if self.period_ms <= 0:
+            raise TraceFormatError(
+                "trace period must be positive (last timestamp was "
+                f"{offsets[-1]} ms)"
+            )
+        if offsets[-1] > self.period_ms:
+            raise TraceFormatError(
+                f"timestamp {offsets[-1]} ms exceeds period {self.period_ms} ms"
+            )
+        # Offsets live in (0, period]; a 0 offset fires at each period end.
+        self._offsets = [ms if ms > 0 else self.period_ms for ms in offsets]
+        self._offsets.sort()
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    @property
+    def offsets_ms(self) -> List[int]:
+        """Opportunity offsets within one period (ms, ascending)."""
+        return list(self._offsets)
+
+    @property
+    def mean_rate_mbps(self) -> float:
+        """Long-run average delivery rate implied by the trace."""
+        bytes_per_period = len(self._offsets) * BYTES_PER_OPPORTUNITY
+        seconds_per_period = self.period_ms / 1000.0
+        return bytes_per_period * 8.0 / seconds_per_period / 1e6
+
+    def next_opportunity_after(self, t_seconds: float) -> float:
+        """First opportunity time strictly after ``t_seconds``.
+
+        Works for any non-negative time because the trace loops.
+        """
+        return self.next_opportunity_with_count_after(t_seconds)[0]
+
+    def next_opportunity_with_count_after(self, t_seconds: float):
+        """(time, count) of the next opportunity instant after ``t_seconds``.
+
+        Mahimahi traces may list the same millisecond several times —
+        that instant can deliver several packets — so the count matters.
+        """
+        t_ms = t_seconds * 1000.0
+        period = self.period_ms
+        cycle = int(t_ms // period)
+        within = t_ms - cycle * period
+        index = bisect.bisect_right(self._offsets, within + 1e-9)
+        if index < len(self._offsets):
+            offset = self._offsets[index]
+            base = cycle * period
+        else:
+            offset = self._offsets[0]
+            base = (cycle + 1) * period
+        count = bisect.bisect_right(self._offsets, offset) - bisect.bisect_left(
+            self._offsets, offset
+        )
+        return (base + offset) / 1000.0, count
+
+    def _count_up_to(self, t_ms: float) -> int:
+        """Opportunities in the interval ``(0, t_ms]``."""
+        if t_ms <= 0:
+            return 0
+        cycles = int(t_ms // self.period_ms)
+        remainder = t_ms - cycles * self.period_ms
+        return cycles * len(self._offsets) + bisect.bisect_right(
+            self._offsets, remainder + 1e-9
+        )
+
+    def opportunities_between(self, start_s: float, end_s: float) -> int:
+        """Count opportunities in the half-open interval ``(start_s, end_s]``."""
+        if end_s <= start_s:
+            return 0
+        return self._count_up_to(end_s * 1000.0) - self._count_up_to(
+            start_s * 1000.0
+        )
+
+    @classmethod
+    def constant_rate(cls, mbps: float, period_ms: int = 1000) -> "DeliveryTrace":
+        """Build a trace approximating a constant rate in Mbit/s."""
+        if mbps <= 0:
+            raise TraceFormatError(f"rate must be positive: {mbps}")
+        opportunities = max(
+            1, round(mbps * 1e6 / 8.0 * (period_ms / 1000.0) / BYTES_PER_OPPORTUNITY)
+        )
+        step = period_ms / opportunities
+        offsets = [max(1, round((i + 1) * step)) for i in range(opportunities)]
+        return cls(offsets, period_ms=period_ms)
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "DeliveryTrace":
+        """Parse Mahimahi's one-millisecond-per-line format."""
+        opportunities: List[int] = []
+        for lineno, raw in enumerate(lines, start=1):
+            text = raw.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                opportunities.append(int(text))
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"line {lineno}: expected integer milliseconds, got {text!r}"
+                ) from exc
+        if not opportunities:
+            raise TraceFormatError("trace file contained no opportunities")
+        return cls(opportunities)
+
+    @classmethod
+    def load(cls, path: str) -> "DeliveryTrace":
+        """Load a trace from a Mahimahi-format file."""
+        if not os.path.exists(path):
+            raise TraceFormatError(f"trace file not found: {path}")
+        with open(path) as handle:
+            return cls.from_lines(handle)
+
+    def save(self, path: str) -> None:
+        """Write the trace in Mahimahi's format (one ms per line)."""
+        with open(path, "w") as handle:
+            for offset in self._offsets:
+                handle.write(f"{offset}\n")
+
+    def __repr__(self) -> str:
+        return (
+            f"DeliveryTrace({len(self._offsets)} opportunities / "
+            f"{self.period_ms} ms, ~{self.mean_rate_mbps:.2f} Mbit/s)"
+        )

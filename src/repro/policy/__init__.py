@@ -1,0 +1,49 @@
+"""Adaptive network/transport selection (the paper's §7 future work).
+
+The paper closes with open questions: *"how can we automatically
+decide when to use single path TCP and when to use MPTCP?  How should
+we decide which network to use for TCP, or which network to use for a
+subflow with MPTCP?"*  This package builds that decision layer on top
+of the reproduction's substrate:
+
+* :mod:`repro.policy.probes` — lightweight active measurements (pings
+  and short probe transfers) a client can afford before choosing;
+* :mod:`repro.policy.estimator` — per-path condition estimates with
+  exponential aging;
+* :mod:`repro.policy.policies` — selection policies: the static ones
+  mobile OSes shipped (always-WiFi), the paper-informed adaptive rule,
+  and oracle upper bounds;
+* :mod:`repro.policy.evaluation` — a harness comparing policies across
+  the 20 emulated locations and flow sizes.
+"""
+
+from repro.policy.probes import PathProbe, ProbeReport
+from repro.policy.estimator import PathEstimate, ConditionEstimator
+from repro.policy.policies import (
+    Decision,
+    SelectionPolicy,
+    AlwaysWifiPolicy,
+    AlwaysMptcpPolicy,
+    BestPathPolicy,
+    PaperAdaptivePolicy,
+    OraclePolicy,
+    STANDARD_POLICIES,
+)
+from repro.policy.evaluation import PolicyEvaluation, evaluate_policies
+
+__all__ = [
+    "PathProbe",
+    "ProbeReport",
+    "PathEstimate",
+    "ConditionEstimator",
+    "Decision",
+    "SelectionPolicy",
+    "AlwaysWifiPolicy",
+    "AlwaysMptcpPolicy",
+    "BestPathPolicy",
+    "PaperAdaptivePolicy",
+    "OraclePolicy",
+    "STANDARD_POLICIES",
+    "PolicyEvaluation",
+    "evaluate_policies",
+]

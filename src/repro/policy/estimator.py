@@ -1,0 +1,87 @@
+"""Per-path condition estimates with exponential aging.
+
+Mobile network conditions change on timescales of seconds to minutes
+(the paper's motivation for an *adaptive* policy), so estimates decay:
+a fresh probe dominates, and confidence fades as a sample ages.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.policy.probes import ProbeReport
+
+__all__ = ["PathEstimate", "ConditionEstimator"]
+
+
+@dataclass
+class PathEstimate:
+    """Smoothed view of one path's condition."""
+
+    path_name: str
+    rtt_s: Optional[float] = None
+    throughput_mbps: Optional[float] = None
+    last_updated: float = -math.inf
+    samples: int = 0
+
+    def confidence(self, now: float, half_life_s: float) -> float:
+        """0..1 weight for this estimate at time ``now``."""
+        if self.samples == 0:
+            return 0.0
+        age = max(0.0, now - self.last_updated)
+        return 0.5 ** (age / half_life_s)
+
+    @property
+    def usable(self) -> bool:
+        return self.samples > 0 and self.throughput_mbps is not None
+
+
+class ConditionEstimator:
+    """Maintains :class:`PathEstimate` objects from probe reports.
+
+    New samples are EWMA-blended with weight proportional to how stale
+    the previous estimate is — a fresh estimate resists noise, a stale
+    one yields to new evidence.
+    """
+
+    def __init__(self, half_life_s: float = 30.0, min_blend: float = 0.3):
+        self.half_life_s = half_life_s
+        self.min_blend = min_blend
+        self._estimates: Dict[str, PathEstimate] = {}
+
+    def estimate(self, path_name: str) -> PathEstimate:
+        if path_name not in self._estimates:
+            self._estimates[path_name] = PathEstimate(path_name=path_name)
+        return self._estimates[path_name]
+
+    @property
+    def paths(self) -> Dict[str, PathEstimate]:
+        return dict(self._estimates)
+
+    def observe(self, report: ProbeReport, now: float) -> PathEstimate:
+        """Fold a probe report into the estimate for its path."""
+        estimate = self.estimate(report.path_name)
+        if not report.usable:
+            # A dead probe is evidence too: zero the throughput.
+            estimate.throughput_mbps = 0.0
+            estimate.last_updated = now
+            estimate.samples += 1
+            return estimate
+        staleness = 1.0 - estimate.confidence(now, self.half_life_s)
+        blend = max(self.min_blend, staleness)
+        if estimate.rtt_s is None or report.rtt_s is None:
+            estimate.rtt_s = report.rtt_s or estimate.rtt_s
+        else:
+            estimate.rtt_s = (1 - blend) * estimate.rtt_s + blend * report.rtt_s
+        if estimate.throughput_mbps is None or report.throughput_mbps is None:
+            estimate.throughput_mbps = (
+                report.throughput_mbps or estimate.throughput_mbps
+            )
+        else:
+            estimate.throughput_mbps = (
+                (1 - blend) * estimate.throughput_mbps
+                + blend * report.throughput_mbps
+            )
+        estimate.last_updated = now
+        estimate.samples += 1
+        return estimate

@@ -1,0 +1,132 @@
+"""Policy evaluation harness: regret vs the oracle across locations.
+
+For each emulated location and flow size the harness (1) probes both
+paths the way a client would, (2) measures every concrete strategy's
+completion time, then (3) scores each policy by the completion time of
+the strategy it chose.  The headline statistic is mean completion time
+normalized by the oracle's — 1.0 means the policy always picked the
+winner.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.rng import DEFAULT_SEED
+from repro.linkem.conditions import LocationCondition, build_scenario, make_conditions
+from repro.mptcp.connection import MptcpOptions
+from repro.policy.estimator import ConditionEstimator
+from repro.policy.policies import Decision, OraclePolicy, SelectionPolicy
+from repro.policy.probes import PathProbe
+
+__all__ = ["PolicyEvaluation", "evaluate_policies", "STRATEGIES", "measure_strategies"]
+
+#: The concrete strategies a decision can resolve to.
+STRATEGIES: Dict[str, Decision] = {
+    "tcp-wifi": Decision("tcp", "wifi"),
+    "tcp-lte": Decision("tcp", "lte"),
+    "mptcp-wifi-decoupled": Decision("mptcp", "wifi", "decoupled"),
+    "mptcp-lte-decoupled": Decision("mptcp", "lte", "decoupled"),
+    "mptcp-wifi-coupled": Decision("mptcp", "wifi", "coupled"),
+    "mptcp-lte-coupled": Decision("mptcp", "lte", "coupled"),
+}
+
+
+def _run_decision(
+    condition: LocationCondition, decision: Decision, nbytes: int, seed: int,
+    deadline_s: float = 240.0,
+) -> float:
+    scenario = build_scenario(condition, seed=seed)
+    if decision.kind == "tcp":
+        connection = scenario.tcp(decision.path, nbytes)
+    else:
+        options = MptcpOptions(
+            primary=decision.path,
+            congestion_control=decision.congestion_control,
+        )
+        connection = scenario.mptcp(nbytes, options=options)
+    result = scenario.run_transfer(connection, deadline_s=deadline_s)
+    return result.duration_s if result.completed else deadline_s
+
+
+def measure_strategies(
+    condition: LocationCondition, nbytes: int, seed: int,
+) -> Dict[str, float]:
+    """Completion time of every strategy at one location."""
+    return {
+        name: _run_decision(condition, decision, nbytes, seed)
+        for name, decision in STRATEGIES.items()
+    }
+
+
+def probe_condition(
+    condition: LocationCondition, seed: int, probe: Optional[PathProbe] = None,
+) -> ConditionEstimator:
+    """Run client-style probes at a location, building estimates."""
+    probe = probe if probe is not None else PathProbe()
+    estimator = ConditionEstimator()
+    scenario = build_scenario(condition, seed=seed)
+    for path_name in ("wifi", "lte"):
+        report = probe.run(scenario, path_name)
+        estimator.observe(report, now=scenario.loop.now)
+    return estimator
+
+
+@dataclass
+class PolicyEvaluation:
+    """Results of one evaluation sweep."""
+
+    flow_bytes: int
+    #: condition id -> strategy name -> measured duration.
+    measured: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: policy name -> condition id -> chosen strategy name.
+    choices: Dict[str, Dict[int, str]] = field(default_factory=dict)
+
+    def policy_duration(self, policy_name: str, condition_id: int) -> float:
+        choice = self.choices[policy_name][condition_id]
+        return self.measured[condition_id][choice]
+
+    def oracle_duration(self, condition_id: int) -> float:
+        return min(self.measured[condition_id].values())
+
+    def mean_normalized(self, policy_name: str) -> float:
+        """Mean (policy time / oracle time) across conditions (>= 1)."""
+        ratios = [
+            self.policy_duration(policy_name, cid) / self.oracle_duration(cid)
+            for cid in self.measured
+        ]
+        return sum(ratios) / len(ratios)
+
+    def win_rate(self, policy_name: str, tolerance: float = 1.05) -> float:
+        """Fraction of conditions within ``tolerance`` of the oracle."""
+        hits = [
+            self.policy_duration(policy_name, cid)
+            <= self.oracle_duration(cid) * tolerance
+            for cid in self.measured
+        ]
+        return sum(hits) / len(hits)
+
+
+def evaluate_policies(
+    policies: Sequence[SelectionPolicy],
+    flow_bytes: int,
+    seed: int = DEFAULT_SEED,
+    conditions: Optional[List[LocationCondition]] = None,
+) -> PolicyEvaluation:
+    """Score ``policies`` on ``flow_bytes`` transfers across locations."""
+    conditions = conditions if conditions is not None else make_conditions(seed=seed)
+    evaluation = PolicyEvaluation(flow_bytes=flow_bytes)
+    oracle = OraclePolicy()
+    all_policies = list(policies) + [oracle]
+    for policy in all_policies:
+        evaluation.choices[policy.name] = {}
+
+    for condition in conditions:
+        cid = condition.condition_id
+        measured = measure_strategies(condition, flow_bytes, seed)
+        evaluation.measured[cid] = measured
+        estimator = probe_condition(condition, seed)
+        oracle.inform(measured, STRATEGIES)
+        for policy in all_policies:
+            decision = policy.decide(estimator, flow_bytes, now=0.0)
+            evaluation.choices[policy.name][cid] = decision.strategy_name
+    return evaluation

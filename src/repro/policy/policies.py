@@ -1,0 +1,169 @@
+"""Selection policies: static, adaptive, and oracle.
+
+A policy answers, for one impending flow: which transport (single-path
+TCP or MPTCP), on which network (or with which primary subflow), and —
+for MPTCP — which congestion control.  The adaptive policy encodes the
+paper's findings as decision rules; the oracle bounds what any policy
+could achieve.
+"""
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.policy.estimator import ConditionEstimator
+
+__all__ = [
+    "Decision",
+    "SelectionPolicy",
+    "AlwaysWifiPolicy",
+    "AlwaysMptcpPolicy",
+    "BestPathPolicy",
+    "PaperAdaptivePolicy",
+    "OraclePolicy",
+    "STANDARD_POLICIES",
+]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A concrete transport choice for one flow."""
+
+    kind: str          # "tcp" | "mptcp"
+    path: str          # TCP path, or MPTCP primary
+    congestion_control: str = "cubic"  # tcp cc, or coupled/decoupled
+
+    @property
+    def strategy_name(self) -> str:
+        if self.kind == "tcp":
+            return f"tcp-{self.path}"
+        return f"mptcp-{self.path}-{self.congestion_control}"
+
+
+class SelectionPolicy(ABC):
+    """Chooses a :class:`Decision` for a flow of a given size."""
+
+    name: str = "policy"
+
+    @abstractmethod
+    def decide(
+        self,
+        estimator: ConditionEstimator,
+        flow_bytes: int,
+        now: float,
+    ) -> Decision:
+        """Pick the transport for an imminent ``flow_bytes`` transfer."""
+
+
+class AlwaysWifiPolicy(SelectionPolicy):
+    """Android's shipping policy: WiFi whenever associated."""
+
+    name = "always-wifi"
+
+    def decide(self, estimator, flow_bytes, now) -> Decision:
+        return Decision(kind="tcp", path="wifi")
+
+
+class AlwaysMptcpPolicy(SelectionPolicy):
+    """Use both networks for everything (WiFi primary, the OS default)."""
+
+    name = "always-mptcp"
+
+    def decide(self, estimator, flow_bytes, now) -> Decision:
+        return Decision(kind="mptcp", path="wifi",
+                        congestion_control="decoupled")
+
+
+class BestPathPolicy(SelectionPolicy):
+    """Single-path TCP on whichever network probes faster."""
+
+    name = "best-path-tcp"
+
+    def decide(self, estimator, flow_bytes, now) -> Decision:
+        best = _best_path(estimator)
+        return Decision(kind="tcp", path=best)
+
+
+class PaperAdaptivePolicy(SelectionPolicy):
+    """The paper's findings, operationalized.
+
+    * Short flows (§3.3/§5.1): MPTCP adds nothing — use single-path TCP
+      on the better network.
+    * Long flows (§3.3/§5.2): use MPTCP *if the two paths are roughly
+      comparable*; the Fig. 7a regime (large disparity) is better served
+      by single-path TCP on the fast network.
+    * MPTCP details: the better network carries the primary subflow
+      (§3.4); decoupled congestion control recovers faster on lossy
+      paths when the flow must finish quickly (§3.5).
+    """
+
+    name = "paper-adaptive"
+
+    def __init__(
+        self,
+        short_flow_bytes: int = 256 * 1024,
+        comparable_ratio: float = 3.0,
+    ) -> None:
+        self.short_flow_bytes = short_flow_bytes
+        self.comparable_ratio = comparable_ratio
+
+    def decide(self, estimator, flow_bytes, now) -> Decision:
+        best = _best_path(estimator)
+        if flow_bytes <= self.short_flow_bytes:
+            return Decision(kind="tcp", path=best)
+        rates = _rates(estimator)
+        fast = max(rates.values())
+        slow = min(rates.values())
+        if slow <= 0 or fast / max(slow, 1e-9) > self.comparable_ratio:
+            return Decision(kind="tcp", path=best)
+        return Decision(kind="mptcp", path=best,
+                        congestion_control="decoupled")
+
+
+class OraclePolicy(SelectionPolicy):
+    """Upper bound: told the measured outcome of every strategy.
+
+    The evaluation harness injects the measured durations before
+    calling :meth:`decide`; this policy simply picks the argmin.
+    """
+
+    name = "oracle"
+
+    def __init__(self) -> None:
+        self.measured: Optional[Dict[str, float]] = None
+        self._strategies: Dict[str, Decision] = {}
+
+    def inform(self, measured: Dict[str, float],
+               strategies: Dict[str, Decision]) -> None:
+        self.measured = measured
+        self._strategies = strategies
+
+    def decide(self, estimator, flow_bytes, now) -> Decision:
+        if not self.measured:
+            return Decision(kind="tcp", path="wifi")
+        best = min(self.measured, key=self.measured.get)
+        return self._strategies[best]
+
+
+def _rates(estimator: ConditionEstimator) -> Dict[str, float]:
+    rates = {}
+    for name, estimate in estimator.paths.items():
+        rates[name] = estimate.throughput_mbps or 0.0
+    if not rates:
+        rates = {"wifi": 0.0, "lte": 0.0}
+    return rates
+
+
+def _best_path(estimator: ConditionEstimator) -> str:
+    rates = _rates(estimator)
+    return max(rates, key=rates.get)
+
+
+def STANDARD_POLICIES() -> List[SelectionPolicy]:
+    """Fresh instances of the comparison set."""
+    return [
+        AlwaysWifiPolicy(),
+        AlwaysMptcpPolicy(),
+        BestPathPolicy(),
+        PaperAdaptivePolicy(),
+    ]

@@ -1,0 +1,68 @@
+"""Active probing: what a client can cheaply learn about its paths.
+
+A probe is what the Cell vs WiFi app does in miniature: a few pings
+for RTT and a short TCP transfer for a bandwidth hint.  Probes run in
+the same simulated scenario as the traffic they inform, so they consume
+real (simulated) time and bytes — the cost/accuracy trade-off is part
+of the model.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+from repro.scenario import Scenario
+
+__all__ = ["ProbeReport", "PathProbe"]
+
+
+@dataclass
+class ProbeReport:
+    """Outcome of probing one path."""
+
+    path_name: str
+    rtt_s: Optional[float]
+    throughput_mbps: Optional[float]
+    probe_bytes: int
+    elapsed_s: float
+
+    @property
+    def usable(self) -> bool:
+        """Whether the path responded at all."""
+        return self.rtt_s is not None
+
+
+class PathProbe:
+    """Measures one path with a short transfer.
+
+    The probe transfer doubles as the ping: its handshake RTT is the
+    latency sample and its completion time gives the bandwidth hint.
+    """
+
+    def __init__(self, probe_bytes: int = 64 * 1024,
+                 timeout_s: float = 3.0) -> None:
+        if probe_bytes <= 0:
+            raise ConfigurationError(f"probe_bytes must be positive: {probe_bytes}")
+        if timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be positive: {timeout_s}")
+        self.probe_bytes = probe_bytes
+        self.timeout_s = timeout_s
+
+    def run(self, scenario: Scenario, path_name: str) -> ProbeReport:
+        """Probe ``path_name`` inside ``scenario`` (consumes sim time)."""
+        started = scenario.loop.now
+        connection = scenario.tcp(path_name, self.probe_bytes)
+        result = scenario.run_transfer(connection, deadline_s=self.timeout_s)
+        elapsed = scenario.loop.now - started
+        rtt = connection.subflow.handshake_rtt
+        throughput = result.throughput_mbps if result.completed else None
+        if throughput is None and connection.bytes_delivered > 0 and elapsed > 0:
+            # Partial probe: estimate from what arrived before timeout.
+            throughput = connection.bytes_delivered * 8 / elapsed / 1e6
+        return ProbeReport(
+            path_name=path_name,
+            rtt_s=rtt,
+            throughput_mbps=throughput,
+            probe_bytes=self.probe_bytes,
+            elapsed_s=elapsed,
+        )

@@ -1,0 +1,210 @@
+"""High-level harness: build paths, run transfers, collect results.
+
+This is the front door of the library.  A :class:`Scenario` owns an
+event loop and a set of named paths (a multi-homed client's WiFi and
+LTE interfaces); transfers are created on top and the whole thing runs
+deterministically.
+
+Example
+-------
+>>> from repro.scenario import Scenario
+>>> from repro.net.path import PathConfig
+>>> sc = Scenario()
+>>> _ = sc.add_path(PathConfig(name="wifi", down_mbps=20, up_mbps=8, rtt_ms=30))
+>>> conn = sc.tcp("wifi", total_bytes=100_000)
+>>> result = sc.run_transfer(conn)
+>>> result.completed
+True
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.events import EventLoop
+from repro.core.rng import DEFAULT_SEED, RngStreams
+from repro.net.fabric import AttachedPath
+from repro.net.path import Path, PathConfig
+from repro.tcp.cc import Cubic, Reno
+from repro.tcp.config import TcpConfig
+from repro.tcp.connection import ConnectionBase, TcpConnection
+from repro.mptcp.connection import MptcpConnection, MptcpOptions
+
+__all__ = ["Scenario", "TransferResult", "CC_FACTORIES"]
+
+CC_FACTORIES: Dict[str, Callable[[TcpConfig], object]] = {
+    "reno": Reno,
+    "cubic": Cubic,
+}
+
+#: Wall-clock guard for a single simulated transfer, seconds.
+DEFAULT_DEADLINE_S = 600.0
+
+
+@dataclass
+class TransferResult:
+    """Outcome of one bulk transfer."""
+
+    connection: ConnectionBase
+    total_bytes: int
+    started_at: Optional[float]
+    completed_at: Optional[float]
+    delivery_log: List[Tuple[float, int]]
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def throughput_mbps(self) -> Optional[float]:
+        duration = self.duration_s
+        if not duration:
+            return None
+        return self.total_bytes * 8.0 / duration / 1e6
+
+    def throughput_at_bytes(self, nbytes: int) -> Optional[float]:
+        """Average throughput over the first ``nbytes`` delivered in order."""
+        return self.connection.throughput_at_bytes(nbytes)
+
+
+class Scenario:
+    """An event loop plus the client's attached paths."""
+
+    def __init__(self, seed: int = DEFAULT_SEED):
+        self.loop = EventLoop()
+        self.rng = RngStreams(seed)
+        self._paths: Dict[str, AttachedPath] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_path(self, config: PathConfig) -> AttachedPath:
+        """Attach a new named path (e.g. the client's WiFi interface)."""
+        if config.name in self._paths:
+            raise ConfigurationError(f"duplicate path name: {config.name!r}")
+        path = Path(
+            self.loop, config,
+            loss_rng=self.rng.get(f"loss.{config.name}"),
+        )
+        attached = AttachedPath(path)
+        self._paths[config.name] = attached
+        return attached
+
+    def attached(self, name: str) -> AttachedPath:
+        """Look up a previously added path."""
+        if name not in self._paths:
+            raise ConfigurationError(
+                f"unknown path {name!r}; have {sorted(self._paths)}"
+            )
+        return self._paths[name]
+
+    def path(self, name: str) -> Path:
+        return self.attached(name).path
+
+    @property
+    def path_names(self) -> List[str]:
+        return list(self._paths)
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def tcp(
+        self,
+        path_name: str,
+        total_bytes: int,
+        direction: str = "down",
+        cc: str = "cubic",
+        config: Optional[TcpConfig] = None,
+    ) -> TcpConnection:
+        """Create (but don't start) a single-path TCP transfer."""
+        if cc not in CC_FACTORIES:
+            raise ConfigurationError(
+                f"unknown congestion control {cc!r}; have {sorted(CC_FACTORIES)}"
+            )
+        return TcpConnection(
+            self.loop, self.attached(path_name), total_bytes,
+            direction=direction, cc_factory=CC_FACTORIES[cc], config=config,
+        )
+
+    def mptcp(
+        self,
+        total_bytes: int,
+        direction: str = "down",
+        options: Optional[MptcpOptions] = None,
+        config: Optional[TcpConfig] = None,
+        path_names: Optional[List[str]] = None,
+    ) -> MptcpConnection:
+        """Create (but don't start) an MPTCP transfer over the paths."""
+        names = path_names if path_names is not None else self.path_names
+        attached = [self.attached(name) for name in names]
+        if len(attached) < 1:
+            raise ConfigurationError("MPTCP needs at least one path")
+        return MptcpConnection(
+            self.loop, attached, total_bytes,
+            direction=direction, options=options, config=config,
+        )
+
+    def add_background_flow(
+        self,
+        path_name: str,
+        direction: str = "down",
+        cc: str = "cubic",
+        total_bytes: int = 512 * 1024 * 1024,
+        start_at: float = 0.0,
+    ) -> TcpConnection:
+        """Start a long-lived competing TCP flow on a path.
+
+        Public WiFi and cellular links are shared; a greedy competitor
+        keeps the bottleneck queue occupied so measured flows operate
+        under congestion from their first RTT — the regime in which
+        congestion-control choices matter (paper §3.5).
+        """
+        connection = self.tcp(path_name, total_bytes, direction=direction, cc=cc)
+        self.loop.call_at(start_at, connection.start)
+        return connection
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the event loop (absolute simulated deadline)."""
+        self.loop.run(until=until)
+
+    def run_transfer(
+        self,
+        connection: ConnectionBase,
+        deadline_s: float = DEFAULT_DEADLINE_S,
+    ) -> TransferResult:
+        """Start ``connection`` and run until it completes (or deadline).
+
+        The application half-closes right away (it has written all its
+        bytes), so FINs go out as soon as the transfer drains — the
+        paper's bulk-measurement behaviour.
+        """
+        connection.start()
+        connection.close()
+        deadline = self.loop.now + deadline_s
+        # Stop the loop as soon as the transfer completes: schedule a
+        # no-op at completion so `run(until=...)` has a stopping point.
+        done: List[float] = []
+        connection.on_complete.append(lambda conn: done.append(self.loop.now))
+        while not done and self.loop.pending() and self.loop.now < deadline:
+            next_stop = min(deadline, self.loop.now + 1.0)
+            self.loop.run(until=next_stop)
+        return self.result_of(connection)
+
+    def result_of(self, connection: ConnectionBase) -> TransferResult:
+        """Snapshot a connection's outcome."""
+        return TransferResult(
+            connection=connection,
+            total_bytes=connection.total_bytes,
+            started_at=connection.started_at,
+            completed_at=connection.completed_at,
+            delivery_log=list(connection.delivery_log),
+        )

@@ -1,0 +1,27 @@
+"""Single-path TCP: congestion control, sender/receiver engines, flows.
+
+The same machinery backs MPTCP subflows (:mod:`repro.mptcp`); a plain
+TCP connection is the one-subflow special case.
+"""
+
+from repro.tcp.config import TcpConfig
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.source import BulkSource
+from repro.tcp.subflow import Subflow, SubflowState
+from repro.tcp.connection import TcpConnection, ConnectionStats
+from repro.tcp.cc import CongestionControl, Reno, Cubic, LiaCoupling, LiaSubflowCc
+
+__all__ = [
+    "TcpConfig",
+    "RttEstimator",
+    "BulkSource",
+    "Subflow",
+    "SubflowState",
+    "TcpConnection",
+    "ConnectionStats",
+    "CongestionControl",
+    "Reno",
+    "Cubic",
+    "LiaCoupling",
+    "LiaSubflowCc",
+]

@@ -1,0 +1,27 @@
+"""Congestion-control algorithms.
+
+* :class:`Reno` — classic slow start + AIMD; also the per-subflow
+  algorithm of "decoupled" MPTCP in the paper (footnote 5: "the
+  decoupled congestion control uses TCP Reno for each subflow").
+* :class:`Cubic` — Linux's default for single-path TCP.
+* :class:`LiaCoupling` / :class:`LiaSubflowCc` — the coupled Linked
+  Increases Algorithm (RFC 6356) used by "coupled" MPTCP.
+* :class:`OliaCoupling` — the opportunistic LIA variant (Khalili et
+  al., CoNEXT'12), provided as an extension.
+"""
+
+from repro.tcp.cc.base import CongestionControl
+from repro.tcp.cc.reno import Reno
+from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.lia import LiaCoupling, LiaSubflowCc
+from repro.tcp.cc.olia import OliaCoupling, OliaSubflowCc
+
+__all__ = [
+    "CongestionControl",
+    "Reno",
+    "Cubic",
+    "LiaCoupling",
+    "LiaSubflowCc",
+    "OliaCoupling",
+    "OliaSubflowCc",
+]

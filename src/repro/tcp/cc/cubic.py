@@ -1,0 +1,110 @@
+"""CUBIC congestion control (Ha, Rhee, Xu), as in Linux.
+
+The window grows along a cubic curve anchored at the window size before
+the last congestion event, with a TCP-friendly lower bound.  The sender
+sets :attr:`now_getter` so the controller can read simulated time.
+"""
+
+import math
+
+from repro.tcp.cc.base import CongestionControl
+from repro.tcp.config import TcpConfig
+
+__all__ = ["Cubic"]
+
+
+class Cubic(CongestionControl):
+    """CUBIC with beta = 0.7 and C = 0.4 (Linux defaults)."""
+
+    C = 0.4
+    BETA = 0.7
+
+    #: HyStart: don't exit slow start below this window.
+    HYSTART_MIN_CWND = 16.0
+
+    def __init__(self, config: TcpConfig):
+        super().__init__(config)
+        self.w_max = 0.0
+        self._k = 0.0
+        self._epoch_start: float = -1.0
+        self._tcp_friendly_cwnd = 0.0
+        self._min_rtt = float("inf")
+        self._delay_min = float("inf")
+        self._round_end = -1.0
+        self._round_min = float("inf")
+        self._round_samples = 0
+        #: Injected by the sender; returns simulated seconds.
+        self.now_getter = lambda: 0.0
+
+    def on_rtt_sample(self, rtt: float) -> None:
+        """HyStart delay-based slow-start exit (Linux default).
+
+        Compares each ACK round's *minimum* RTT against the smallest
+        round minimum seen so far; a persistent rise means the queue is
+        filling and slow start exits before the overshoot losses a
+        deep-buffered link would otherwise cause.  Using round minima
+        (as Linux does) keeps the initial burst's self-queueing from
+        triggering a false exit.
+        """
+        self._min_rtt = min(self._min_rtt, rtt)
+        if not self.in_slow_start or self.cwnd < self.HYSTART_MIN_CWND:
+            return
+        now = self.now_getter()
+        if now >= self._round_end:
+            if self._round_samples >= 8 and self._delay_min < float("inf"):
+                eta = min(max(self._delay_min / 8.0, 0.004), 0.016)
+                if self._round_min >= self._delay_min + eta:
+                    self.ssthresh = self.cwnd
+                    self.w_max = self.cwnd
+            if self._round_min < float("inf"):
+                self._delay_min = min(self._delay_min, self._round_min)
+            self._round_end = now + max(self.srtt_getter(), 1e-3)
+            self._round_min = float("inf")
+            self._round_samples = 0
+        self._round_samples += 1
+        self._round_min = min(self._round_min, rtt)
+
+    def _begin_epoch(self) -> None:
+        self._epoch_start = self.now_getter()
+        if self.cwnd < self.w_max:
+            self._k = ((self.w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+            self.w_max = self.cwnd
+        self._tcp_friendly_cwnd = self.cwnd
+
+    def on_ack(self, newly_acked_segments: float) -> None:
+        remainder = self.slow_start_increase(newly_acked_segments)
+        if remainder <= 0:
+            return
+        if self._epoch_start < 0:
+            self._begin_epoch()
+        t = self.now_getter() - self._epoch_start
+        rtt = max(self.srtt_getter(), 1e-3)
+        target = self.C * (t + rtt - self._k) ** 3 + self.w_max
+        # TCP-friendly region: emulate Reno's average rate.
+        self._tcp_friendly_cwnd += (
+            3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) * remainder / max(self.cwnd, 1.0)
+        )
+        target = max(target, self._tcp_friendly_cwnd)
+        if target > self.cwnd:
+            self.cwnd += (target - self.cwnd) / max(self.cwnd, 1.0) * remainder
+        else:
+            self.cwnd += 0.01 * remainder / max(self.cwnd, 1.0)
+
+    def on_enter_recovery(self, inflight_segments: float) -> None:
+        self.w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * self.BETA, 2.0)
+        self.cwnd = self.ssthresh
+        self._epoch_start = -1.0
+
+    def on_timeout(self, inflight_segments: float) -> None:
+        self.w_max = self.cwnd
+        super().on_timeout(inflight_segments)
+        self._epoch_start = -1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Cubic(cwnd={self.cwnd:.2f}, ssthresh={self.ssthresh:.2f}, "
+            f"w_max={self.w_max:.2f}, k={self._k:.3f})"
+        )

@@ -1,0 +1,14 @@
+"""TCP Reno (NewReno-style window evolution)."""
+
+from repro.tcp.cc.base import CongestionControl
+
+__all__ = ["Reno"]
+
+
+class Reno(CongestionControl):
+    """Slow start then AIMD: +1 segment per RTT in congestion avoidance."""
+
+    def on_ack(self, newly_acked_segments: float) -> None:
+        remainder = self.slow_start_increase(newly_acked_segments)
+        if remainder > 0 and self.cwnd > 0:
+            self.cwnd += remainder / self.cwnd

@@ -1,0 +1,93 @@
+"""Tunable TCP parameters.
+
+Defaults mirror the Ubuntu 13.10 / Linux 3.11 stack the paper measured
+with (IW10, 200 ms minimum RTO, three duplicate ACKs for fast
+retransmit).
+"""
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.core.packet import MSS_BYTES
+
+__all__ = ["TcpConfig"]
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Per-connection TCP knobs shared by senders and receivers."""
+
+    mss_bytes: int = MSS_BYTES
+    #: Initial congestion window in segments (Linux IW10).
+    initial_cwnd_segments: int = 10
+    #: Congestion window after an RTO (loss window).
+    loss_cwnd_segments: int = 1
+    #: Duplicate ACKs that trigger fast retransmit.
+    dupack_threshold: int = 3
+    #: RTO before any RTT sample exists (RFC 6298 says 1 s).
+    initial_rto_s: float = 1.0
+    #: Linux clamps the RTO at 200 ms minimum.
+    min_rto_s: float = 0.2
+    max_rto_s: float = 60.0
+    #: Give up retransmitting a SYN after this many attempts.
+    max_syn_retries: int = 6
+    #: Give up on a data segment after this many RTO-driven retries.
+    max_data_retries: int = 12
+    #: Receive window advertised by each endpoint.  The default is
+    #: large enough never to bind in the paper's experiments (Linux
+    #: autotunes rmem into the megabytes); shrink it to study
+    #: flow-control-limited transfers.
+    receive_window_bytes: int = 4 * 1024 * 1024
+    #: Acknowledge every 2nd data segment, with a timer flushing a
+    #: pending ACK (RFC 1122 delayed ACKs).  Off by default because the
+    #: Linux receiver effectively quick-ACKs during bulk transfers and
+    #: slow start, which is the regime the paper measures; enable it to
+    #: study the interaction (see the delack ablation bench).
+    delayed_acks: bool = False
+    #: Delayed-ACK flush timer (Linux uses 40 ms–200 ms adaptively).
+    delayed_ack_timeout_s: float = 0.04
+    #: Initial slow-start threshold in segments, or ``None`` for
+    #: unbounded (a cold start).  Linux caches ssthresh per destination
+    #: (the route metrics cache), so the paper's back-to-back
+    #: measurement runs started warm — in congestion avoidance almost
+    #: immediately.  Flow-level MPTCP experiments set this to model
+    #: that; see DESIGN.md §4.
+    initial_ssthresh_segments: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.mss_bytes <= 0:
+            raise ConfigurationError(f"mss_bytes must be positive: {self.mss_bytes}")
+        if self.initial_cwnd_segments < 1:
+            raise ConfigurationError(
+                f"initial_cwnd_segments must be >= 1: {self.initial_cwnd_segments}"
+            )
+        if self.dupack_threshold < 1:
+            raise ConfigurationError(
+                f"dupack_threshold must be >= 1: {self.dupack_threshold}"
+            )
+        if self.min_rto_s <= 0 or self.min_rto_s > self.max_rto_s:
+            raise ConfigurationError(
+                f"invalid RTO bounds: [{self.min_rto_s}, {self.max_rto_s}]"
+            )
+        if self.initial_rto_s <= 0:
+            raise ConfigurationError(
+                f"initial_rto_s must be positive: {self.initial_rto_s}"
+            )
+        if self.receive_window_bytes < self.mss_bytes:
+            raise ConfigurationError(
+                "receive_window_bytes must hold at least one segment: "
+                f"{self.receive_window_bytes}"
+            )
+        if self.delayed_ack_timeout_s <= 0:
+            raise ConfigurationError(
+                f"delayed_ack_timeout_s must be positive: "
+                f"{self.delayed_ack_timeout_s}"
+            )
+        if (
+            self.initial_ssthresh_segments is not None
+            and self.initial_ssthresh_segments < 2
+        ):
+            raise ConfigurationError(
+                "initial_ssthresh_segments must be >= 2 when set: "
+                f"{self.initial_ssthresh_segments}"
+            )

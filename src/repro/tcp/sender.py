@@ -1,0 +1,358 @@
+"""The transmit engine driving one (sub)flow's data direction.
+
+Implements the loss recovery of the Linux stack the paper measured:
+cumulative ACKs with SACK blocks, duplicate-ACK-triggered fast
+retransmit, SACK-based hole retransmission during recovery (one
+retransmission per hole per recovery epoch, paced by the pipe), and an
+RFC 6298 retransmission timer with exponential backoff.  RTT samples
+come from the receiver's timestamp echo (RFC 7323 style), so they stay
+clean even during recovery.  Window growth is delegated to a pluggable
+:class:`~repro.tcp.cc.base.CongestionControl`.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.core.events import EventLoop, Timer
+from repro.core.packet import Packet, PacketFlags
+from repro.tcp.cc.base import CongestionControl
+from repro.tcp.config import TcpConfig
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.source import Chunk
+
+__all__ = ["SubflowSender", "SenderStats"]
+
+
+@dataclass
+class _SegmentRecord:
+    seq: int
+    length: int
+    data_seq: int
+    sent_at: float
+    retransmitted: bool = False
+    sacked: bool = False
+    rxt_epoch: int = -1
+
+
+@dataclass
+class SenderStats:
+    """Counters exposed for analysis and tests."""
+
+    segments_sent: int = 0
+    bytes_sent: int = 0
+    retransmits: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+
+
+class SubflowSender:
+    """Reliable, congestion-controlled byte transmission on one subflow."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: TcpConfig,
+        cc: CongestionControl,
+        rtt: RttEstimator,
+        transmit: Callable[[Packet], None],
+        flow_id: int,
+        subflow_id: int,
+    ) -> None:
+        self.loop = loop
+        self.config = config
+        self.cc = cc
+        self.rtt = rtt
+        self._transmit = transmit
+        self.flow_id = flow_id
+        self.subflow_id = subflow_id
+
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self._outstanding: "OrderedDict[int, _SegmentRecord]" = OrderedDict()
+        self._pipe = 0  # outstanding, un-SACKed segments
+        self._dupacks = 0
+        self._in_recovery = False
+        self._recovery_point = 0
+        self._recovery_epoch = 0
+        self._max_sacked_end = 0
+        self._head_retries = 0
+        self._dead = False
+        #: Peer's advertised receive window (flow control); starts at
+        #: the sender's own configured window until the first ACK.
+        self.peer_window_bytes = config.receive_window_bytes
+        self.stats = SenderStats()
+
+        self._rto_timer = Timer(loop, self._on_rto)
+
+        # Connection-level callbacks (wired by the Subflow).
+        self.on_data_acked: Callable[[List[Chunk]], None] = lambda chunks: None
+        self.on_window_open: Callable[[], None] = lambda: None
+        self.on_dead: Callable[[], None] = lambda: None
+        self.on_rto_event: Callable[[], None] = lambda: None
+
+        cc.srtt_getter = lambda: self.rtt.smoothed_rtt
+        if hasattr(cc, "now_getter"):
+            cc.now_getter = lambda: self.loop.now
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def inflight_segments(self) -> int:
+        """Un-SACKed segments in flight (the SACK "pipe")."""
+        return self._pipe
+
+    @property
+    def done(self) -> bool:
+        """True when every byte handed to this sender has been ACKed."""
+        return not self._outstanding and self.snd_una == self.snd_nxt
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    @property
+    def in_recovery(self) -> bool:
+        return self._in_recovery
+
+    def window_space(self) -> int:
+        """Whole segments that fit in min(cwnd, peer receive window)."""
+        if self._dead:
+            return 0
+        cwnd_space = int(self.cc.cwnd) - self._pipe
+        flight_bytes = self.snd_nxt - self.snd_una
+        rwnd_space = (
+            self.peer_window_bytes - flight_bytes
+        ) // self.config.mss_bytes
+        return max(0, min(cwnd_space, rwnd_space))
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send_chunk(self, chunk: Chunk) -> None:
+        """Assign subflow sequence space to ``chunk`` and transmit it."""
+        data_seq, length = chunk
+        record = _SegmentRecord(
+            seq=self.snd_nxt, length=length, data_seq=data_seq, sent_at=self.loop.now
+        )
+        self._outstanding[record.seq] = record
+        self._pipe += 1
+        self.snd_nxt += length
+        self._emit(record)
+        if not self._rto_timer.running:
+            self._rto_timer.start(self.rtt.rto)
+
+    def _emit(self, record: _SegmentRecord, retransmission: bool = False) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            subflow_id=self.subflow_id,
+            seq=record.seq,
+            ack=0,
+            flags=PacketFlags.ACK,
+            payload_bytes=record.length,
+            data_seq=record.data_seq,
+            retransmitted=retransmission,
+            sent_at=self.loop.now,
+        )
+        record.sent_at = self.loop.now
+        record.retransmitted = record.retransmitted or retransmission
+        self.stats.segments_sent += 1
+        self.stats.bytes_sent += record.length
+        if retransmission:
+            self.stats.retransmits += 1
+        self._transmit(packet)
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def on_ack_packet(self, packet: Packet) -> None:
+        """Process a (possibly SACK-bearing) acknowledgment."""
+        if self._dead:
+            return
+        if packet.rwnd is not None:
+            self.peer_window_bytes = packet.rwnd
+        if packet.echo_ts is not None and packet.echo_ts >= 0:
+            sample = self.loop.now - packet.echo_ts
+            self.rtt.add_sample(sample)
+            self.cc.on_rtt_sample(sample)
+        sack_advanced = self._apply_sack(packet)
+        ack = packet.ack
+        if ack > self.snd_una:
+            self._on_new_ack(ack)
+        elif ack == self.snd_una and self._outstanding:
+            self._on_dup_ack()
+        if self._in_recovery and sack_advanced:
+            self._sack_retransmit()
+
+    def _apply_sack(self, packet: Packet) -> bool:
+        if not packet.sack:
+            return False
+        advanced = False
+        for start, end in packet.sack:
+            self._max_sacked_end = max(self._max_sacked_end, end)
+            for seq, record in self._outstanding.items():
+                if record.sacked:
+                    continue
+                if seq >= start and seq + record.length <= end:
+                    record.sacked = True
+                    self._pipe -= 1
+                    advanced = True
+                elif seq >= end:
+                    break
+        return advanced
+
+    def _on_new_ack(self, ack: int) -> None:
+        acked_chunks: List[Chunk] = []
+        acked_segments = 0
+        while self._outstanding:
+            seq, record = next(iter(self._outstanding.items()))
+            if seq + record.length > ack:
+                break
+            self._outstanding.popitem(last=False)
+            if not record.sacked:
+                self._pipe -= 1
+            acked_chunks.append((record.data_seq, record.length))
+            acked_segments += 1
+        self.snd_una = ack
+        self._dupacks = 0
+        self._head_retries = 0
+
+        if self._in_recovery:
+            if ack >= self._recovery_point:
+                self._in_recovery = False
+                self.cc.cwnd = max(self.cc.ssthresh, 2.0)
+            else:
+                # Partial ACK: the next hole is also lost (NewReno) —
+                # SACK-driven retransmission handles it when blocks are
+                # present; retransmit the head as the fallback.
+                self._retransmit_head()
+                self._sack_retransmit()
+        else:
+            self.cc.on_ack(float(acked_segments))
+            if self._outstanding and self._max_sacked_end > self.snd_una:
+                # Holes left behind by an RTO (we are no longer in fast
+                # recovery): keep repairing them, paced by the window.
+                self._retransmit_head()
+                self._sack_retransmit()
+
+        if self._outstanding:
+            self._rto_timer.start(self.rtt.rto)
+        else:
+            self._rto_timer.stop()
+
+        if acked_chunks:
+            self.on_data_acked(acked_chunks)
+        self.on_window_open()
+
+    def _on_dup_ack(self) -> None:
+        self._dupacks += 1
+        if self._dupacks == self.config.dupack_threshold and not self._in_recovery:
+            self._enter_recovery()
+        elif self._in_recovery:
+            self.on_window_open()
+
+    def _enter_recovery(self) -> None:
+        self._in_recovery = True
+        self._recovery_point = self.snd_nxt
+        self._recovery_epoch += 1
+        # RFC 5681 FlightSize counts SACKed-but-unacked data too.
+        self.cc.on_enter_recovery(float(len(self._outstanding)))
+        self.stats.fast_retransmits += 1
+        self._retransmit_head()
+        self._sack_retransmit()
+
+    def _retransmission_allowed(self, record: _SegmentRecord) -> bool:
+        """Whether ``record`` may be (re)retransmitted right now.
+
+        A segment is retransmitted at most once per recovery epoch —
+        unless the retransmission itself has evidently been lost (no
+        ACK/SACK for a full RTO), which Linux detects similarly.
+        """
+        if record.sacked:
+            return False
+        if record.rxt_epoch < self._recovery_epoch:
+            return True
+        return (self.loop.now - record.sent_at) > self.rtt.rto
+
+    def _retransmit_head(self) -> None:
+        for record in self._outstanding.values():
+            if record.sacked:
+                continue
+            if self._retransmission_allowed(record):
+                record.rxt_epoch = self._recovery_epoch
+                self._emit(record, retransmission=True)
+                self._rto_timer.start(self.rtt.rto)
+            return
+
+    def _sack_retransmit(self) -> None:
+        """Retransmit SACK-inferred holes, bounded by the window."""
+        budget = self.window_space()
+        if budget <= 0:
+            return
+        lost_boundary = self._max_sacked_end - (
+            self.config.dupack_threshold * self.config.mss_bytes
+        )
+        for record in self._outstanding.values():
+            if budget <= 0:
+                break
+            if record.seq >= lost_boundary:
+                break
+            if not self._retransmission_allowed(record):
+                continue
+            record.rxt_epoch = self._recovery_epoch
+            self._emit(record, retransmission=True)
+            budget -= 1
+        self._rto_timer.start(self.rtt.rto)
+
+    # ------------------------------------------------------------------
+    # Timeout handling
+    # ------------------------------------------------------------------
+    def _on_rto(self) -> None:
+        if self._dead or not self._outstanding:
+            return
+        self.stats.timeouts += 1
+        self._head_retries += 1
+        if self._head_retries > self.config.max_data_retries:
+            self._die()
+            return
+        self._in_recovery = False
+        self._dupacks = 0
+        self._recovery_epoch += 1
+        self.cc.on_timeout(float(len(self._outstanding)))
+        self.rtt.back_off()
+        self._retransmit_head()
+        self.on_rto_event()
+
+    def _die(self) -> None:
+        self._dead = True
+        self._rto_timer.stop()
+        self.on_dead()
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def fail(self) -> List[Chunk]:
+        """Stop this sender and return the data chunks it never delivered.
+
+        Called when the underlying interface is administratively
+        removed; the connection reinjects the returned chunks onto the
+        surviving subflows.
+        """
+        self._dead = True
+        self._rto_timer.stop()
+        # SACKed chunks are included too: a subflow-level SACK only
+        # means the far receiver buffered them out of order; if they
+        # never became in-order there, the connection never saw them.
+        # The connection filters out anything already reassembled.
+        chunks = [(r.data_seq, r.length) for r in self._outstanding.values()]
+        self._outstanding.clear()
+        self._pipe = 0
+        return chunks
+
+    def __repr__(self) -> str:
+        return (
+            f"SubflowSender(flow={self.flow_id}.{self.subflow_id}, "
+            f"una={self.snd_una}, nxt={self.snd_nxt}, "
+            f"pipe={self._pipe}, cwnd={self.cc.cwnd:.1f})"
+        )

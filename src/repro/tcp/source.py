@@ -1,0 +1,77 @@
+"""Data sources: what a connection has left to transmit.
+
+A source hands out MSS-sized chunks addressed by *data sequence number*
+(the connection-level byte offset MPTCP calls the DSN).  Chunks whose
+subflow died before being acknowledged are *reinjected* and handed out
+again, possibly on a different subflow.
+"""
+
+import heapq
+from typing import List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["Chunk", "BulkSource"]
+
+#: (data_seq, length) — a contiguous run of connection-level bytes.
+Chunk = Tuple[int, int]
+
+
+class BulkSource:
+    """A fixed-size transfer (the paper's 10 KB / 100 KB / 1 MB flows).
+
+    Fresh bytes are handed out sequentially; reinjected ranges take
+    priority so failover retransmissions go out first, matching the
+    Linux MPTCP reinjection queue.
+    """
+
+    def __init__(self, total_bytes: int):
+        if total_bytes < 0:
+            raise ConfigurationError(f"total_bytes must be >= 0: {total_bytes}")
+        self.total_bytes = total_bytes
+        self._next_fresh = 0
+        self._reinjected: List[Chunk] = []  # heap ordered by data_seq
+
+    @property
+    def fresh_remaining(self) -> int:
+        """Bytes never yet handed to any subflow."""
+        return self.total_bytes - self._next_fresh
+
+    def has_data(self) -> bool:
+        """Whether another chunk is available to schedule."""
+        return bool(self._reinjected) or self._next_fresh < self.total_bytes
+
+    def next_chunk(self, max_bytes: int) -> Optional[Chunk]:
+        """Take the next chunk of at most ``max_bytes`` to transmit."""
+        if max_bytes <= 0:
+            raise ConfigurationError(f"max_bytes must be positive: {max_bytes}")
+        if self._reinjected:
+            data_seq, length = heapq.heappop(self._reinjected)
+            if length > max_bytes:
+                heapq.heappush(self._reinjected, (data_seq + max_bytes, length - max_bytes))
+                length = max_bytes
+            return (data_seq, length)
+        if self._next_fresh >= self.total_bytes:
+            return None
+        length = min(max_bytes, self.total_bytes - self._next_fresh)
+        chunk = (self._next_fresh, length)
+        self._next_fresh += length
+        return chunk
+
+    def extend(self, extra_bytes: int) -> None:
+        """Grow the transfer (a persistent connection's next response)."""
+        if extra_bytes < 0:
+            raise ConfigurationError(f"extra_bytes must be >= 0: {extra_bytes}")
+        self.total_bytes += extra_bytes
+
+    def reinject(self, chunks: List[Chunk]) -> None:
+        """Queue chunks for (re)transmission ahead of fresh data."""
+        for chunk in chunks:
+            if chunk[1] > 0:
+                heapq.heappush(self._reinjected, chunk)
+
+    def __repr__(self) -> str:
+        return (
+            f"BulkSource(total={self.total_bytes}, fresh_left="
+            f"{self.fresh_remaining}, reinjected={len(self._reinjected)})"
+        )

@@ -1,0 +1,86 @@
+"""Tests for bootstrap CIs and the Jain fairness index."""
+
+import random
+
+import pytest
+
+from repro.analysis.bootstrap import (
+    BootstrapResult,
+    bootstrap_ci,
+    jain_fairness_index,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestBootstrapCi:
+    def test_point_estimate_is_plain_statistic(self):
+        result = bootstrap_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert result.statistic == 3.0
+
+    def test_interval_contains_point(self):
+        result = bootstrap_ci([random.Random(1).gauss(10, 2)
+                               for _ in range(50)])
+        assert result.low <= result.statistic <= result.high
+
+    def test_interval_narrows_with_more_samples(self):
+        rng = random.Random(2)
+        small = bootstrap_ci([rng.gauss(10, 2) for _ in range(10)])
+        large = bootstrap_ci([rng.gauss(10, 2) for _ in range(500)])
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_constant_samples_give_degenerate_interval(self):
+        result = bootstrap_ci([5.0] * 20)
+        assert result.low == result.high == 5.0
+
+    def test_contains(self):
+        result = BootstrapResult(statistic=2.0, low=1.0, high=3.0,
+                                 confidence=0.95, resamples=100)
+        assert result.contains(2.5)
+        assert not result.contains(4.0)
+
+    def test_deterministic_with_seeded_rng(self):
+        samples = [1.0, 5.0, 2.0, 8.0, 3.0]
+        a = bootstrap_ci(samples, rng=random.Random(7))
+        b = bootstrap_ci(samples, rng=random.Random(7))
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_custom_statistic(self):
+        result = bootstrap_ci([1.0, 2.0, 3.0],
+                              statistic=lambda xs: sum(xs) / len(xs))
+        assert result.statistic == pytest.approx(2.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([])
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0], resamples=2)
+
+
+class TestJainFairness:
+    def test_equal_allocations_are_perfectly_fair(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_user_is_fair(self):
+        assert jain_fairness_index([7.0]) == pytest.approx(1.0)
+
+    def test_starved_user_reduces_index(self):
+        assert jain_fairness_index([10.0, 0.0]) == pytest.approx(0.5)
+
+    def test_bounds(self):
+        values = [1.0, 2.0, 7.0, 0.5]
+        index = jain_fairness_index(values)
+        assert 1.0 / len(values) <= index <= 1.0
+
+    def test_scale_invariant(self):
+        a = jain_fairness_index([1.0, 3.0])
+        b = jain_fairness_index([10.0, 30.0])
+        assert a == pytest.approx(b)
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_fairness_index([1.0, -1.0])

@@ -1,0 +1,91 @@
+"""Unit and property tests for empirical CDFs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import Cdf
+from repro.core.errors import ConfigurationError
+
+
+class TestCdfBasics:
+    def test_evaluate(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(0.5) == 0.0
+        assert cdf.evaluate(2.0) == 0.5
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_fraction_below_is_strict(self):
+        cdf = Cdf([1.0, 2.0, 2.0, 3.0])
+        assert cdf.fraction_below(2.0) == 0.25
+        assert cdf.evaluate(2.0) == 0.75
+
+    def test_median_odd(self):
+        assert Cdf([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_median_even_interpolates(self):
+        assert Cdf([1.0, 2.0, 3.0, 4.0]).median == 2.5
+
+    def test_percentiles(self):
+        cdf = Cdf(list(range(101)))
+        assert cdf.percentile(0) == 0
+        assert cdf.percentile(50) == 50
+        assert cdf.percentile(100) == 100
+
+    def test_single_sample(self):
+        cdf = Cdf([7.0])
+        assert cdf.median == 7.0
+        assert cdf.percentile(10) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cdf([])
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cdf([1.0]).percentile(150)
+
+    def test_points_for_plotting(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        points = cdf.points()
+        assert points[0] == (1.0, 0.25)
+        assert points[-1] == (4.0, 1.0)
+
+    def test_points_downsampled(self):
+        cdf = Cdf(list(range(1000)))
+        assert len(cdf.points(max_points=50)) <= 51
+
+
+class TestCdfProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=100)
+    def test_evaluate_monotone(self, samples):
+        cdf = Cdf(samples)
+        xs = sorted(samples)
+        values = [cdf.evaluate(x) for x in xs]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=100))
+    @settings(max_examples=100)
+    def test_percentile_monotone_and_bounded(self, samples):
+        cdf = Cdf(samples)
+        previous = cdf.min
+        span = max(abs(cdf.min), abs(cdf.max), 1.0)
+        for q in (0, 10, 25, 50, 75, 90, 100):
+            value = cdf.percentile(q)
+            # Linear interpolation may wobble by a few ULPs.
+            assert cdf.min - 1e-12 * span <= value <= cdf.max + 1e-12 * span
+            assert value >= previous - 1e-9 * span
+            previous = value
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=1, max_size=100),
+           st.floats(min_value=-150, max_value=150, allow_nan=False))
+    @settings(max_examples=100)
+    def test_evaluate_matches_counting(self, samples, x):
+        cdf = Cdf(samples)
+        expected = sum(1 for s in samples if s <= x) / len(samples)
+        assert cdf.evaluate(x) == pytest.approx(expected)

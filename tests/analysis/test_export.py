@@ -1,0 +1,62 @@
+"""Tests for gnuplot-format export."""
+
+import pytest
+
+from repro.analysis.export import gnuplot_script, write_dat, write_series_files
+from repro.core.errors import ConfigurationError
+
+SERIES = {
+    "wifi": [(1.0, 2.0), (2.0, 4.0)],
+    "lte": [(1.0, 1.0), (2.0, 3.0)],
+}
+
+
+class TestWriteDat:
+    def test_blocks_separated_by_blank_lines(self, tmp_path):
+        path = write_dat(str(tmp_path / "out.dat"), SERIES)
+        text = open(path).read()
+        assert "# index 0: wifi" in text
+        assert "# index 1: lte" in text
+        assert "\n\n\n" in text  # block separator
+
+    def test_data_rows_parse_back(self, tmp_path):
+        path = write_dat(str(tmp_path / "out.dat"), SERIES)
+        rows = [
+            line.split() for line in open(path)
+            if line.strip() and not line.startswith("#")
+        ]
+        values = [(float(a), float(b)) for a, b in rows]
+        assert values == SERIES["wifi"] + SERIES["lte"]
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = write_dat(str(tmp_path / "out.dat"), SERIES,
+                         header="fig 3\nuplink")
+        lines = open(path).read().splitlines()
+        assert lines[0] == "# fig 3"
+        assert lines[1] == "# uplink"
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_dat(str(tmp_path / "out.dat"), {})
+
+
+class TestWriteSeriesFiles:
+    def test_one_file_per_series(self, tmp_path):
+        paths = write_series_files(str(tmp_path / "figs"), SERIES,
+                                   prefix="fig03")
+        assert len(paths) == 2
+        assert all(open(p).readline().startswith("#") for p in paths)
+
+    def test_names_slugified(self, tmp_path):
+        paths = write_series_files(
+            str(tmp_path), {"MPTCP (LTE, Decoupled)": [(1.0, 1.0)]})
+        assert "MPTCP__LTE__Decoupled" in paths[0]
+
+
+class TestGnuplotScript:
+    def test_script_references_all_series(self):
+        script = gnuplot_script("out.dat", ["wifi", "lte"], "fig.png",
+                                xlabel="KB", ylabel="Mbps")
+        assert "index 0" in script and "index 1" in script
+        assert "'fig.png'" in script
+        assert "KB" in script and "Mbps" in script

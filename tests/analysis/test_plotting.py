@@ -1,0 +1,48 @@
+"""Tests for ASCII plotting helpers."""
+
+from repro.analysis.plotting import ascii_cdf, ascii_series, ascii_timeline
+
+
+class TestAsciiCdf:
+    def test_renders_axes_and_legend(self):
+        text = ascii_cdf({"demo": [(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]})
+        assert "CDF" in text
+        assert "demo" in text
+        assert "|" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = ascii_cdf({
+            "a": [(0.0, 0.1), (1.0, 1.0)],
+            "b": [(0.0, 0.2), (1.0, 0.9)],
+        })
+        assert "*=a" in text
+        assert "o=b" in text
+
+    def test_empty_series(self):
+        assert ascii_cdf({"x": []}) == "(no data)"
+
+
+class TestAsciiSeries:
+    def test_includes_ranges(self):
+        text = ascii_series({"s": [(0.0, 5.0), (10.0, 25.0)]},
+                            x_label="flow", y_label="tput")
+        assert "flow" in text
+        assert "tput" in text
+        assert "25" in text
+
+    def test_degenerate_single_point(self):
+        text = ascii_series({"s": [(1.0, 1.0)]})
+        assert "|" in text
+
+
+class TestAsciiTimeline:
+    def test_lanes_rendered(self):
+        text = ascii_timeline({"LTE": [1.0, 2.0], "WiFi": [5.0]},
+                              t_min=0.0, t_max=10.0)
+        assert "LTE" in text and "WiFi" in text
+        assert text.count("|") >= 3
+
+    def test_events_outside_window_ignored(self):
+        text = ascii_timeline({"LTE": [50.0]}, t_min=0.0, t_max=10.0)
+        lane_line = [line for line in text.splitlines() if "LTE" in line][0]
+        assert "|" not in lane_line

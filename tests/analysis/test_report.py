@@ -1,0 +1,44 @@
+"""Tests for text tables."""
+
+import pytest
+
+from repro.analysis.report import Table
+
+
+class TestTable:
+    def test_renders_header_and_rows(self):
+        table = Table(["name", "value"])
+        table.add_row(["alpha", 1])
+        table.add_row(["beta", 2])
+        text = table.render()
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "alpha" in lines[2]
+        assert "beta" in lines[3]
+
+    def test_title_prepended(self):
+        table = Table(["a"], title="My Table")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "My Table"
+
+    def test_floats_formatted(self):
+        table = Table(["x"])
+        table.add_row([3.14159])
+        assert "3.14" in table.render()
+
+    def test_column_alignment(self):
+        table = Table(["col"])
+        table.add_row(["short"])
+        table.add_row(["much longer cell"])
+        lines = table.render().splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines padded to equal width
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_empty_table_renders_header_only(self):
+        table = Table(["a", "b"])
+        assert "a" in table.render()

@@ -1,0 +1,50 @@
+"""Tests for the paper's summary statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    fraction_above,
+    fraction_below,
+    median,
+    percentile,
+    relative_difference,
+    relative_ratio,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestRelativeMetrics:
+    def test_relative_difference_definition(self):
+        # |variant - baseline| / baseline, in percent (paper §3.4).
+        assert relative_difference(8.0, 5.0) == pytest.approx(60.0)
+        assert relative_difference(2.0, 5.0) == pytest.approx(60.0)
+
+    def test_relative_difference_zero_for_equal(self):
+        assert relative_difference(5.0, 5.0) == 0.0
+
+    def test_relative_difference_invalid_baseline(self):
+        with pytest.raises(ConfigurationError):
+            relative_difference(1.0, 0.0)
+
+    def test_relative_ratio(self):
+        assert relative_ratio(6.0, 3.0) == 2.0
+        with pytest.raises(ConfigurationError):
+            relative_ratio(1.0, 0.0)
+
+
+class TestOrderStatistics:
+    def test_median(self):
+        assert median([3, 1, 2]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_percentile_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            median([])
+
+    def test_fractions(self):
+        values = [1, 2, 3, 4]
+        assert fraction_below(values, 3) == 0.5
+        assert fraction_above(values, 3) == 0.25

@@ -1,0 +1,153 @@
+"""Tests for the discrete-event loop and timers."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.core.events import EventLoop, Timer
+
+
+class TestEventLoop:
+    def test_starts_at_time_zero(self):
+        assert EventLoop().now == 0.0
+
+    def test_runs_events_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(2.0, lambda: fired.append("b"))
+        loop.call_at(1.0, lambda: fired.append("a"))
+        loop.call_at(3.0, lambda: fired.append("c"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_times_run_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for tag in range(5):
+            loop.call_at(1.0, lambda t=tag: fired.append(t))
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [1.5]
+        assert loop.now == 1.5
+
+    def test_call_later_is_relative(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(1.0, lambda: loop.call_later(0.5, lambda: seen.append(loop.now)))
+        loop.run()
+        assert seen == [1.5]
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.call_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().call_later(-1.0, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.call_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_run_until_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: fired.append(1))
+        loop.call_at(5.0, lambda: fired.append(5))
+        loop.run(until=2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+        loop.run()
+        assert fired == [1, 5]
+
+    def test_events_scheduled_during_run_execute(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.call_later(1.0, lambda: chain(n + 1))
+
+        loop.call_at(0.0, lambda: chain(0))
+        loop.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_event_budget_guards_runaway(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.call_later(0.001, forever)
+
+        loop.call_at(0.0, forever)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=100)
+
+    def test_pending_counts_uncancelled(self):
+        loop = EventLoop()
+        event = loop.call_at(1.0, lambda: None)
+        loop.call_at(2.0, lambda: None)
+        assert loop.pending() == 2
+        event.cancel()
+        assert loop.pending() == 1
+
+
+class TestTimer:
+    def test_fires_after_delay(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(2.0)
+        loop.run()
+        assert fired == [2.0]
+
+    def test_restart_replaces_previous(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(2.0)
+        timer.start(5.0)
+        loop.run()
+        assert fired == [5.0]
+
+    def test_stop_prevents_firing(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(2.0)
+        timer.stop()
+        loop.run()
+        assert fired == []
+
+    def test_running_and_expiry(self):
+        loop = EventLoop()
+        timer = Timer(loop, lambda: None)
+        assert not timer.running
+        assert timer.expiry is None
+        timer.start(3.0)
+        assert timer.running
+        assert timer.expiry == 3.0
+        loop.run()
+        assert not timer.running
+
+    def test_can_restart_after_firing(self):
+        loop = EventLoop()
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(1.0)
+        loop.run()
+        timer.start(1.0)
+        loop.run()
+        assert fired == [1.0, 2.0]

@@ -1,0 +1,43 @@
+"""Tests for the packet model."""
+
+from repro.core.packet import MSS_BYTES, Packet, PacketFlags, TCP_HEADER_BYTES
+
+
+class TestPacket:
+    def test_wire_bytes_adds_header(self):
+        packet = Packet(flow_id=1, payload_bytes=1000)
+        assert packet.wire_bytes == 1000 + TCP_HEADER_BYTES
+
+    def test_pure_ack_wire_size_is_header_only(self):
+        packet = Packet(flow_id=1, flags=PacketFlags.ACK)
+        assert packet.wire_bytes == TCP_HEADER_BYTES
+
+    def test_flag_properties(self):
+        syn = Packet(flow_id=1, flags=PacketFlags.SYN)
+        synack = Packet(flow_id=1, flags=PacketFlags.SYN | PacketFlags.ACK)
+        fin = Packet(flow_id=1, flags=PacketFlags.FIN | PacketFlags.ACK)
+        assert syn.is_syn and not syn.is_ack and not syn.is_fin
+        assert synack.is_syn and synack.is_ack
+        assert fin.is_fin and fin.is_ack and not fin.is_syn
+
+    def test_end_seq(self):
+        packet = Packet(flow_id=1, seq=1000, payload_bytes=500)
+        assert packet.end_seq == 1500
+
+    def test_packet_ids_unique(self):
+        a = Packet(flow_id=1)
+        b = Packet(flow_id=1)
+        assert a.packet_id != b.packet_id
+
+    def test_default_timestamps_unset(self):
+        packet = Packet(flow_id=1)
+        assert packet.sent_at < 0
+        assert packet.delivered_at < 0
+
+    def test_repr_shows_flags(self):
+        packet = Packet(flow_id=3, flags=PacketFlags.SYN | PacketFlags.MP_JOIN)
+        text = repr(packet)
+        assert "SYN" in text and "MP_JOIN" in text
+
+    def test_mss_is_realistic(self):
+        assert 1200 <= MSS_BYTES <= 1460

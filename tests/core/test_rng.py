@@ -1,0 +1,47 @@
+"""Tests for named, seeded RNG streams."""
+
+from repro.core.rng import DEFAULT_SEED, RngStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "wifi") == derive_seed(42, "wifi")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "wifi") != derive_seed(42, "lte")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(42, "wifi") != derive_seed(43, "wifi")
+
+
+class TestRngStreams:
+    def test_same_name_same_stream(self):
+        streams = RngStreams(7)
+        assert streams.get("a") is streams.get("a")
+
+    def test_different_names_independent(self):
+        streams = RngStreams(7)
+        a = [streams.get("a").random() for _ in range(5)]
+        b = [streams.get("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        first = [RngStreams(7).get("x").random() for _ in range(3)]
+        second = [RngStreams(7).get("x").random() for _ in range(3)]
+        assert first == second
+
+    def test_draws_on_one_stream_do_not_shift_another(self):
+        plain = RngStreams(7)
+        noisy = RngStreams(7)
+        for _ in range(100):
+            noisy.get("other").random()
+        assert plain.get("x").random() == noisy.get("x").random()
+
+    def test_fork_changes_master_seed(self):
+        streams = RngStreams(7)
+        forked = streams.fork("child")
+        assert forked.master_seed != streams.master_seed
+        assert forked.get("x").random() != streams.get("x").random()
+
+    def test_default_seed_is_stable_constant(self):
+        assert DEFAULT_SEED == 20141105

@@ -1,0 +1,31 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.core import units
+
+
+class TestConversions:
+    def test_bits_bytes_roundtrip(self):
+        assert units.bytes_to_bits(units.bits_to_bytes(800)) == 800
+
+    def test_mbps_to_bytes_per_sec(self):
+        assert units.mbps_to_bytes_per_sec(8.0) == 1e6
+
+    def test_bytes_per_sec_to_mbps(self):
+        assert units.bytes_per_sec_to_mbps(1e6) == 8.0
+
+    def test_throughput_mbps(self):
+        # 1 MB in one second = 8.388608 Mbit/s.
+        assert units.throughput_mbps(units.MB, 1.0) == pytest.approx(8.388608)
+
+    def test_throughput_zero_duration_is_zero(self):
+        assert units.throughput_mbps(1000, 0.0) == 0.0
+        assert units.throughput_mbps(1000, -1.0) == 0.0
+
+    def test_ms_seconds_roundtrip(self):
+        assert units.s_to_ms(units.ms_to_s(250.0)) == pytest.approx(250.0)
+
+    def test_size_constants(self):
+        assert units.KB == 1024
+        assert units.MB == 1024 * 1024

@@ -1,0 +1,36 @@
+"""Tests for the Cell vs WiFi CLI."""
+
+from repro.crowd.__main__ import main
+
+
+class TestCellVsWifiCli:
+    def test_list_sites(self, capsys):
+        assert main(["--list-sites"]) == 0
+        out = capsys.readouterr().out
+        assert "US (Boston, MA)" in out
+        assert "Israel" in out
+
+    def test_measurement_run_produces_verdict(self, capsys):
+        assert main(["--site", "Boston", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("run ") >= 2
+        assert ("USE WIFI" in out or "USE CELLULAR" in out
+                or "no comparison" in out)
+
+    def test_unknown_site_rejected(self, capsys):
+        assert main(["--site", "Atlantis"]) == 2
+        assert "unknown site" in capsys.readouterr().err
+
+    def test_invalid_runs_rejected(self, capsys):
+        assert main(["--site", "Boston", "--runs", "0"]) == 2
+
+    def test_deterministic_for_seed(self, capsys):
+        main(["--site", "Israel", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["--site", "Israel", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_substring_match_prefers_specific(self, capsys):
+        assert main(["--site", "Thailand (Phichit)"]) == 0
+        assert "Phichit" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Tests for geographic primitives."""
+
+import pytest
+
+from repro.crowd.geo import GeoPoint, haversine_km
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(42.4, -71.1, 42.4, -71.1) == 0.0
+
+    def test_boston_to_new_york(self):
+        # ~300 km great-circle.
+        distance = haversine_km(42.36, -71.06, 40.71, -74.01)
+        assert distance == pytest.approx(306, rel=0.05)
+
+    def test_symmetry(self):
+        a = haversine_km(10, 20, 30, 40)
+        b = haversine_km(30, 40, 10, 20)
+        assert a == pytest.approx(b)
+
+    def test_antipodal_is_half_circumference(self):
+        distance = haversine_km(0, 0, 0, 180)
+        assert distance == pytest.approx(20015, rel=0.01)
+
+    def test_one_degree_latitude(self):
+        assert haversine_km(0, 0, 1, 0) == pytest.approx(111.2, rel=0.01)
+
+
+class TestGeoPoint:
+    def test_distance_method(self):
+        a = GeoPoint(42.4, -71.1)
+        b = GeoPoint(40.9, -73.8)
+        assert a.distance_km(b) == pytest.approx(
+            haversine_km(42.4, -71.1, 40.9, -73.8)
+        )
+
+    def test_frozen(self):
+        point = GeoPoint(1.0, 2.0)
+        with pytest.raises(Exception):
+            point.lat = 3.0

@@ -1,0 +1,81 @@
+"""Tests for geographic clustering (the Table 1 grouping)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.crowd.dataset import MeasurementRun
+from repro.crowd.geo import GeoPoint
+from repro.crowd.kmeans import cluster_runs
+
+
+def _run_at(lat, lon, wifi=10.0, cell=5.0):
+    run = MeasurementRun(user_id=1, point=GeoPoint(lat, lon), timestamp=0.0,
+                         cellular_technology="LTE")
+    run.wifi_down_mbps = wifi
+    run.wifi_up_mbps = wifi / 2
+    run.cell_down_mbps = cell
+    run.cell_up_mbps = cell / 2
+    run.wifi_rtt_ms = 30.0
+    run.cell_rtt_ms = 70.0
+    return run
+
+
+class TestClusterRuns:
+    def test_empty_input(self):
+        assert cluster_runs([]) == []
+
+    def test_single_city_one_cluster(self):
+        runs = [_run_at(42.4 + k * 0.01, -71.1) for k in range(10)]
+        clusters = cluster_runs(runs)
+        assert len(clusters) == 1
+        assert clusters[0].size == 10
+
+    def test_two_distant_cities_two_clusters(self):
+        boston = [_run_at(42.4, -71.1) for _ in range(5)]
+        portland = [_run_at(45.6, -122.7) for _ in range(3)]
+        clusters = cluster_runs(boston + portland)
+        assert len(clusters) == 2
+        assert sorted(c.size for c in clusters) == [3, 5]
+
+    def test_radius_constraint_respected(self):
+        runs = (
+            [_run_at(42.4, -71.1) for _ in range(5)]
+            + [_run_at(45.6, -122.7) for _ in range(5)]
+            + [_run_at(31.8, 35.0) for _ in range(5)]
+        )
+        clusters = cluster_runs(runs, radius_km=100.0)
+        assert all(c.radius_km <= 100.0 for c in clusters)
+
+    def test_sorted_by_size_descending(self):
+        runs = (
+            [_run_at(42.4, -71.1) for _ in range(8)]
+            + [_run_at(45.6, -122.7) for _ in range(3)]
+        )
+        clusters = cluster_runs(runs)
+        sizes = [c.size for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_lte_win_fraction_per_cluster(self):
+        runs = [
+            _run_at(42.4, -71.1, wifi=10, cell=20),
+            _run_at(42.4, -71.1, wifi=10, cell=5),
+        ]
+        clusters = cluster_runs(runs)
+        assert clusters[0].lte_win_fraction() == 0.5
+
+    def test_every_run_assigned_exactly_once(self):
+        runs = [_run_at(42.4 + k * 0.3, -71.1 + k * 0.3) for k in range(20)]
+        clusters = cluster_runs(runs, radius_km=50.0)
+        assert sum(c.size for c in clusters) == 20
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cluster_runs([_run_at(0, 0)], radius_km=0.0)
+
+    def test_deterministic(self):
+        runs = [_run_at(42.4 + k * 0.5, -71.1) for k in range(15)]
+        a = cluster_runs(runs)
+        b = cluster_runs(runs)
+        assert [(c.center.lat, c.size) for c in a] == [
+            (c.center.lat, c.size) for c in b
+        ]

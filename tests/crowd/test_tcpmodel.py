@@ -1,0 +1,64 @@
+"""Tests for the analytic TCP-throughput model, cross-validated against
+the packet simulator."""
+
+import pytest
+
+from repro import PathConfig, Scenario
+from repro.core.errors import ConfigurationError
+from repro.crowd.tcpmodel import estimate_tcp_throughput_mbps, transfer_time_s
+
+MB = 1_048_576
+
+
+class TestTransferTime:
+    def test_zero_bytes_is_instant(self):
+        assert transfer_time_s(10.0, 40.0, 0) == 0.0
+
+    def test_includes_handshake(self):
+        # Even a tiny transfer costs at least one RTT.
+        assert transfer_time_s(1000.0, 100.0, 100) >= 0.1
+
+    def test_monotone_in_size(self):
+        small = transfer_time_s(10.0, 40.0, 10_000)
+        large = transfer_time_s(10.0, 40.0, 1_000_000)
+        assert large > small
+
+    def test_monotone_in_rate(self):
+        slow = transfer_time_s(2.0, 40.0, MB)
+        fast = transfer_time_s(20.0, 40.0, MB)
+        assert fast < slow
+
+    def test_monotone_in_rtt(self):
+        near = transfer_time_s(10.0, 20.0, 100_000)
+        far = transfer_time_s(10.0, 200.0, 100_000)
+        assert far > near
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            transfer_time_s(0.0, 40.0, 1000)
+
+
+class TestThroughputEstimate:
+    def test_never_exceeds_link_rate(self):
+        for rate in (1.0, 5.0, 30.0):
+            assert estimate_tcp_throughput_mbps(rate, 40.0) < rate
+
+    def test_small_flows_penalized_more(self):
+        small = estimate_tcp_throughput_mbps(10.0, 40.0, nbytes=10_000)
+        large = estimate_tcp_throughput_mbps(10.0, 40.0, nbytes=4 * MB)
+        assert small < large
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("rate,rtt", [(4.0, 40.0), (10.0, 80.0),
+                                          (2.0, 120.0)])
+    def test_matches_packet_simulation_within_25_percent(self, rate, rtt):
+        analytic = estimate_tcp_throughput_mbps(rate, rtt, nbytes=MB)
+        scenario = Scenario()
+        scenario.add_path(PathConfig(
+            name="x", down_mbps=rate, up_mbps=rate / 2, rtt_ms=rtt,
+            queue_packets=500,
+        ))
+        simulated = scenario.run_transfer(
+            scenario.tcp("x", MB, cc="cubic")).throughput_mbps
+        assert analytic == pytest.approx(simulated, rel=0.25)

@@ -1,0 +1,76 @@
+"""Tests for the power monitor attached to simulated interfaces."""
+
+import pytest
+
+from repro import PathConfig, Scenario
+from repro.core.packet import PacketFlags
+from repro.energy.monitor import InterfaceActivityLog, PowerMonitor
+from repro.energy.states import BASE_POWER_W, LTE_POWER_MODEL
+
+
+def _run_transfer(nbytes=200 * 1024):
+    scenario = Scenario()
+    scenario.add_path(PathConfig(name="lte", down_mbps=4, up_mbps=2, rtt_ms=60))
+    log = InterfaceActivityLog(scenario.path("lte"))
+    result = scenario.run_transfer(scenario.tcp("lte", nbytes))
+    return scenario, log, result
+
+
+class TestInterfaceActivityLog:
+    def test_captures_both_directions(self):
+        _, log, _ = _run_transfer()
+        directions = {direction for _, _, _, direction in log.events}
+        assert directions == {"tx", "rx"}
+
+    def test_activity_spans_transfer(self):
+        _, log, result = _run_transfer()
+        assert log.first_activity == pytest.approx(0.0, abs=0.01)
+        assert log.last_activity >= result.completed_at - 0.5
+
+    def test_syn_and_fin_flagged(self):
+        _, log, _ = _run_transfer()
+        assert log.times_with_flag(PacketFlags.SYN)
+        assert log.times_with_flag(PacketFlags.FIN)
+
+    def test_activity_times_sorted(self):
+        _, log, _ = _run_transfer()
+        times = log.activity_times
+        assert times == sorted(times)
+
+
+class TestPowerMonitor:
+    def test_power_series_includes_base(self):
+        _, log, result = _run_transfer()
+        monitor = PowerMonitor(log, LTE_POWER_MODEL)
+        series = monitor.power_series(0.0, result.completed_at + 20.0)
+        watts = [w for _, w in series]
+        assert min(watts) >= BASE_POWER_W
+        assert max(watts) == pytest.approx(
+            BASE_POWER_W + LTE_POWER_MODEL.active_w
+        )
+
+    def test_tail_visible_after_fin(self):
+        _, log, result = _run_transfer()
+        monitor = PowerMonitor(log, LTE_POWER_MODEL)
+        t_tail = log.last_activity + 5.0
+        series = dict(monitor.power_series(t_tail, t_tail + 0.1))
+        assert list(series.values())[0] == pytest.approx(
+            BASE_POWER_W + LTE_POWER_MODEL.tail_w
+        )
+
+    def test_total_energy_exceeds_radio_energy(self):
+        _, log, result = _run_transfer()
+        monitor = PowerMonitor(log, LTE_POWER_MODEL)
+        end = result.completed_at + 20.0
+        assert monitor.total_energy_j(0, end) == pytest.approx(
+            monitor.radio_energy_j(0, end) + BASE_POWER_W * end
+        )
+
+    def test_longer_transfer_costs_more_energy(self):
+        _, log_short, result_short = _run_transfer(50 * 1024)
+        _, log_long, result_long = _run_transfer(2 * 1024 * 1024)
+        short_j = PowerMonitor(log_short, LTE_POWER_MODEL).radio_energy_j(
+            0, result_short.completed_at + 20)
+        long_j = PowerMonitor(log_long, LTE_POWER_MODEL).radio_energy_j(
+            0, result_long.completed_at + 20)
+        assert long_j > short_j

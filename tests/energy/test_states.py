@@ -1,0 +1,113 @@
+"""Tests for radio power-state models (including exact energy math)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.energy.states import LTE_POWER_MODEL, WIFI_POWER_MODEL, RadioPowerModel
+
+
+SIMPLE = RadioPowerModel(
+    name="test", active_w=2.0, tail_w=1.0, idle_w=0.0,
+    active_hold_s=1.0, tail_s=10.0,
+)
+
+
+class TestPowerAt:
+    def test_idle_before_any_activity(self):
+        assert SIMPLE.power_at(5.0, []) == 0.0
+
+    def test_active_right_after_packet(self):
+        assert SIMPLE.power_at(10.5, [10.0]) == 2.0
+
+    def test_tail_after_hold(self):
+        assert SIMPLE.power_at(12.0, [10.0]) == 1.0
+
+    def test_idle_after_tail(self):
+        assert SIMPLE.power_at(25.0, [10.0]) == 0.0
+
+    def test_new_activity_restarts_hold(self):
+        assert SIMPLE.power_at(14.5, [10.0, 14.0]) == 2.0
+
+
+class TestEnergyExact:
+    def test_single_event_energy(self):
+        # 1 s active (2 W) + 10 s tail (1 W) = 12 J within [0, 30].
+        energy = SIMPLE.energy_j([5.0], 0.0, 30.0)
+        assert energy == pytest.approx(2.0 * 1.0 + 1.0 * 10.0)
+
+    def test_window_cuts_tail(self):
+        # Window ends mid-tail: 1 s active + 4 s of tail.
+        energy = SIMPLE.energy_j([5.0], 0.0, 10.0)
+        assert energy == pytest.approx(2.0 + 4.0)
+
+    def test_idle_power_counted(self):
+        model = RadioPowerModel(
+            name="x", active_w=2.0, tail_w=1.0, idle_w=0.1,
+            active_hold_s=1.0, tail_s=2.0,
+        )
+        # No activity at all: pure idle.
+        assert model.energy_j([], 0.0, 10.0) == pytest.approx(1.0)
+
+    def test_continuous_activity_is_all_active(self):
+        events = [0.1 * k for k in range(100)]  # packets every 100 ms
+        energy = SIMPLE.energy_j(events, 0.0, 10.0)
+        assert energy == pytest.approx(2.0 * 10.0, rel=0.02)
+
+    def test_two_separated_events_two_tails(self):
+        energy = SIMPLE.energy_j([0.0, 50.0], 0.0, 100.0)
+        assert energy == pytest.approx(2 * (2.0 + 10.0))
+
+    def test_overlapping_tails_merge(self):
+        # Second event lands inside the first tail: active restarts,
+        # total on-time = 0->1 active, 1->5 tail, 5->6 active, 6->16 tail.
+        energy = SIMPLE.energy_j([0.0, 5.0], 0.0, 30.0)
+        expected = 2.0 * 1 + 1.0 * 4 + 2.0 * 1 + 1.0 * 10
+        assert energy == pytest.approx(expected)
+
+    def test_matches_numeric_integration(self):
+        events = [0.0, 0.4, 3.0, 3.1, 20.0]
+        analytic = SIMPLE.energy_j(events, 0.0, 40.0)
+        dt = 0.001
+        numeric = sum(
+            SIMPLE.power_at(k * dt, events) * dt for k in range(int(40 / dt))
+        )
+        assert analytic == pytest.approx(numeric, rel=0.01)
+
+    def test_empty_window(self):
+        assert SIMPLE.energy_j([1.0], 5.0, 5.0) == 0.0
+        assert SIMPLE.energy_j([1.0], 5.0, 4.0) == 0.0
+
+
+class TestCalibratedModels:
+    def test_lte_tail_is_15_seconds(self):
+        assert LTE_POWER_MODEL.tail_s == 15.0
+
+    def test_lte_draws_more_than_wifi_when_active(self):
+        assert LTE_POWER_MODEL.active_w > WIFI_POWER_MODEL.active_w
+
+    def test_wifi_sleeps_quickly(self):
+        assert WIFI_POWER_MODEL.tail_s < 1.0
+
+    def test_lone_syn_costs_nearly_whole_tail(self):
+        # One packet: ~15 J of tail at 1 W — the §3.6.2 mechanism.
+        energy = LTE_POWER_MODEL.energy_j([0.0], 0.0, 30.0)
+        assert energy > 14.0
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioPowerModel(name="bad", active_w=-1, tail_w=0, idle_w=0,
+                            active_hold_s=0, tail_s=0)
+
+
+class TestFastDormancy:
+    def test_cuts_tail_only(self):
+        dormant = LTE_POWER_MODEL.with_fast_dormancy(tail_s=3.0)
+        assert dormant.tail_s == 3.0
+        assert dormant.active_w == LTE_POWER_MODEL.active_w
+        assert dormant.tail_w == LTE_POWER_MODEL.tail_w
+
+    def test_lone_syn_costs_much_less(self):
+        dormant = LTE_POWER_MODEL.with_fast_dormancy(tail_s=3.0)
+        full = LTE_POWER_MODEL.energy_j([0.0], 0.0, 30.0)
+        cut = dormant.energy_j([0.0], 0.0, 30.0)
+        assert cut < full / 3

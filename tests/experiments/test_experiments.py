@@ -1,0 +1,151 @@
+"""End-to-end checks: every experiment runs and its headline claims hold.
+
+These use each experiment's ``fast=True`` mode so the suite stays
+quick; the benchmarks run the full versions.  Tolerances are the ones
+DESIGN.md §5 commits to: orderings/shape exactly, magnitudes loosely.
+"""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.runner import EXPERIMENT_MODULES, load_all_experiments
+
+load_all_experiments()
+RUN = common.EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every fast experiment once, shared across assertions."""
+    return {}
+
+
+def _get(results, name, **kwargs):
+    if name not in results:
+        results[name] = RUN[name](fast=True, **kwargs)
+    return results[name]
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        for name in EXPERIMENT_MODULES:
+            assert name in RUN, name
+
+    def test_ablations_registered(self):
+        import repro.experiments.ablations  # noqa: F401
+
+        for name in ("ablation_slowstart", "ablation_join",
+                     "ablation_scheduler", "ablation_coupling"):
+            assert name in RUN
+
+
+class TestCrowdExperiments:
+    def test_table1_win_rates_match(self, results):
+        result = _get(results, "table1")
+        for key, value in result.metrics.items():
+            target = result.paper_targets.get(key)
+            if key.startswith("lte_win_pct") and target is not None:
+                assert value == pytest.approx(target, abs=12.0), key
+
+    def test_fig03_combined_lte_wins_near_40(self, results):
+        result = _get(results, "fig03")
+        assert result.metrics["lte_win_fraction_combined"] == pytest.approx(
+            0.40, abs=0.08)
+        assert (result.metrics["lte_win_fraction_uplink"]
+                > result.metrics["lte_win_fraction_downlink"])
+
+    def test_fig04_lte_rtt_lower_near_20(self, results):
+        result = _get(results, "fig04")
+        assert result.metrics["lte_rtt_lower_fraction"] == pytest.approx(
+            0.20, abs=0.08)
+
+    def test_fig06_distributions_comparable(self, results):
+        result = _get(results, "fig06")
+        # Fast mode has few samples; keep a loose KS bound.
+        assert result.metrics["ks_distance_downlink"] < 0.45
+
+
+class TestFlowLevelExperiments:
+    def test_table2_registry(self, results):
+        result = _get(results, "table2")
+        assert result.metrics["location_count"] == 20
+        assert result.metrics["dual_cc_locations"] == 7
+
+    def test_fig07_regimes(self, results):
+        result = _get(results, "fig07")
+        # 7a: disparate links -> MPTCP loses at 1 MB.
+        assert result.metrics["a_best_mptcp_over_best_tcp_at_1MB"] < 1.0
+        # Small flows: single-path TCP at least ties in both regimes.
+        assert result.metrics["a_best_tcp_over_best_mptcp_at_10KB"] >= 0.999
+        assert result.metrics["b_best_tcp_over_best_mptcp_at_10KB"] >= 0.999
+
+    def test_fig08_primary_matters_more_for_small_flows(self, results):
+        result = _get(results, "fig08")
+        assert result.metrics["ordering_small_gt_large"] == 1.0
+        assert result.metrics["median_rel_diff[10KB]"] > 15.0
+
+    def test_fig09_10_better_primary_ramps_faster(self, results):
+        result = _get(results, "fig09_10")
+        assert result.metrics["fig09_tput_ratio_better_primary_at_1s"] > 1.1
+        assert result.metrics["fig10_tput_ratio_better_primary_at_1s"] > 1.1
+
+    def test_fig11_12_ratio_shrinks_with_size(self, results):
+        result = _get(results, "fig11_12")
+        assert result.metrics["fig11_rel_ratio_shrinks"] == 1.0
+        assert result.metrics["fig12_rel_ratio_shrinks"] == 1.0
+
+    def test_fig13_cc_matters_more_for_large_flows(self, results):
+        result = _get(results, "fig13")
+        assert result.metrics["ordering_large_gt_small"] == 1.0
+
+    def test_fig14_crossover(self, results):
+        result = _get(results, "fig14")
+        assert result.metrics["network_dominates_10KB"] == 1.0
+        assert result.metrics["cc_dominates_1MB"] == 1.0
+
+
+class TestBehaviourExperiments:
+    def test_fig15_backup_semantics(self, results):
+        result = _get(results, "fig15")
+        assert result.metrics["c_backup_data_packets"] == 0.0
+        assert result.metrics["e_failover_completes"] == 1.0
+        assert result.metrics["g_stalled_while_unplugged"] == 1.0
+        assert result.metrics["g_resumes_after_replug"] == 1.0
+        assert result.metrics["g_backup_window_updates"] == 1.0
+        assert result.metrics["h_failover_within_2s"] == 1.0
+
+    def test_fig16_energy_claim(self, results):
+        result = _get(results, "fig16")
+        # Short flows save little LTE energy in backup mode.
+        assert result.metrics["saving_at_3s"] < 0.40
+
+    def test_fig17_categorization(self, results):
+        result = _get(results, "fig17")
+        assert result.metrics["correctly_categorized"] == 6.0
+
+
+class TestReplayExperiments:
+    def test_fig18_19_short_flow_claims(self, results):
+        result = _get(results, "fig18_19")
+        assert result.metrics["short_flow_single_path_oracle_wins"] == 1.0
+        # Oracles all reduce response time vs default WiFi-TCP.
+        assert result.metrics["normalized[Single-Path-TCP Oracle]"] < 1.0
+
+    def test_fig20_21_long_flow_claims(self, results):
+        result = _get(results, "fig20_21")
+        assert result.metrics["long_flow_mptcp_oracle_wins"] == 1.0
+        best_mptcp = min(
+            value for key, value in result.metrics.items()
+            if key.startswith("normalized[") and "MPTCP" in key
+        )
+        assert best_mptcp < result.metrics[
+            "normalized[Single-Path-TCP Oracle]"]
+
+
+class TestRenderOutput:
+    def test_every_experiment_renders_text(self, results):
+        for name in ("table2", "fig17"):
+            result = _get(results, name)
+            text = result.render()
+            assert result.experiment_id in text
+            assert "headline metrics" in text

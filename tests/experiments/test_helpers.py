@@ -1,0 +1,134 @@
+"""Unit tests for experiment helper functions (beyond the fast runs)."""
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.core.rng import DEFAULT_SEED
+
+
+class TestKsDistance:
+    def test_identical_samples_distance_zero(self):
+        from repro.experiments.fig06 import ks_distance
+
+        cdf = Cdf([1.0, 2.0, 3.0])
+        assert ks_distance(cdf, cdf) == 0.0
+
+    def test_disjoint_samples_distance_one(self):
+        from repro.experiments.fig06 import ks_distance
+
+        assert ks_distance(Cdf([1.0, 2.0]), Cdf([10.0, 11.0])) == 1.0
+
+    def test_symmetry(self):
+        from repro.experiments.fig06 import ks_distance
+
+        a = Cdf([1.0, 5.0, 9.0])
+        b = Cdf([2.0, 5.0, 8.0, 12.0])
+        assert ks_distance(a, b) == ks_distance(b, a)
+
+
+class TestFlowSizeSweep:
+    def test_sweep_covers_all_configs(self):
+        from repro.experiments.fig07 import flow_size_sweep
+        from repro.linkem.conditions import make_conditions
+
+        condition = make_conditions()[0]
+        sweep = flow_size_sweep(condition, DEFAULT_SEED, sizes_kb=[10, 100])
+        assert set(sweep) == {
+            "LTE", "WiFi",
+            "MPTCP(LTE, Decoupled)", "MPTCP(WiFi, Decoupled)",
+            "MPTCP(LTE, Coupled)", "MPTCP(WiFi, Coupled)",
+        }
+        for points in sweep.values():
+            assert [x for x, _ in points] == [10.0, 100.0]
+            assert all(y > 0 for _, y in points)
+
+
+class TestFig15Panels:
+    def test_run_panel_returns_activity_logs(self):
+        from repro.experiments.fig15 import run_panel
+
+        panel = run_panel("c", nbytes=512 * 1024, mode="backup",
+                          primary="lte", horizon_s=10.0,
+                          description="test")
+        assert panel.completed
+        assert panel.events_on("lte")
+        # Backup WiFi: handshake/teardown only.
+        assert panel.data_packet_count("wifi") == 0
+        assert "test" in panel.render()
+
+    def test_panels_registry_has_all_eight(self):
+        from repro.experiments.fig15 import PANELS
+
+        assert sorted(PANELS) == list("abcdefgh")
+
+
+class TestFig16Helpers:
+    def test_power_panels_have_expected_levels(self):
+        from repro.experiments.fig16 import power_panels
+
+        panels = power_panels(DEFAULT_SEED)
+        assert set(panels) == {
+            "a: LTE, non-backup", "b: WiFi, non-backup",
+            "c: LTE, backup", "d: WiFi, backup",
+        }
+        lte_active = max(w for _, w in panels["a: LTE, non-backup"])
+        wifi_active = max(w for _, w in panels["b: WiFi, non-backup"])
+        assert lte_active == pytest.approx(3.5)   # 1 W base + 2.5 W radio
+        assert wifi_active == pytest.approx(2.0)  # 1 W base + 1 W radio
+
+    def test_backup_energy_monotone_saving(self):
+        from repro.experiments.fig16 import backup_flow_energy
+
+        short = backup_flow_energy(3.0)
+        long_ = backup_flow_energy(30.0)
+        assert long_["saving_fraction"] > short["saving_fraction"]
+
+    def test_fast_dormancy_always_helps(self):
+        from repro.experiments.fig16 import backup_flow_energy
+
+        plain = backup_flow_energy(5.0)
+        dormant = backup_flow_energy(5.0, fast_dormancy=True)
+        assert dormant["saving_fraction"] > plain["saving_fraction"]
+
+
+class TestFig17Rendering:
+    def test_render_pattern_one_row_per_connection(self):
+        from repro.experiments.fig17 import render_pattern
+        from repro.httpreplay.patterns import dropbox_launch
+
+        session = dropbox_launch()
+        text = render_pattern(session)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == session.connection_count
+
+
+class TestThroughputEvolution:
+    def test_series_keys(self):
+        from repro.experiments.fig09_10 import (
+            _illustrative_conditions,
+            throughput_evolution,
+        )
+
+        lte_better, _ = _illustrative_conditions()
+        series = throughput_evolution(lte_better, "lte", DEFAULT_SEED,
+                                      nbytes=512 * 1024, horizon_s=1.0)
+        assert set(series) == {"MPTCP", "WiFi", "LTE"}
+        assert series["MPTCP"][-1][0] == pytest.approx(1.0, abs=0.06)
+
+
+class TestAblationHelpers:
+    def test_primary_effect_positive(self):
+        from repro.experiments.ablations import primary_effect
+
+        effect = primary_effect(DEFAULT_SEED, nbytes=10 * 1024,
+                                condition_count=3)
+        assert effect > 0.0
+
+    def test_backward_compatible_wrapper(self):
+        from repro.experiments.ablations import (
+            primary_effect,
+            primary_effect_10kb,
+        )
+
+        assert primary_effect_10kb(DEFAULT_SEED, 2) == primary_effect(
+            DEFAULT_SEED, 10 * 1024, 2)

@@ -1,0 +1,34 @@
+"""Tests for the CLI runner."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENT_MODULES, main
+
+
+class TestRunnerCli:
+    def test_list_prints_all_ids(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out == EXPERIMENT_MODULES
+
+    def test_runs_named_experiment(self, capsys):
+        assert main(["table2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "headline metrics" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_no_args_shows_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_seed_flag_accepted(self, capsys):
+        assert main(["fig17", "--fast", "--seed", "7"]) == 0
+
+    def test_module_order_matches_paper(self):
+        assert EXPERIMENT_MODULES[0] == "table1"
+        assert EXPERIMENT_MODULES[-1] == "fig20_21"
+        assert "fig15" in EXPERIMENT_MODULES

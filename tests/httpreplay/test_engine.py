@@ -1,0 +1,114 @@
+"""Integration tests for the app replay engine."""
+
+import pytest
+
+from repro.httpreplay.engine import (
+    ReplayEngine,
+    STANDARD_CONFIGS,
+    TransportConfig,
+)
+from repro.httpreplay.message import HttpRequest, HttpResponse
+from repro.httpreplay.patterns import dropbox_launch
+from repro.httpreplay.session import AppSession, RecordedConnection, Transaction
+from repro.linkem.shells import LinkSpec, MpShell
+
+
+def _shell(wifi_down=10.0, lte_down=8.0):
+    return MpShell(
+        wifi=LinkSpec("wifi", down_mbps=wifi_down, up_mbps=wifi_down / 2,
+                      rtt_ms=35),
+        lte=LinkSpec("lte", down_mbps=lte_down, up_mbps=lte_down / 2,
+                     rtt_ms=80),
+    )
+
+
+def _tiny_session():
+    connection = RecordedConnection(
+        connection_id=1, open_offset_s=0.0,
+        transactions=[
+            Transaction(
+                request=HttpRequest("GET", "http://x.example/1"),
+                response=HttpResponse(body_bytes=50_000),
+                server_think_s=0.02,
+            ),
+            Transaction(
+                request=HttpRequest("GET", "http://x.example/2"),
+                response=HttpResponse(body_bytes=20_000),
+                client_think_s=0.1,
+                server_think_s=0.02,
+            ),
+        ],
+    )
+    return AppSession(name="tiny", connections=[connection])
+
+
+class TestStandardConfigs:
+    def test_six_configurations(self):
+        assert len(STANDARD_CONFIGS) == 6
+        names = [c.name for c in STANDARD_CONFIGS]
+        assert names[0] == "WiFi-TCP"
+        assert "MPTCP-Decoupled-LTE" in names
+
+    def test_invalid_kind_rejected(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            TransportConfig("x", "udp", "wifi", "cubic")
+
+
+class TestReplayEngine:
+    def test_tiny_session_completes_on_all_configs(self):
+        engine = ReplayEngine(_shell())
+        results = engine.run_all_configs(_tiny_session(), deadline_s=60.0)
+        assert len(results) == 6
+        assert all(r.completed for r in results.values())
+
+    def test_response_time_includes_think_times(self):
+        engine = ReplayEngine(_shell())
+        result = engine.run(_tiny_session(), STANDARD_CONFIGS[0])
+        assert result.response_time_s > 0.1  # at least the client think
+
+    def test_all_requests_matched_by_replay_shell(self):
+        engine = ReplayEngine(_shell())
+        result = engine.run(_tiny_session(), STANDARD_CONFIGS[0])
+        assert result.replay_misses == 0
+        assert result.replay_hits == 2
+
+    def test_slower_network_slower_response(self):
+        session = dropbox_launch()
+        fast = ReplayEngine(_shell(wifi_down=20.0)).run(
+            session, STANDARD_CONFIGS[0])
+        slow = ReplayEngine(_shell(wifi_down=1.0)).run(
+            session, STANDARD_CONFIGS[0])
+        assert slow.response_time_s > fast.response_time_s
+
+    def test_tcp_config_uses_named_path(self):
+        # With a dead-slow LTE, LTE-TCP must be much slower than WiFi-TCP.
+        shell = _shell(wifi_down=20.0, lte_down=0.5)
+        engine = ReplayEngine(shell)
+        session = dropbox_launch()
+        wifi = engine.run(session, STANDARD_CONFIGS[0])
+        lte = engine.run(session, STANDARD_CONFIGS[1])
+        assert lte.response_time_s > wifi.response_time_s
+
+    def test_deadline_caps_incomplete_replays(self):
+        shell = _shell(wifi_down=0.3, lte_down=0.3)
+        engine = ReplayEngine(shell)
+        session = dropbox_launch()
+        result = engine.run(session, STANDARD_CONFIGS[0], deadline_s=0.5)
+        assert not result.completed
+        assert result.response_time_s == 0.5
+
+    def test_connection_finish_times_recorded(self):
+        engine = ReplayEngine(_shell())
+        session = dropbox_launch()
+        result = engine.run(session, STANDARD_CONFIGS[0])
+        assert set(result.connection_finish_times) == {
+            c.connection_id for c in session.connections
+        }
+
+    def test_deterministic(self):
+        engine = ReplayEngine(_shell())
+        a = engine.run(_tiny_session(), STANDARD_CONFIGS[2], seed=3)
+        b = engine.run(_tiny_session(), STANDARD_CONFIGS[2], seed=3)
+        assert a.response_time_s == b.response_time_s

@@ -1,0 +1,60 @@
+"""Tests for HTTP message model and matching keys."""
+
+from repro.httpreplay.message import (
+    HttpRequest,
+    HttpResponse,
+    TIME_SENSITIVE_HEADERS,
+)
+
+
+def _request(**headers):
+    return HttpRequest(method="GET", url="http://a.example/x",
+                       headers=headers)
+
+
+class TestMatchingKey:
+    def test_identical_requests_match(self):
+        assert _request().matching_key() == _request().matching_key()
+
+    def test_time_sensitive_headers_ignored(self):
+        a = _request(**{"If-Modified-Since": "Mon, 01 Jan 2014"})
+        b = _request(**{"If-Modified-Since": "Tue, 02 Jan 2014"})
+        assert a.matching_key() == b.matching_key()
+
+    def test_cookie_ignored(self):
+        a = _request(Cookie="session=1")
+        b = _request(Cookie="session=2")
+        assert a.matching_key() == b.matching_key()
+
+    def test_substantive_headers_matter(self):
+        a = _request(Accept="text/html")
+        b = _request(Accept="application/json")
+        assert a.matching_key() != b.matching_key()
+
+    def test_url_and_method_matter(self):
+        base = _request()
+        other_url = HttpRequest("GET", "http://a.example/y")
+        other_method = HttpRequest("POST", "http://a.example/x")
+        assert base.matching_key() != other_url.matching_key()
+        assert base.matching_key() != other_method.matching_key()
+
+    def test_method_case_insensitive(self):
+        a = HttpRequest("get", "http://a.example/x")
+        b = HttpRequest("GET", "http://a.example/x")
+        assert a.matching_key() == b.matching_key()
+
+    def test_known_time_sensitive_set(self):
+        assert "if-modified-since" in TIME_SENSITIVE_HEADERS
+        assert "cookie" in TIME_SENSITIVE_HEADERS
+
+
+class TestWireSizes:
+    def test_request_wire_bytes_include_headers_and_body(self):
+        bare = HttpRequest("GET", "http://a.example/x")
+        heavy = HttpRequest("GET", "http://a.example/x",
+                            headers={"X-Long": "v" * 100}, body_bytes=500)
+        assert heavy.wire_bytes > bare.wire_bytes + 500
+
+    def test_response_wire_bytes(self):
+        response = HttpResponse(body_bytes=1000)
+        assert response.wire_bytes > 1000

@@ -1,0 +1,68 @@
+"""Tests for the oracle schemes."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.httpreplay.oracles import (
+    ORACLES,
+    normalized_oracle_means,
+    oracle_response_times,
+)
+
+
+TIMES = {
+    "WiFi-TCP": 10.0,
+    "LTE-TCP": 6.0,
+    "MPTCP-Coupled-WiFi": 8.0,
+    "MPTCP-Coupled-LTE": 7.0,
+    "MPTCP-Decoupled-WiFi": 9.0,
+    "MPTCP-Decoupled-LTE": 5.0,
+}
+
+
+class TestOracleResponseTimes:
+    def test_five_oracles(self):
+        assert len(ORACLES) == 5
+
+    def test_single_path_oracle_picks_best_network(self):
+        assert oracle_response_times(TIMES)["Single-Path-TCP Oracle"] == 6.0
+
+    def test_decoupled_oracle_picks_best_primary(self):
+        assert oracle_response_times(TIMES)["Decoupled-MPTCP Oracle"] == 5.0
+
+    def test_primary_fixed_oracles_pick_best_cc(self):
+        result = oracle_response_times(TIMES)
+        assert result["MPTCP-WiFi-Primary Oracle"] == 8.0
+        assert result["MPTCP-LTE-Primary Oracle"] == 5.0
+
+    def test_missing_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            oracle_response_times({"WiFi-TCP": 1.0})
+
+
+class TestNormalizedMeans:
+    def test_normalized_by_wifi_tcp(self):
+        means = normalized_oracle_means([TIMES])
+        assert means["Single-Path-TCP Oracle"] == pytest.approx(0.6)
+        assert means["WiFi-TCP"] == 1.0
+
+    def test_averages_across_conditions(self):
+        second = {name: value * 2 for name, value in TIMES.items()}
+        means = normalized_oracle_means([TIMES, second])
+        # Normalization makes both conditions identical.
+        assert means["Single-Path-TCP Oracle"] == pytest.approx(0.6)
+
+    def test_oracles_never_beat_their_best_member(self):
+        means = normalized_oracle_means([TIMES])
+        for oracle, members in ORACLES.items():
+            best = min(TIMES[m] for m in members) / TIMES["WiFi-TCP"]
+            assert means[oracle] == pytest.approx(best)
+
+    def test_empty_conditions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalized_oracle_means([])
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalized_oracle_means([{k: v for k, v in TIMES.items()
+                                      if k != "WiFi-TCP"}])

@@ -1,0 +1,87 @@
+"""Tests for app traffic patterns and categorization."""
+
+from repro.httpreplay.classify import (
+    FlowCategory,
+    LONG_FLOW_BYTES,
+    classify_session,
+)
+from repro.httpreplay.patterns import PATTERN_BUILDERS
+from repro.httpreplay.session import AppSession, RecordedConnection, Transaction
+from repro.httpreplay.message import HttpRequest, HttpResponse
+
+
+class TestPatternStructure:
+    def test_all_six_patterns_exist(self):
+        assert set(PATTERN_BUILDERS) == {
+            "cnn_launch", "cnn_click", "imdb_launch",
+            "imdb_click", "dropbox_launch", "dropbox_click",
+        }
+
+    def test_connection_counts_match_paper(self):
+        assert PATTERN_BUILDERS["cnn_launch"](1).connection_count == 19
+        assert PATTERN_BUILDERS["imdb_click"](1).connection_count == 30
+        assert PATTERN_BUILDERS["dropbox_launch"](1).connection_count == 6
+        assert PATTERN_BUILDERS["dropbox_click"](1).connection_count == 12
+
+    def test_imdb_click_has_trailer_connection(self):
+        session = PATTERN_BUILDERS["imdb_click"](1)
+        assert session.largest_connection_bytes > 5 * 1024 * 1024
+
+    def test_dropbox_click_connection_8_is_the_pdf(self):
+        session = PATTERN_BUILDERS["dropbox_click"](1)
+        by_id = {c.connection_id: c for c in session.connections}
+        assert by_id[8].response_bytes > 3 * 1024 * 1024
+        others = [c.response_bytes for cid, c in by_id.items() if cid != 8]
+        assert max(others) < 100 * 1024
+
+    def test_deterministic_per_seed(self):
+        a = PATTERN_BUILDERS["cnn_launch"](5)
+        b = PATTERN_BUILDERS["cnn_launch"](5)
+        assert a.total_bytes == b.total_bytes
+
+    def test_seed_changes_sizes(self):
+        a = PATTERN_BUILDERS["cnn_launch"](5)
+        b = PATTERN_BUILDERS["cnn_launch"](6)
+        assert a.total_bytes != b.total_bytes
+
+    def test_first_connection_opens_at_zero(self):
+        for builder in PATTERN_BUILDERS.values():
+            session = builder(1)
+            assert min(c.open_offset_s for c in session.connections) == 0.0
+
+
+class TestClassification:
+    def test_paper_categorization(self):
+        expectations = {
+            "cnn_launch": FlowCategory.SHORT_FLOW_DOMINATED,
+            "cnn_click": FlowCategory.SHORT_FLOW_DOMINATED,
+            "imdb_launch": FlowCategory.SHORT_FLOW_DOMINATED,
+            "imdb_click": FlowCategory.LONG_FLOW_DOMINATED,
+            "dropbox_launch": FlowCategory.SHORT_FLOW_DOMINATED,
+            "dropbox_click": FlowCategory.LONG_FLOW_DOMINATED,
+        }
+        for name, expected in expectations.items():
+            assert classify_session(PATTERN_BUILDERS[name](1)) == expected, name
+
+    def test_empty_session_is_short(self):
+        assert classify_session(AppSession(name="empty")) == (
+            FlowCategory.SHORT_FLOW_DOMINATED
+        )
+
+    def test_threshold_boundary(self):
+        def session_with(nbytes):
+            connection = RecordedConnection(
+                connection_id=1, open_offset_s=0.0,
+                transactions=[Transaction(
+                    request=HttpRequest("GET", "http://x.example/a"),
+                    response=HttpResponse(body_bytes=nbytes),
+                )],
+            )
+            return AppSession(name="x", connections=[connection])
+
+        assert classify_session(session_with(LONG_FLOW_BYTES)) == (
+            FlowCategory.LONG_FLOW_DOMINATED
+        )
+        assert classify_session(session_with(LONG_FLOW_BYTES // 4)) == (
+            FlowCategory.SHORT_FLOW_DOMINATED
+        )

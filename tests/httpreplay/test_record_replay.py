@@ -1,0 +1,100 @@
+"""Tests for RecordShell and ReplayShell (matching semantics)."""
+
+import pytest
+
+from repro.core.errors import ReplayError
+from repro.httpreplay.message import HttpRequest, HttpResponse
+from repro.httpreplay.patterns import cnn_launch
+from repro.httpreplay.recorder import RecordShell
+from repro.httpreplay.replayer import ReplayShell
+
+
+class TestRecordShell:
+    def test_records_every_transaction(self):
+        session = cnn_launch()
+        shell = RecordShell()
+        shell.record(session)
+        transactions = sum(
+            len(c.transactions) for c in session.connections
+        )
+        assert len(shell.archive.log) == transactions
+
+    def test_recording_multiple_sessions_accumulates(self):
+        shell = RecordShell()
+        shell.record(cnn_launch(seed=1))
+        size_after_one = len(shell.archive)
+        shell.record(cnn_launch(seed=2))
+        assert len(shell.archive) > size_after_one
+
+
+class TestArchivePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        record = RecordShell()
+        session = record.record(cnn_launch())
+        path = str(tmp_path / "archive.json")
+        record.archive.save(path)
+        loaded = ReplayShell(record.archive.load(path))
+        transaction = session.connections[0].transactions[0]
+        response = loaded.serve(transaction.request)
+        assert response.body_bytes == transaction.response.body_bytes
+
+    def test_loaded_archive_same_size(self, tmp_path):
+        record = RecordShell()
+        record.record(cnn_launch())
+        path = str(tmp_path / "archive.json")
+        record.archive.save(path)
+        from repro.httpreplay.recorder import ReplayArchive
+
+        loaded = ReplayArchive.load(path)
+        assert len(loaded) == len(record.archive)
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = str(tmp_path / "bogus.json")
+        with open(path, "w") as handle:
+            handle.write('{"hello": 1}')
+        from repro.httpreplay.recorder import ReplayArchive
+
+        with pytest.raises(ReplayError):
+            ReplayArchive.load(path)
+
+
+class TestReplayShell:
+    def _shell(self):
+        record = RecordShell()
+        record.record(cnn_launch())
+        return ReplayShell(record.archive)
+
+    def test_recorded_request_hits(self):
+        session = cnn_launch()
+        record = RecordShell()
+        record.record(session)
+        replay = ReplayShell(record.archive)
+        transaction = session.connections[0].transactions[0]
+        response = replay.serve(transaction.request)
+        assert response.body_bytes == transaction.response.body_bytes
+        assert replay.hits == 1
+
+    def test_time_sensitive_header_change_still_matches(self):
+        session = cnn_launch()
+        record = RecordShell()
+        record.record(session)
+        replay = ReplayShell(record.archive)
+        original = session.connections[0].transactions[0].request
+        changed = HttpRequest(
+            method=original.method, url=original.url,
+            headers={**original.headers,
+                     "If-Modified-Since": "Sat, 05 Jul 2014 00:00:00 GMT"},
+            body_bytes=original.body_bytes,
+        )
+        assert replay.lookup(changed) is not None
+
+    def test_unknown_request_misses(self):
+        replay = self._shell()
+        unknown = HttpRequest("GET", "http://other.example/nope")
+        assert replay.lookup(unknown) is None
+        assert replay.misses == 1
+
+    def test_serve_raises_on_miss(self):
+        replay = self._shell()
+        with pytest.raises(ReplayError):
+            replay.serve(HttpRequest("GET", "http://other.example/nope"))

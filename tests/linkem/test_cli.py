@@ -1,0 +1,39 @@
+"""Tests for the trace-generation CLI."""
+
+import pytest
+
+from repro.linkem.__main__ import main
+from repro.net.trace import DeliveryTrace
+
+
+class TestTraceCli:
+    def test_writes_loadable_trace(self, tmp_path):
+        out = str(tmp_path / "lte.trace")
+        assert main(["lte", "6.0", "--out", out, "--duration-ms", "4000"]) == 0
+        trace = DeliveryTrace.load(out)
+        assert trace.mean_rate_mbps == pytest.approx(6.0, rel=0.3)
+        assert trace.period_ms == 4000
+
+    def test_wifi_technology(self, tmp_path):
+        out = str(tmp_path / "wifi.trace")
+        assert main(["wifi", "10.0", "--contention", "0.4",
+                     "--out", out]) == 0
+        assert DeliveryTrace.load(out).mean_rate_mbps == pytest.approx(
+            10.0, rel=0.35)
+
+    def test_stdout_mode(self, capsys):
+        assert main(["lte", "2.0", "--duration-ms", "2000"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(line.isdigit() for line in lines)
+        assert len(lines) > 100
+
+    def test_deterministic_for_seed(self, tmp_path):
+        a = str(tmp_path / "a.trace")
+        b = str(tmp_path / "b.trace")
+        main(["lte", "6.0", "--seed", "9", "--out", a])
+        main(["lte", "6.0", "--seed", "9", "--out", b])
+        assert open(a).read() == open(b).read()
+
+    def test_rejects_unknown_technology(self):
+        with pytest.raises(SystemExit):
+            main(["satellite", "6.0"])

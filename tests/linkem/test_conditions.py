@@ -1,0 +1,78 @@
+"""Tests for the 20-location condition registry."""
+
+import pytest
+
+from repro.linkem.conditions import (
+    DUAL_CC_CONDITION_IDS,
+    TABLE2_LOCATIONS,
+    build_scenario,
+    make_conditions,
+)
+
+
+class TestRegistry:
+    def test_twenty_conditions(self):
+        assert len(make_conditions()) == 20
+
+    def test_table2_has_twenty_rows(self):
+        assert len(TABLE2_LOCATIONS) == 20
+
+    def test_seven_dual_cc_locations(self):
+        assert len(DUAL_CC_CONDITION_IDS) == 7
+
+    def test_ids_sequential(self):
+        conditions = make_conditions()
+        assert [c.condition_id for c in conditions] == list(range(1, 21))
+
+    def test_deterministic_for_seed(self):
+        a = make_conditions(seed=7)
+        b = make_conditions(seed=7)
+        assert repr(a) == repr(b)
+
+    def test_different_seeds_differ(self):
+        a = make_conditions(seed=7)
+        b = make_conditions(seed=8)
+        assert repr(a) != repr(b)
+
+    def test_paper_id_convention(self):
+        conditions = make_conditions()
+        advantages = [c.wifi_advantage_mbps for c in conditions]
+        # IDs 1-2: strongest WiFi advantage; IDs 3-4: strongest LTE.
+        assert advantages[0] > 0 and advantages[1] > 0
+        assert advantages[2] < 0 and advantages[3] < 0
+        assert advantages[0] >= max(advantages[4:])
+        assert advantages[2] <= min(advantages[4:])
+
+    def test_lte_wins_at_roughly_40_percent_of_locations(self):
+        conditions = make_conditions()
+        wins = sum(1 for c in conditions if c.lte.down_mbps > c.wifi.down_mbps)
+        assert 5 <= wins <= 12
+
+    def test_lte_buffers_deeper_than_wifi(self):
+        conditions = make_conditions()
+        lte_median = sorted(c.lte.queue_packets for c in conditions)[10]
+        wifi_median = sorted(c.wifi.queue_packets for c in conditions)[10]
+        assert lte_median > wifi_median
+
+    def test_trace_driven_flag_propagates(self):
+        conditions = make_conditions(trace_driven=True)
+        assert all(c.wifi.trace_driven and c.lte.trace_driven
+                   for c in conditions)
+
+
+class TestBuildScenario:
+    def test_scenario_has_both_paths(self):
+        scenario = build_scenario(make_conditions()[0])
+        assert sorted(scenario.path_names) == ["lte", "wifi"]
+
+    def test_tcp_runs_at_condition(self):
+        scenario = build_scenario(make_conditions()[0])
+        result = scenario.run_transfer(scenario.tcp("lte", 50 * 1024))
+        assert result.completed
+
+    def test_seed_controls_realization(self):
+        condition = make_conditions(trace_driven=True, temporal_sigma=0.3)[0]
+        a = build_scenario(condition, seed=1)
+        b = build_scenario(condition, seed=2)
+        assert (a.path("wifi").config.down_mbps
+                != b.path("wifi").config.down_mbps)

@@ -1,0 +1,72 @@
+"""Tests for LinkSpec / MpShell."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RngStreams
+from repro.linkem.shells import LinkSpec, MpShell
+
+
+class TestLinkSpec:
+    def test_valid_spec(self):
+        spec = LinkSpec("wifi", down_mbps=10, up_mbps=5, rtt_ms=30)
+        config = spec.to_path_config("wifi", RngStreams(1))
+        assert config.down_mbps == 10
+        assert config.up_trace is None
+
+    def test_trace_driven_builds_traces(self):
+        spec = LinkSpec("lte", down_mbps=8, up_mbps=4, rtt_ms=60,
+                        trace_driven=True)
+        config = spec.to_path_config("lte", RngStreams(1))
+        assert config.down_trace is not None
+        assert config.down_trace.mean_rate_mbps == pytest.approx(8, rel=0.3)
+
+    def test_temporal_jitter_changes_across_seeds(self):
+        spec = LinkSpec("wifi", down_mbps=10, up_mbps=5, rtt_ms=30,
+                        temporal_sigma=0.3)
+        a = spec.to_path_config("wifi", RngStreams(1))
+        b = spec.to_path_config("wifi", RngStreams(2))
+        assert a.down_mbps != b.down_mbps
+        assert a.rtt_ms != b.rtt_ms
+
+    def test_no_jitter_is_exact(self):
+        spec = LinkSpec("wifi", down_mbps=10, up_mbps=5, rtt_ms=30)
+        config = spec.to_path_config("wifi", RngStreams(1))
+        assert config.down_mbps == 10.0
+        assert config.rtt_ms == 30.0
+
+    def test_invalid_technology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec("satellite", down_mbps=10, up_mbps=5, rtt_ms=600)
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec("wifi", down_mbps=0, up_mbps=5, rtt_ms=30)
+
+
+class TestMpShell:
+    def _shell(self):
+        return MpShell(
+            wifi=LinkSpec("wifi", down_mbps=12, up_mbps=6, rtt_ms=35),
+            lte=LinkSpec("lte", down_mbps=9, up_mbps=4, rtt_ms=80),
+        )
+
+    def test_build_creates_both_paths(self):
+        scenario = self._shell().build()
+        assert sorted(scenario.path_names) == ["lte", "wifi"]
+
+    def test_each_build_is_independent(self):
+        shell = self._shell()
+        a = shell.build()
+        b = shell.build()
+        assert a.loop is not b.loop
+
+    def test_transfer_runs_inside_shell(self):
+        scenario = self._shell().build()
+        result = scenario.run_transfer(scenario.tcp("wifi", 100 * 1024))
+        assert result.completed
+
+    def test_specs_accessor(self):
+        shell = self._shell()
+        assert shell.specs["wifi"].technology == "wifi"
+        assert shell.specs["lte"].technology == "lte"

@@ -1,0 +1,68 @@
+"""Tests for synthetic LTE/WiFi delivery traces."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.linkem.traces import synth_lte_trace, synth_wifi_trace
+
+
+class TestLteTrace:
+    def test_mean_rate_close_to_target(self):
+        for target in (2.0, 8.0, 20.0):
+            trace = synth_lte_trace(random.Random(1), target, duration_ms=8000)
+            assert trace.mean_rate_mbps == pytest.approx(target, rel=0.25)
+
+    def test_rate_varies_within_trace(self):
+        trace = synth_lte_trace(random.Random(2), 10.0, duration_ms=8000)
+        window = 0.5
+        rates = []
+        t = 0.0
+        while t + window <= trace.period_ms / 1000.0:
+            count = trace.opportunities_between(t, t + window)
+            rates.append(count * 1504 * 8 / window / 1e6)
+            t += window
+        assert max(rates) > 1.3 * min(rates)
+
+    def test_deterministic_for_seed(self):
+        a = synth_lte_trace(random.Random(3), 5.0)
+        b = synth_lte_trace(random.Random(3), 5.0)
+        assert a.offsets_ms == b.offsets_ms
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synth_lte_trace(random.Random(1), 0.0)
+
+
+class TestWifiTrace:
+    def test_mean_rate_close_to_target(self):
+        for target in (3.0, 12.0):
+            trace = synth_wifi_trace(random.Random(1), target, duration_ms=8000)
+            assert trace.mean_rate_mbps == pytest.approx(target, rel=0.3)
+
+    def test_contention_creates_burstier_delivery_than_lte(self):
+        wifi = synth_wifi_trace(random.Random(5), 8.0, duration_ms=8000,
+                                contention=0.5)
+        lte = synth_lte_trace(random.Random(5), 8.0, duration_ms=8000,
+                              volatility=0.05)
+
+        def window_variance(trace):
+            window = 0.1
+            counts = []
+            t = 0.0
+            while t + window <= trace.period_ms / 1000.0:
+                counts.append(trace.opportunities_between(t, t + window))
+                t += window
+            mean = sum(counts) / len(counts)
+            return sum((c - mean) ** 2 for c in counts) / len(counts) / max(mean, 1)
+
+        assert window_variance(wifi) > window_variance(lte)
+
+    def test_zero_contention_is_steady(self):
+        trace = synth_wifi_trace(random.Random(1), 8.0, contention=0.0)
+        assert trace.mean_rate_mbps == pytest.approx(8.0, rel=0.15)
+
+    def test_invalid_contention_rejected(self):
+        with pytest.raises(ConfigurationError):
+            synth_wifi_trace(random.Random(1), 8.0, contention=1.0)

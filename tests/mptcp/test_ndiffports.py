@@ -1,0 +1,63 @@
+"""Tests for ndiffports-style multiple subflows per path."""
+
+import pytest
+
+from repro import MptcpOptions, PathConfig, Scenario
+from repro.core.errors import ConfigurationError
+
+
+def _scenario():
+    scenario = Scenario()
+    scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,
+                                 rtt_ms=40))
+    scenario.add_path(PathConfig(name="lte", down_mbps=8, up_mbps=4,
+                                 rtt_ms=80, queue_packets=500))
+    return scenario
+
+
+class TestNdiffports:
+    def test_creates_requested_subflow_count(self):
+        scenario = _scenario()
+        connection = scenario.mptcp(100 * 1024, options=MptcpOptions(
+            primary="wifi", subflows_per_path=3))
+        assert len(connection.subflows) == 6
+        per_path = {}
+        for subflow in connection.subflows:
+            per_path[subflow.name] = per_path.get(subflow.name, 0) + 1
+        assert per_path == {"wifi": 3, "lte": 3}
+
+    def test_exactly_one_primary(self):
+        scenario = _scenario()
+        connection = scenario.mptcp(100 * 1024, options=MptcpOptions(
+            primary="lte", subflows_per_path=2))
+        primaries = [sf for sf in connection.subflows if sf.is_primary]
+        assert len(primaries) == 1
+        assert primaries[0].name == "lte"
+
+    def test_transfer_completes_exactly(self):
+        scenario = _scenario()
+        connection = scenario.mptcp(500 * 1024, options=MptcpOptions(
+            primary="wifi", subflows_per_path=2,
+            congestion_control="decoupled"))
+        result = scenario.run_transfer(connection)
+        assert result.completed
+        assert connection.bytes_delivered == 500 * 1024
+
+    def test_subflow_ids_distinct_on_shared_path(self):
+        scenario = _scenario()
+        connection = scenario.mptcp(100 * 1024, options=MptcpOptions(
+            primary="wifi", subflows_per_path=2))
+        ids = [sf.subflow_id for sf in connection.subflows]
+        assert len(set(ids)) == len(ids)
+
+    def test_coupled_cc_spans_all_subflows(self):
+        scenario = _scenario()
+        connection = scenario.mptcp(100 * 1024, options=MptcpOptions(
+            primary="wifi", subflows_per_path=2,
+            congestion_control="coupled"))
+        coupling = connection.subflows[0].sender.cc.coupling
+        assert len(coupling.members) == 4
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MptcpOptions(subflows_per_path=0)

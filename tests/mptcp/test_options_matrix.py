@@ -1,0 +1,85 @@
+"""Property test: every MPTCP option combination delivers exactly.
+
+The reliability invariant must hold across the full option matrix —
+mode × scheduler × congestion control × primary × subflows-per-path —
+not just the paper's configurations.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MptcpOptions, PathConfig, Scenario
+from repro.core.errors import ConfigurationError
+
+option_matrix = st.fixed_dictionaries({
+    "primary": st.sampled_from(["wifi", "lte"]),
+    "congestion_control": st.sampled_from(
+        ["coupled", "decoupled", "olia", "cubic"]),
+    "mode": st.sampled_from(["full", "backup", "singlepath"]),
+    "scheduler": st.sampled_from(["minrtt", "roundrobin", "redundant"]),
+    "subflows_per_path": st.sampled_from([1, 2]),
+    "join_delay_rtts": st.sampled_from([0.0, 1.0, 2.0]),
+})
+
+directions = st.sampled_from(["down", "up"])
+
+
+class TestOptionMatrix:
+    @given(option_matrix,
+           directions,
+           st.integers(min_value=1, max_value=200_000),
+           st.integers(min_value=0, max_value=999))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_delivery_for_any_options(self, options_dict, direction,
+                                            nbytes, seed):
+        scenario = Scenario(seed=seed)
+        scenario.add_path(PathConfig(name="wifi", down_mbps=8, up_mbps=4,
+                                     rtt_ms=40, queue_packets=150))
+        scenario.add_path(PathConfig(name="lte", down_mbps=6, up_mbps=3,
+                                     rtt_ms=90, queue_packets=500))
+        options = MptcpOptions(**options_dict)
+        connection = scenario.mptcp(nbytes, direction=direction,
+                                    options=options)
+        result = scenario.run_transfer(connection, deadline_s=120.0)
+        assert result.completed, (options_dict, direction)
+        assert connection.bytes_delivered == nbytes
+
+    def test_invalid_cc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MptcpOptions(congestion_control="vegas")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MptcpOptions(mode="turbo")
+
+    def test_invalid_join_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MptcpOptions(join_delay_s=-1.0)
+
+
+class TestConnectionStats:
+    def test_stats_snapshot_fields(self):
+        scenario = Scenario(seed=1)
+        scenario.add_path(PathConfig(name="wifi", down_mbps=8, up_mbps=4,
+                                     rtt_ms=40))
+        scenario.add_path(PathConfig(name="lte", down_mbps=6, up_mbps=3,
+                                     rtt_ms=90))
+        connection = scenario.mptcp(
+            100 * 1024, options=MptcpOptions(primary="wifi"))
+        scenario.run_transfer(connection)
+        stats = connection.stats()
+        assert stats.total_bytes == 100 * 1024
+        assert stats.bytes_delivered == 100 * 1024
+        assert stats.duration_s is not None
+        assert stats.throughput_mbps > 0
+        assert stats.retransmits >= 0
+
+    def test_incomplete_stats_have_no_duration(self):
+        scenario = Scenario(seed=1)
+        scenario.add_path(PathConfig(name="wifi", down_mbps=8, up_mbps=4,
+                                     rtt_ms=40))
+        connection = scenario.tcp("wifi", 100 * 1024)
+        stats = connection.stats()
+        assert stats.duration_s is None
+        assert stats.throughput_mbps is None

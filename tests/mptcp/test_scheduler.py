@@ -1,0 +1,54 @@
+"""Tests for MPTCP packet schedulers."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mptcp.scheduler import (
+    MinRttScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+
+
+class FakeSubflow:
+    def __init__(self, subflow_id, srtt):
+        self.subflow_id = subflow_id
+        self.srtt = srtt
+
+
+class TestMinRtt:
+    def test_picks_lowest_rtt(self):
+        scheduler = MinRttScheduler()
+        fast = FakeSubflow(1, 0.02)
+        slow = FakeSubflow(0, 0.08)
+        assert scheduler.pick([slow, fast]) is fast
+
+    def test_tie_broken_by_subflow_id(self):
+        scheduler = MinRttScheduler()
+        a = FakeSubflow(0, 0.05)
+        b = FakeSubflow(1, 0.05)
+        assert scheduler.pick([b, a]) is a
+
+
+class TestRoundRobin:
+    def test_rotates(self):
+        scheduler = RoundRobinScheduler()
+        a, b = FakeSubflow(0, 0.1), FakeSubflow(1, 0.1)
+        picks = [scheduler.pick([a, b]).subflow_id for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_single_subflow(self):
+        scheduler = RoundRobinScheduler()
+        a = FakeSubflow(0, 0.1)
+        assert scheduler.pick([a]) is a
+        assert scheduler.pick([a]) is a
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_scheduler("minrtt"), MinRttScheduler)
+        assert isinstance(make_scheduler("roundrobin"), RoundRobinScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("random")

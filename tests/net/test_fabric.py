@@ -1,0 +1,68 @@
+"""Tests for packet demultiplexing and path attachment."""
+
+from repro.core.events import EventLoop
+from repro.core.packet import Packet
+from repro.net.fabric import AttachedPath, PacketDemux
+from repro.net.path import Path, PathConfig
+
+
+class TestPacketDemux:
+    def test_routes_by_flow_and_subflow(self):
+        demux = PacketDemux()
+        got_a, got_b = [], []
+        demux.register(1, 0, got_a.append)
+        demux.register(1, 1, got_b.append)
+        demux.dispatch(Packet(flow_id=1, subflow_id=0))
+        demux.dispatch(Packet(flow_id=1, subflow_id=1))
+        assert len(got_a) == 1 and len(got_b) == 1
+
+    def test_unregistered_packets_counted_as_stray(self):
+        demux = PacketDemux()
+        demux.dispatch(Packet(flow_id=9, subflow_id=0))
+        assert demux.stray_packets == 1
+
+    def test_unregister(self):
+        demux = PacketDemux()
+        got = []
+        demux.register(1, 0, got.append)
+        demux.unregister(1, 0)
+        demux.dispatch(Packet(flow_id=1, subflow_id=0))
+        assert got == []
+        assert demux.stray_packets == 1
+
+
+class TestAttachedPath:
+    def _attached(self):
+        loop = EventLoop()
+        path = Path(loop, PathConfig(name="wifi", up_mbps=8, down_mbps=8,
+                                     rtt_ms=10))
+        return loop, AttachedPath(path)
+
+    def test_client_send_reaches_server_handler(self):
+        loop, attached = self._attached()
+        client_got, server_got = [], []
+        attached.register(1, 0, client_got.append, server_got.append)
+        attached.client_send(Packet(flow_id=1, subflow_id=0))
+        loop.run()
+        assert len(server_got) == 1
+        assert client_got == []
+
+    def test_server_send_reaches_client_handler(self):
+        loop, attached = self._attached()
+        client_got, server_got = [], []
+        attached.register(1, 0, client_got.append, server_got.append)
+        attached.server_send(Packet(flow_id=1, subflow_id=0))
+        loop.run()
+        assert len(client_got) == 1
+        assert server_got == []
+
+    def test_multiple_flows_share_one_path(self):
+        loop, attached = self._attached()
+        flows = {flow: [] for flow in (1, 2, 3)}
+        for flow in flows:
+            attached.register(flow, 0, lambda p: None,
+                              flows[flow].append)
+        for flow in flows:
+            attached.client_send(Packet(flow_id=flow, subflow_id=0))
+        loop.run()
+        assert all(len(got) == 1 for got in flows.values())

@@ -1,0 +1,71 @@
+"""Tests for channel loss models."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.packet import Packet
+from repro.net.loss import BernoulliLoss, GilbertElliottLoss, NoLoss
+
+
+def _packet():
+    return Packet(flow_id=1, payload_bytes=100)
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLoss()
+        assert not any(model.should_drop(_packet()) for _ in range(1000))
+
+
+class TestBernoulliLoss:
+    def test_rate_close_to_p(self):
+        model = BernoulliLoss(0.1, random.Random(1))
+        drops = sum(model.should_drop(_packet()) for _ in range(20000))
+        assert 0.08 < drops / 20000 < 0.12
+
+    def test_zero_probability_never_drops(self):
+        model = BernoulliLoss(0.0, random.Random(1))
+        assert not any(model.should_drop(_packet()) for _ in range(100))
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.5, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(-0.1, random.Random(1))
+
+    def test_deterministic_given_seed(self):
+        a = BernoulliLoss(0.3, random.Random(9))
+        b = BernoulliLoss(0.3, random.Random(9))
+        seq_a = [a.should_drop(_packet()) for _ in range(50)]
+        seq_b = [b.should_drop(_packet()) for _ in range(50)]
+        assert seq_a == seq_b
+
+
+class TestGilbertElliottLoss:
+    def test_losses_are_bursty(self):
+        model = GilbertElliottLoss(
+            random.Random(4), p_good_to_bad=0.02, p_bad_to_good=0.2,
+            p_good=0.0, p_bad=0.5,
+        )
+        drops = [model.should_drop(_packet()) for _ in range(20000)]
+        # Overall rate matches the stationary mix roughly.
+        rate = sum(drops) / len(drops)
+        assert 0.01 < rate < 0.12
+        # Bursts: conditional drop probability after a drop is much
+        # higher than the marginal rate.
+        following = [b for a, b in zip(drops, drops[1:]) if a]
+        conditional = sum(following) / max(len(following), 1)
+        assert conditional > rate * 2
+
+    def test_good_state_with_zero_loss_never_drops_until_transition(self):
+        model = GilbertElliottLoss(
+            random.Random(4), p_good_to_bad=0.0, p_bad_to_good=1.0,
+            p_good=0.0, p_bad=1.0,
+        )
+        assert not any(model.should_drop(_packet()) for _ in range(200))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GilbertElliottLoss(random.Random(1), p_bad=1.5)

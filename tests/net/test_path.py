@@ -1,0 +1,103 @@
+"""Tests for bidirectional paths and their failure semantics."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.events import EventLoop
+from repro.core.packet import Packet
+from repro.net.path import Path, PathConfig
+from repro.net.trace import DeliveryTrace
+
+
+def _path(loop, **overrides):
+    config = PathConfig(name="wifi", up_mbps=8.0, down_mbps=8.0, rtt_ms=40.0,
+                        **overrides)
+    return Path(loop, config)
+
+
+class TestPathConfig:
+    def test_rejects_negative_rtt(self):
+        with pytest.raises(ConfigurationError):
+            PathConfig(rtt_ms=-1)
+
+    def test_rejects_nonpositive_rates_without_traces(self):
+        with pytest.raises(ConfigurationError):
+            PathConfig(down_mbps=0.0)
+
+    def test_trace_overrides_rate_requirement(self):
+        trace = DeliveryTrace([10])
+        config = PathConfig(down_mbps=-1, down_trace=trace, up_mbps=5.0)
+        assert config.effective_down_mbps == trace.mean_rate_mbps
+
+    def test_effective_rates_fixed(self):
+        config = PathConfig(down_mbps=12.0, up_mbps=6.0)
+        assert config.effective_down_mbps == 12.0
+        assert config.effective_up_mbps == 6.0
+
+    def test_loss_requires_rng(self):
+        config = PathConfig(loss_rate=0.01)
+        with pytest.raises(ConfigurationError):
+            Path(EventLoop(), config)
+
+
+class TestPathDelivery:
+    def test_one_way_delay_is_half_rtt(self):
+        loop = EventLoop()
+        path = _path(loop)
+        arrivals = []
+        path.downlink.connect(lambda p: arrivals.append(loop.now))
+        path.uplink.connect(lambda p: None)
+        path.downlink.send(Packet(flow_id=1, payload_bytes=0))
+        loop.run()
+        # 40 ms RTT -> 20 ms one-way (plus negligible serialization).
+        assert arrivals[0] == pytest.approx(0.020, abs=0.001)
+
+
+class TestFailureSemantics:
+    def test_multipath_off_notifies(self):
+        loop = EventLoop()
+        path = _path(loop)
+        notified = []
+        path.on_admin_change.append(lambda p: notified.append(p.admin_up))
+        path.set_multipath_off()
+        assert notified == [False]
+        assert not path.usable
+
+    def test_multipath_on_restores(self):
+        loop = EventLoop()
+        path = _path(loop)
+        path.set_multipath_off()
+        path.set_multipath_on()
+        assert path.admin_up
+        assert path.usable
+
+    def test_unplug_is_silent(self):
+        loop = EventLoop()
+        path = _path(loop)
+        notified = []
+        path.on_admin_change.append(lambda p: notified.append(p))
+        path.unplug()
+        assert notified == []
+        assert path.unplugged
+        assert not path.usable
+
+    def test_unplug_discards_queued_packets(self):
+        loop = EventLoop()
+        path = _path(loop)
+        path.uplink.connect(lambda p: None)
+        path.downlink.connect(lambda p: None)
+        for _ in range(5):
+            path.uplink.send(Packet(flow_id=1, payload_bytes=1000))
+        path.unplug()
+        loop.run()
+        assert path.uplink.delivered_packets <= 1
+
+    def test_replug_restores_silently(self):
+        loop = EventLoop()
+        path = _path(loop)
+        notified = []
+        path.on_admin_change.append(lambda p: notified.append(p))
+        path.unplug()
+        path.replug()
+        assert notified == []
+        assert path.usable

@@ -1,0 +1,87 @@
+"""Tests for the DropTail queue."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.packet import Packet
+from repro.net.queue import DropTailQueue
+
+
+def _packet(payload=1000):
+    return Packet(flow_id=1, payload_bytes=payload)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        queue = DropTailQueue()
+        first, second = _packet(), _packet()
+        queue.offer(first)
+        queue.offer(second)
+        assert queue.poll() is first
+        assert queue.poll() is second
+        assert queue.poll() is None
+
+    def test_packet_bound_drops_tail(self):
+        queue = DropTailQueue(max_packets=2)
+        assert queue.offer(_packet())
+        assert queue.offer(_packet())
+        assert not queue.offer(_packet())
+        assert queue.stats.dropped == 1
+        assert len(queue) == 2
+
+    def test_byte_bound_drops_tail(self):
+        queue = DropTailQueue(max_packets=None, max_bytes=2100)
+        assert queue.offer(_packet(1000))  # 1040 wire bytes
+        assert queue.offer(_packet(1000))
+        assert not queue.offer(_packet(1000))
+
+    def test_bytes_queued_tracks_wire_size(self):
+        queue = DropTailQueue()
+        queue.offer(_packet(1000))
+        assert queue.bytes_queued == 1040
+        queue.poll()
+        assert queue.bytes_queued == 0
+
+    def test_drop_rate(self):
+        queue = DropTailQueue(max_packets=1)
+        queue.offer(_packet())
+        queue.offer(_packet())
+        assert queue.stats.drop_rate == pytest.approx(0.5)
+
+    def test_drop_rate_no_arrivals(self):
+        assert DropTailQueue().stats.drop_rate == 0.0
+
+    def test_peek_does_not_remove(self):
+        queue = DropTailQueue()
+        packet = _packet()
+        queue.offer(packet)
+        assert queue.peek() is packet
+        assert len(queue) == 1
+
+    def test_clear_discards_everything(self):
+        queue = DropTailQueue()
+        for _ in range(5):
+            queue.offer(_packet())
+        assert queue.clear() == 5
+        assert queue.empty
+        assert queue.bytes_queued == 0
+
+    def test_max_depth_statistic(self):
+        queue = DropTailQueue()
+        for _ in range(3):
+            queue.offer(_packet())
+        queue.poll()
+        queue.offer(_packet())
+        assert queue.stats.max_depth_packets == 3
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(max_packets=0)
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(max_bytes=-5)
+
+    def test_space_freed_by_poll_reusable(self):
+        queue = DropTailQueue(max_packets=1)
+        queue.offer(_packet())
+        queue.poll()
+        assert queue.offer(_packet())

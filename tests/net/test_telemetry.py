@@ -1,0 +1,62 @@
+"""Tests for queue-depth telemetry."""
+
+import pytest
+
+from repro import PathConfig, Scenario
+from repro.core.errors import ConfigurationError
+from repro.net.telemetry import QueueDepthTracker
+
+
+def _deep_buffer_transfer():
+    scenario = Scenario()
+    scenario.add_path(PathConfig(name="lte", down_mbps=4, up_mbps=2,
+                                 rtt_ms=60, queue_packets=800))
+    tracker = QueueDepthTracker(scenario.loop, scenario.path("lte").downlink)
+    result = scenario.run_transfer(scenario.tcp("lte", 2 * 1024 * 1024))
+    tracker.stop()
+    return tracker, result
+
+
+class TestQueueDepthTracker:
+    def test_samples_collected_on_period(self):
+        tracker, result = _deep_buffer_transfer()
+        assert len(tracker.samples) >= result.duration_s / 0.01 * 0.8
+        times = [t for t, _, _ in tracker.samples]
+        assert times == sorted(times)
+
+    def test_bufferbloat_visible(self):
+        tracker, _ = _deep_buffer_transfer()
+        # Slow start overshoots the BDP; the deep buffer absorbs it.
+        assert tracker.max_depth_packets > 50
+        assert tracker.mean_depth_packets < tracker.max_depth_packets
+
+    def test_queueing_delay_series(self):
+        tracker, _ = _deep_buffer_transfer()
+        delays = [d for _, d in tracker.queueing_delay_series(4.0)]
+        # Worst-case self-inflicted delay is substantial (bufferbloat).
+        assert max(delays) > 0.1
+
+    def test_occupancy_series_matches_samples(self):
+        tracker, _ = _deep_buffer_transfer()
+        assert len(tracker.occupancy_series()) == len(tracker.samples)
+
+    def test_stop_halts_sampling(self):
+        scenario = Scenario()
+        scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,
+                                     rtt_ms=40))
+        tracker = QueueDepthTracker(scenario.loop,
+                                    scenario.path("wifi").downlink)
+        scenario.run(until=0.1)
+        tracker.stop()
+        count = len(tracker.samples)
+        scenario.loop.call_later(1.0, lambda: None)
+        scenario.run(until=1.5)
+        assert len(tracker.samples) == count
+
+    def test_invalid_period_rejected(self):
+        scenario = Scenario()
+        scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,
+                                     rtt_ms=40))
+        with pytest.raises(ConfigurationError):
+            QueueDepthTracker(scenario.loop, scenario.path("wifi").downlink,
+                              period_s=0.0)

@@ -1,0 +1,126 @@
+"""Unit and property tests for delivery-opportunity traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import TraceFormatError
+from repro.net.trace import BYTES_PER_OPPORTUNITY, DeliveryTrace
+
+
+class TestDeliveryTraceBasics:
+    def test_simple_trace(self):
+        trace = DeliveryTrace([10, 20, 30])
+        assert trace.period_ms == 30
+        assert len(trace) == 3
+
+    def test_mean_rate(self):
+        # 10 opportunities over 10 ms -> 1504 B/ms = 12.032 Mbit/s.
+        trace = DeliveryTrace(list(range(1, 11)), period_ms=10)
+        assert trace.mean_rate_mbps == pytest.approx(
+            10 * BYTES_PER_OPPORTUNITY * 8 / 0.010 / 1e6
+        )
+
+    def test_next_opportunity_within_period(self):
+        trace = DeliveryTrace([10, 20, 30])
+        assert trace.next_opportunity_after(0.0) == pytest.approx(0.010)
+        assert trace.next_opportunity_after(0.010) == pytest.approx(0.020)
+        assert trace.next_opportunity_after(0.015) == pytest.approx(0.020)
+
+    def test_trace_loops(self):
+        trace = DeliveryTrace([10, 20, 30])
+        assert trace.next_opportunity_after(0.030) == pytest.approx(0.040)
+        assert trace.next_opportunity_after(0.095) == pytest.approx(0.100)
+
+    def test_opportunities_between(self):
+        trace = DeliveryTrace([10, 20, 30])
+        assert trace.opportunities_between(0.0, 0.030) == 3
+        assert trace.opportunities_between(0.0, 0.060) == 6
+        assert trace.opportunities_between(0.015, 0.015) == 0
+
+    def test_zero_offset_moves_to_period_end(self):
+        trace = DeliveryTrace([0, 10], period_ms=10)
+        # Both opportunities land in (0, 10].
+        assert trace.opportunities_between(0.0, 0.010) == 2
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceFormatError):
+            DeliveryTrace([])
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TraceFormatError):
+            DeliveryTrace([-5, 10])
+
+    def test_timestamp_beyond_period_rejected(self):
+        with pytest.raises(TraceFormatError):
+            DeliveryTrace([10, 20], period_ms=15)
+
+
+class TestConstantRate:
+    def test_constant_rate_mean_matches(self):
+        trace = DeliveryTrace.constant_rate(12.0)
+        assert trace.mean_rate_mbps == pytest.approx(12.0, rel=0.05)
+
+    def test_low_rate(self):
+        trace = DeliveryTrace.constant_rate(0.5)
+        assert trace.mean_rate_mbps == pytest.approx(0.5, rel=0.1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(TraceFormatError):
+            DeliveryTrace.constant_rate(0.0)
+
+
+class TestFileFormat:
+    def test_from_lines_parses_mahimahi_format(self):
+        trace = DeliveryTrace.from_lines(["# comment", "5", "", "10", "15"])
+        assert trace.offsets_ms == [5, 10, 15]
+
+    def test_from_lines_rejects_garbage(self):
+        with pytest.raises(TraceFormatError):
+            DeliveryTrace.from_lines(["abc"])
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = DeliveryTrace([3, 7, 12])
+        path = str(tmp_path / "trace.txt")
+        trace.save(path)
+        loaded = DeliveryTrace.load(path)
+        assert loaded.offsets_ms == trace.offsets_ms
+        assert loaded.period_ms == trace.period_ms
+
+    def test_load_missing_file(self):
+        with pytest.raises(TraceFormatError):
+            DeliveryTrace.load("/nonexistent/trace.txt")
+
+
+@st.composite
+def traces(draw):
+    count = draw(st.integers(min_value=1, max_value=20))
+    offsets = sorted(draw(
+        st.lists(st.integers(min_value=1, max_value=200),
+                 min_size=count, max_size=count)
+    ))
+    return DeliveryTrace(offsets)
+
+
+class TestTraceProperties:
+    @given(traces(), st.floats(min_value=0, max_value=2.0,
+                               allow_nan=False, allow_infinity=False))
+    @settings(max_examples=100)
+    def test_next_opportunity_strictly_after(self, trace, t):
+        nxt = trace.next_opportunity_after(t)
+        assert nxt > t
+
+    @given(traces(), st.floats(min_value=0, max_value=1.0, allow_nan=False))
+    @settings(max_examples=60)
+    def test_opportunity_chain_is_increasing(self, trace, t):
+        previous = t
+        for _ in range(10):
+            current = trace.next_opportunity_after(previous)
+            assert current > previous
+            previous = current
+
+    @given(traces())
+    @settings(max_examples=60)
+    def test_one_period_contains_all_opportunities(self, trace):
+        period_s = trace.period_ms / 1000.0
+        assert trace.opportunities_between(0.0, period_s) == len(trace)

@@ -1,0 +1,60 @@
+"""Tests for condition estimation with aging."""
+
+import pytest
+
+from repro.policy.estimator import ConditionEstimator
+from repro.policy.probes import ProbeReport
+
+
+def _report(path="wifi", rtt=0.04, tput=8.0):
+    return ProbeReport(path_name=path, rtt_s=rtt, throughput_mbps=tput,
+                       probe_bytes=64 * 1024, elapsed_s=0.2)
+
+
+class TestConditionEstimator:
+    def test_first_sample_adopted_directly(self):
+        estimator = ConditionEstimator()
+        estimate = estimator.observe(_report(), now=0.0)
+        assert estimate.throughput_mbps == 8.0
+        assert estimate.rtt_s == 0.04
+        assert estimate.samples == 1
+
+    def test_fresh_estimate_resists_noise(self):
+        estimator = ConditionEstimator(half_life_s=30.0, min_blend=0.3)
+        estimator.observe(_report(tput=8.0), now=0.0)
+        estimate = estimator.observe(_report(tput=16.0), now=1.0)
+        # Blend is near min_blend for a 1 s old estimate.
+        assert 8.0 < estimate.throughput_mbps < 12.0
+
+    def test_stale_estimate_yields_to_new_sample(self):
+        estimator = ConditionEstimator(half_life_s=10.0)
+        estimator.observe(_report(tput=8.0), now=0.0)
+        estimate = estimator.observe(_report(tput=16.0), now=1000.0)
+        assert estimate.throughput_mbps == pytest.approx(16.0, rel=0.02)
+
+    def test_confidence_decays(self):
+        estimator = ConditionEstimator(half_life_s=10.0)
+        estimate = estimator.observe(_report(), now=0.0)
+        assert estimate.confidence(0.0, 10.0) == 1.0
+        assert estimate.confidence(10.0, 10.0) == pytest.approx(0.5)
+        assert estimate.confidence(30.0, 10.0) == pytest.approx(0.125)
+
+    def test_unknown_path_has_zero_confidence(self):
+        estimator = ConditionEstimator()
+        assert estimator.estimate("lte").confidence(0.0, 10.0) == 0.0
+        assert not estimator.estimate("lte").usable
+
+    def test_failed_probe_zeroes_throughput(self):
+        estimator = ConditionEstimator()
+        estimator.observe(_report(tput=8.0), now=0.0)
+        dead = ProbeReport(path_name="wifi", rtt_s=None,
+                           throughput_mbps=None, probe_bytes=1, elapsed_s=3.0)
+        estimate = estimator.observe(dead, now=5.0)
+        assert estimate.throughput_mbps == 0.0
+
+    def test_paths_tracked_independently(self):
+        estimator = ConditionEstimator()
+        estimator.observe(_report(path="wifi", tput=8.0), now=0.0)
+        estimator.observe(_report(path="lte", tput=3.0), now=0.0)
+        assert estimator.estimate("wifi").throughput_mbps == 8.0
+        assert estimator.estimate("lte").throughput_mbps == 3.0

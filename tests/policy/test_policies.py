@@ -1,0 +1,91 @@
+"""Tests for the selection policies."""
+
+from repro.policy.estimator import ConditionEstimator
+from repro.policy.policies import (
+    AlwaysMptcpPolicy,
+    AlwaysWifiPolicy,
+    BestPathPolicy,
+    Decision,
+    OraclePolicy,
+    PaperAdaptivePolicy,
+    STANDARD_POLICIES,
+)
+from repro.policy.probes import ProbeReport
+
+
+def _estimator(wifi_mbps, lte_mbps):
+    estimator = ConditionEstimator()
+    for path, tput in (("wifi", wifi_mbps), ("lte", lte_mbps)):
+        estimator.observe(ProbeReport(
+            path_name=path, rtt_s=0.05, throughput_mbps=tput,
+            probe_bytes=64 * 1024, elapsed_s=0.2,
+        ), now=0.0)
+    return estimator
+
+
+class TestStaticPolicies:
+    def test_always_wifi(self):
+        decision = AlwaysWifiPolicy().decide(_estimator(1, 100), 10_000, 0.0)
+        assert decision == Decision("tcp", "wifi")
+
+    def test_always_mptcp(self):
+        decision = AlwaysMptcpPolicy().decide(_estimator(1, 100), 10_000, 0.0)
+        assert decision.kind == "mptcp"
+
+    def test_best_path_follows_estimates(self):
+        policy = BestPathPolicy()
+        assert policy.decide(_estimator(10, 3), 10_000, 0.0).path == "wifi"
+        assert policy.decide(_estimator(3, 10), 10_000, 0.0).path == "lte"
+
+
+class TestPaperAdaptivePolicy:
+    def test_short_flows_use_best_single_path(self):
+        policy = PaperAdaptivePolicy(short_flow_bytes=100_000)
+        decision = policy.decide(_estimator(3, 10), 50_000, 0.0)
+        assert decision == Decision("tcp", "lte")
+
+    def test_long_flows_on_comparable_paths_use_mptcp(self):
+        policy = PaperAdaptivePolicy(short_flow_bytes=100_000,
+                                     comparable_ratio=3.0)
+        decision = policy.decide(_estimator(8, 6), 1_000_000, 0.0)
+        assert decision.kind == "mptcp"
+        assert decision.path == "wifi"  # faster path is primary
+
+    def test_long_flows_on_disparate_paths_use_single_path(self):
+        policy = PaperAdaptivePolicy(comparable_ratio=3.0)
+        decision = policy.decide(_estimator(20, 2), 1_000_000, 0.0)
+        assert decision == Decision("tcp", "wifi")
+
+    def test_dead_path_forces_single_path(self):
+        policy = PaperAdaptivePolicy()
+        decision = policy.decide(_estimator(8, 0), 1_000_000, 0.0)
+        assert decision.kind == "tcp"
+        assert decision.path == "wifi"
+
+
+class TestOraclePolicy:
+    def test_picks_measured_argmin(self):
+        oracle = OraclePolicy()
+        strategies = {
+            "tcp-wifi": Decision("tcp", "wifi"),
+            "tcp-lte": Decision("tcp", "lte"),
+        }
+        oracle.inform({"tcp-wifi": 3.0, "tcp-lte": 1.5}, strategies)
+        assert oracle.decide(_estimator(1, 1), 10_000, 0.0).path == "lte"
+
+    def test_uninformed_oracle_has_safe_default(self):
+        decision = OraclePolicy().decide(_estimator(1, 1), 10_000, 0.0)
+        assert decision.kind == "tcp"
+
+
+class TestDecision:
+    def test_strategy_names(self):
+        assert Decision("tcp", "wifi").strategy_name == "tcp-wifi"
+        assert Decision("mptcp", "lte", "coupled").strategy_name == (
+            "mptcp-lte-coupled"
+        )
+
+    def test_standard_policy_set(self):
+        names = [p.name for p in STANDARD_POLICIES()]
+        assert "paper-adaptive" in names
+        assert "always-wifi" in names

@@ -1,0 +1,55 @@
+"""Tests for path probing."""
+
+import pytest
+
+from repro import PathConfig, Scenario
+from repro.core.errors import ConfigurationError
+from repro.policy.probes import PathProbe
+
+
+def _scenario():
+    scenario = Scenario()
+    scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,
+                                 rtt_ms=40))
+    scenario.add_path(PathConfig(name="lte", down_mbps=2, up_mbps=1,
+                                 rtt_ms=120))
+    return scenario
+
+
+class TestPathProbe:
+    def test_probe_measures_rtt(self):
+        scenario = _scenario()
+        report = PathProbe().run(scenario, "wifi")
+        assert report.usable
+        assert report.rtt_s == pytest.approx(0.040, abs=0.01)
+
+    def test_probe_ranks_paths_correctly(self):
+        scenario = _scenario()
+        probe = PathProbe()
+        wifi = probe.run(scenario, "wifi")
+        lte = probe.run(scenario, "lte")
+        assert wifi.throughput_mbps > lte.throughput_mbps
+
+    def test_probe_consumes_simulated_time(self):
+        scenario = _scenario()
+        report = PathProbe().run(scenario, "wifi")
+        assert scenario.loop.now >= report.elapsed_s > 0
+
+    def test_dead_path_reports_unusable(self):
+        scenario = _scenario()
+        scenario.path("wifi").unplug()
+        report = PathProbe(timeout_s=1.0).run(scenario, "wifi")
+        assert not report.usable
+        assert report.throughput_mbps is None
+
+    def test_throughput_underestimates_capacity(self):
+        # A 64 KB probe is slow-start limited.
+        scenario = _scenario()
+        report = PathProbe().run(scenario, "wifi")
+        assert 0 < report.throughput_mbps < 10.0
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathProbe(probe_bytes=0)
+        with pytest.raises(ConfigurationError):
+            PathProbe(timeout_s=0)

@@ -1,0 +1,196 @@
+"""Tests for the congestion-control algorithms."""
+
+import math
+
+import pytest
+
+from repro.tcp.cc import (
+    Cubic,
+    LiaCoupling,
+    LiaSubflowCc,
+    OliaCoupling,
+    OliaSubflowCc,
+    Reno,
+)
+from repro.tcp.config import TcpConfig
+
+
+CONFIG = TcpConfig()
+
+
+class TestReno:
+    def test_starts_at_initial_window(self):
+        assert Reno(CONFIG).cwnd == CONFIG.initial_cwnd_segments
+
+    def test_slow_start_doubles_per_window(self):
+        cc = Reno(CONFIG)
+        cc.on_ack(float(CONFIG.initial_cwnd_segments))
+        assert cc.cwnd == pytest.approx(2 * CONFIG.initial_cwnd_segments)
+
+    def test_congestion_avoidance_grows_one_per_rtt(self):
+        cc = Reno(CONFIG)
+        cc.ssthresh = 10.0
+        cc.cwnd = 10.0
+        cc.on_ack(10.0)
+        assert cc.cwnd == pytest.approx(11.0)
+
+    def test_enter_recovery_halves_flight(self):
+        cc = Reno(CONFIG)
+        cc.cwnd = 40.0
+        cc.on_enter_recovery(inflight_segments=40.0)
+        assert cc.cwnd == 20.0
+        assert cc.ssthresh == 20.0
+
+    def test_recovery_floor_is_two(self):
+        cc = Reno(CONFIG)
+        cc.cwnd = 2.0
+        cc.on_enter_recovery(inflight_segments=2.0)
+        assert cc.cwnd == 2.0
+
+    def test_timeout_collapses_window(self):
+        cc = Reno(CONFIG)
+        cc.cwnd = 40.0
+        cc.on_timeout(inflight_segments=40.0)
+        assert cc.cwnd == CONFIG.loss_cwnd_segments
+        assert cc.ssthresh == 20.0
+
+    def test_initial_ssthresh_from_config(self):
+        cc = Reno(TcpConfig(initial_ssthresh_segments=32))
+        assert cc.ssthresh == 32.0
+        assert cc.in_slow_start
+
+    def test_slow_start_transition_uses_leftover_credit(self):
+        cc = Reno(TcpConfig(initial_ssthresh_segments=12))
+        cc.on_ack(10.0)  # 2 segments close the slow-start gap, 8 spill to CA
+        assert cc.cwnd == pytest.approx(12.0 + 8.0 / 12.0)
+
+
+class TestCubic:
+    def test_slow_start_behaves_like_reno(self):
+        cc = Cubic(CONFIG)
+        cc.on_ack(10.0)
+        assert cc.cwnd == pytest.approx(20.0)
+
+    def test_recovery_uses_beta(self):
+        cc = Cubic(CONFIG)
+        cc.cwnd = 100.0
+        cc.on_enter_recovery(inflight_segments=100.0)
+        assert cc.cwnd == pytest.approx(70.0)
+        assert cc.w_max == 100.0
+
+    def test_grows_in_congestion_avoidance(self):
+        cc = Cubic(CONFIG)
+        now = [0.0]
+        cc.now_getter = lambda: now[0]
+        cc.srtt_getter = lambda: 0.05
+        cc.cwnd = 50.0
+        cc.on_enter_recovery(inflight_segments=50.0)
+        start = cc.cwnd
+        for step in range(200):
+            now[0] += 0.05
+            cc.on_ack(cc.cwnd)
+        assert cc.cwnd > start
+
+    def test_hystart_exits_on_sustained_delay_rise(self):
+        cc = Cubic(CONFIG)
+        now = [0.0]
+        cc.now_getter = lambda: now[0]
+        cc.srtt_getter = lambda: 0.05
+        cc.cwnd = 32.0
+        # Round 1: baseline RTTs.
+        for _ in range(10):
+            cc.on_rtt_sample(0.050)
+            now[0] += 0.005
+        now[0] += 0.06  # next round
+        for _ in range(10):
+            cc.on_rtt_sample(0.050)
+            now[0] += 0.005
+        # Later rounds: queue building, +30 ms.
+        for _ in range(4):
+            now[0] += 0.06
+            for _ in range(10):
+                cc.on_rtt_sample(0.080)
+                now[0] += 0.005
+        assert not cc.in_slow_start
+
+    def test_hystart_tolerates_initial_burst_jitter(self):
+        cc = Cubic(CONFIG)
+        now = [0.0]
+        cc.now_getter = lambda: now[0]
+        cc.srtt_getter = lambda: 0.05
+        cc.cwnd = 32.0
+        # One round with a rising intra-round pattern but whose MIN is
+        # the base RTT should not trigger an exit.
+        for sample in (0.050, 0.055, 0.060, 0.065, 0.07, 0.07, 0.07, 0.07, 0.07):
+            cc.on_rtt_sample(sample)
+            now[0] += 0.002
+        assert cc.in_slow_start
+
+
+class TestLia:
+    def _pair(self, rtts=(0.05, 0.05)):
+        coupling = LiaCoupling()
+        subflows = []
+        for rtt in rtts:
+            cc = LiaSubflowCc(CONFIG, coupling)
+            cc.ssthresh = 1.0  # force congestion avoidance
+            cc.cwnd = 10.0
+            cc.srtt_getter = (lambda r: (lambda: r))(rtt)
+            subflows.append(cc)
+        return coupling, subflows
+
+    def test_alpha_equals_one_for_symmetric_paths(self):
+        coupling, _ = self._pair()
+        # RFC 6356: for equal windows and RTTs, alpha = total * (c/r^2) /
+        # (2c/r)^2 = total/(4c) = 0.5 for two equal subflows.
+        assert coupling.alpha() == pytest.approx(0.5)
+
+    def test_coupled_increase_slower_than_reno(self):
+        _, (lia_a, _) = self._pair()
+        reno = Reno(CONFIG)
+        reno.ssthresh = 1.0
+        reno.cwnd = 10.0
+        lia_a.on_ack(10.0)
+        reno.on_ack(10.0)
+        assert lia_a.cwnd < reno.cwnd
+
+    def test_increase_caps_at_reno(self):
+        coupling, (a, b) = self._pair(rtts=(0.01, 1.0))
+        # The fast path could get alpha/total > 1/cwnd; the min() caps it.
+        before = a.cwnd
+        a.on_ack(1.0)
+        assert a.cwnd - before <= 1.0 / before + 1e-9
+
+    def test_detach_removes_from_total(self):
+        coupling, (a, b) = self._pair()
+        assert coupling.total_cwnd() == 20.0
+        a.detach()
+        assert coupling.total_cwnd() == 10.0
+
+    def test_slow_start_is_uncoupled(self):
+        coupling = LiaCoupling()
+        cc = LiaSubflowCc(CONFIG, coupling)
+        cc.on_ack(10.0)
+        assert cc.cwnd == pytest.approx(20.0)
+
+
+class TestOlia:
+    def test_runs_and_grows(self):
+        coupling = OliaCoupling()
+        a = OliaSubflowCc(CONFIG, coupling)
+        b = OliaSubflowCc(CONFIG, coupling)
+        for cc in (a, b):
+            cc.ssthresh = 1.0
+            cc.cwnd = 10.0
+            cc.srtt_getter = lambda: 0.05
+        before = a.cwnd
+        a.on_ack(10.0)
+        assert a.cwnd > before
+
+    def test_loss_resets_bytes_since_loss(self):
+        coupling = OliaCoupling()
+        cc = OliaSubflowCc(CONFIG, coupling)
+        cc.on_ack(5.0)
+        assert cc.bytes_since_loss > 0
+        cc.on_enter_recovery(10.0)
+        assert cc.bytes_since_loss == 0

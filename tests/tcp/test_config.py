@@ -1,0 +1,36 @@
+"""Validation tests for TcpConfig."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.tcp.config import TcpConfig
+
+
+class TestTcpConfig:
+    def test_defaults_match_linux(self):
+        config = TcpConfig()
+        assert config.initial_cwnd_segments == 10  # IW10
+        assert config.min_rto_s == 0.2             # Linux TCP_RTO_MIN
+        assert config.dupack_threshold == 3
+        assert config.initial_ssthresh_segments is None
+
+    def test_rejects_bad_mss(self):
+        with pytest.raises(ConfigurationError):
+            TcpConfig(mss_bytes=0)
+
+    def test_rejects_bad_initial_cwnd(self):
+        with pytest.raises(ConfigurationError):
+            TcpConfig(initial_cwnd_segments=0)
+
+    def test_rejects_inverted_rto_bounds(self):
+        with pytest.raises(ConfigurationError):
+            TcpConfig(min_rto_s=10.0, max_rto_s=1.0)
+
+    def test_rejects_tiny_ssthresh(self):
+        with pytest.raises(ConfigurationError):
+            TcpConfig(initial_ssthresh_segments=1)
+
+    def test_frozen(self):
+        config = TcpConfig()
+        with pytest.raises(Exception):
+            config.mss_bytes = 9000

@@ -1,0 +1,103 @@
+"""Tests for RFC 1122 delayed acknowledgments."""
+
+import pytest
+
+from repro import PathConfig, Scenario
+from repro.core.events import EventLoop
+from repro.core.packet import Packet, PacketFlags
+from repro.tcp.config import TcpConfig
+from repro.tcp.receiver import SubflowReceiver
+
+MSS = 1448
+
+
+class Harness:
+    def __init__(self, delayed=True):
+        self.loop = EventLoop()
+        self.acks = []
+        self.receiver = SubflowReceiver(
+            send_ack=lambda nxt, echo, sack, rwnd: self.acks.append(
+                (self.loop.now, nxt)),
+            on_data=lambda d, l: None,
+            loop=self.loop,
+            delayed_acks=delayed,
+            delayed_ack_timeout_s=0.04,
+        )
+
+    def data(self, seq):
+        self.receiver.on_data_packet(Packet(
+            flow_id=1, seq=seq, payload_bytes=MSS, data_seq=seq,
+            flags=PacketFlags.ACK, sent_at=self.loop.now,
+        ))
+
+
+class TestDelayedAckReceiver:
+    def test_second_segment_triggers_ack(self):
+        h = Harness()
+        h.data(0)
+        assert h.acks == []  # held
+        h.data(MSS)
+        assert [nxt for _, nxt in h.acks] == [2 * MSS]
+
+    def test_lone_segment_acked_by_timer(self):
+        h = Harness()
+        h.data(0)
+        h.loop.run(until=0.1)
+        assert len(h.acks) == 1
+        assert h.acks[0][0] == pytest.approx(0.04)
+
+    def test_out_of_order_acked_immediately(self):
+        h = Harness()
+        h.data(2 * MSS)  # hole at 0
+        assert len(h.acks) == 1  # dupack went out at once
+
+    def test_hole_fill_acked_immediately(self):
+        h = Harness()
+        h.data(2 * MSS)
+        h.data(0)
+        h.data(MSS)  # fills the hole
+        # Every one of these was an immediate ACK situation.
+        assert len(h.acks) == 3
+
+    def test_duplicate_acked_immediately(self):
+        h = Harness()
+        h.data(0)
+        h.data(MSS)  # flushes
+        h.data(0)    # duplicate
+        assert len(h.acks) == 2
+
+    def test_quickack_mode_acks_everything(self):
+        h = Harness(delayed=False)
+        h.data(0)
+        h.data(MSS)
+        h.data(2 * MSS)
+        assert len(h.acks) == 3
+
+
+class TestDelayedAckEndToEnd:
+    def _run(self, delayed):
+        scenario = Scenario()
+        scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,
+                                     rtt_ms=40))
+        config = TcpConfig(delayed_acks=delayed)
+        connection = scenario.tcp("wifi", 500 * 1024, config=config)
+        result = scenario.run_transfer(connection)
+        return result, connection
+
+    def test_transfer_completes_with_delayed_acks(self):
+        result, connection = self._run(delayed=True)
+        assert result.completed
+        assert connection.bytes_delivered == 500 * 1024
+
+    def test_delayed_acks_halve_ack_traffic(self):
+        _, quick = self._run(delayed=False)
+        _, delayed = self._run(delayed=True)
+        assert delayed.subflow.receiver.acks_sent < (
+            0.7 * quick.subflow.receiver.acks_sent
+        )
+
+    def test_delayed_acks_slow_slow_start_slightly(self):
+        quick_result, _ = self._run(delayed=False)
+        delayed_result, _ = self._run(delayed=True)
+        # Fewer ACKs -> slower window growth -> somewhat longer transfer.
+        assert delayed_result.duration_s >= quick_result.duration_s

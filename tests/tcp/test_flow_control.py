@@ -1,0 +1,93 @@
+"""Tests for receive-window flow control."""
+
+import pytest
+
+from repro import PathConfig, Scenario
+from repro.core.errors import ConfigurationError
+from repro.core.packet import Packet, PacketFlags
+from repro.tcp.config import TcpConfig
+
+MSS = 1448
+
+
+def _run(rwnd_bytes, nbytes=500 * 1024, down=50.0, rtt=100.0):
+    scenario = Scenario()
+    scenario.add_path(PathConfig(name="wifi", down_mbps=down, up_mbps=down / 2,
+                                 rtt_ms=rtt, queue_packets=1000))
+    config = TcpConfig(receive_window_bytes=rwnd_bytes)
+    connection = scenario.tcp("wifi", nbytes, config=config)
+    result = scenario.run_transfer(connection)
+    return result, connection
+
+
+class TestReceiveWindow:
+    def test_config_rejects_sub_mss_window(self):
+        with pytest.raises(ConfigurationError):
+            TcpConfig(receive_window_bytes=100)
+
+    def test_small_window_caps_throughput(self):
+        # rwnd/RTT = 64 KB / 100 ms = 5.24 Mbit/s on a 50 Mbit/s link.
+        result, _ = _run(rwnd_bytes=64 * 1024)
+        assert result.completed
+        assert result.throughput_mbps < 6.5
+
+    def test_large_window_does_not_bind(self):
+        # Long enough to escape slow start so the window is what binds.
+        small, _ = _run(rwnd_bytes=64 * 1024, nbytes=4 * 1024 * 1024)
+        large, _ = _run(rwnd_bytes=4 * 1024 * 1024, nbytes=4 * 1024 * 1024)
+        assert large.throughput_mbps > 2 * small.throughput_mbps
+
+    def test_flight_never_exceeds_advertised_window(self):
+        rwnd = 32 * 1024
+        scenario = Scenario()
+        scenario.add_path(PathConfig(name="wifi", down_mbps=50, up_mbps=25,
+                                     rtt_ms=100, queue_packets=1000))
+        config = TcpConfig(receive_window_bytes=rwnd)
+        connection = scenario.tcp("wifi", 300 * 1024, config=config)
+        max_flight = 0
+
+        def watch(packet, when):
+            nonlocal max_flight
+            sender = connection.subflow.sender
+            max_flight = max(max_flight, sender.snd_nxt - sender.snd_una)
+
+        scenario.path("wifi").downlink.on_transmit.append(watch)
+        scenario.run_transfer(connection)
+        assert max_flight <= rwnd
+
+    def test_sender_tracks_advertised_window(self):
+        from repro.core.events import EventLoop
+        from repro.tcp.cc.reno import Reno
+        from repro.tcp.rtt import RttEstimator
+        from repro.tcp.sender import SubflowSender
+
+        loop = EventLoop()
+        config = TcpConfig()
+        sender = SubflowSender(loop, config, Reno(config),
+                               RttEstimator(config), lambda p: None, 1, 0)
+        sender.on_ack_packet(Packet(flow_id=1, ack=0, flags=PacketFlags.ACK,
+                                    rwnd=3 * MSS))
+        assert sender.peer_window_bytes == 3 * MSS
+        assert sender.window_space() == 3
+
+    def test_ooo_backlog_shrinks_advertised_window(self):
+        from repro.tcp.receiver import SubflowReceiver
+
+        windows = []
+        receiver = SubflowReceiver(
+            send_ack=lambda nxt, echo, sack, rwnd: windows.append(rwnd),
+            on_data=lambda d, l: None,
+            receive_window_bytes=10 * MSS,
+        )
+        receiver.on_data_packet(Packet(flow_id=1, seq=2 * MSS,
+                                       payload_bytes=MSS, data_seq=2 * MSS,
+                                       flags=PacketFlags.ACK, sent_at=0.0))
+        assert windows[-1] == 9 * MSS
+        # Filling the hole drains the buffer and restores the window.
+        receiver.on_data_packet(Packet(flow_id=1, seq=0,
+                                       payload_bytes=MSS, data_seq=0,
+                                       flags=PacketFlags.ACK, sent_at=0.0))
+        receiver.on_data_packet(Packet(flow_id=1, seq=MSS,
+                                       payload_bytes=MSS, data_seq=MSS,
+                                       flags=PacketFlags.ACK, sent_at=0.0))
+        assert windows[-1] == 10 * MSS

@@ -1,0 +1,75 @@
+"""Property tests for the LIA coupling math (RFC 6356)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.cc import LiaCoupling, LiaSubflowCc, Reno
+from repro.tcp.config import TcpConfig
+
+CONFIG = TcpConfig()
+
+
+def _coupled(windows_and_rtts):
+    coupling = LiaCoupling()
+    members = []
+    for cwnd, rtt in windows_and_rtts:
+        cc = LiaSubflowCc(CONFIG, coupling)
+        cc.ssthresh = 1.0  # congestion avoidance
+        cc.cwnd = cwnd
+        cc.srtt_getter = (lambda r: (lambda: r))(rtt)
+        members.append(cc)
+    return coupling, members
+
+
+subflow_sets = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=500.0),   # cwnd
+        st.floats(min_value=0.005, max_value=1.0),   # rtt
+    ),
+    min_size=1, max_size=4,
+)
+
+
+class TestLiaProperties:
+    @given(subflow_sets)
+    @settings(max_examples=100)
+    def test_alpha_positive(self, setups):
+        coupling, _ = _coupled(setups)
+        assert coupling.alpha() > 0
+
+    @given(subflow_sets)
+    @settings(max_examples=100)
+    def test_increase_never_exceeds_reno(self, setups):
+        """RFC 6356's cap: per-ACK growth ≤ an uncoupled Reno flow's."""
+        coupling, members = _coupled(setups)
+        for member in members:
+            reno = Reno(CONFIG)
+            reno.ssthresh = 1.0
+            reno.cwnd = member.cwnd
+            before = member.cwnd
+            member.on_ack(1.0)
+            reno.on_ack(1.0)
+            assert member.cwnd - before <= (reno.cwnd - before) + 1e-9
+            member.cwnd = before  # restore for other iterations
+
+    @given(st.floats(min_value=1.0, max_value=500.0),
+           st.floats(min_value=0.005, max_value=1.0))
+    @settings(max_examples=50)
+    def test_single_subflow_degenerates_to_reno(self, cwnd, rtt):
+        """With one subflow, alpha = 1 and LIA behaves exactly as Reno."""
+        coupling, (member,) = _coupled([(cwnd, rtt)])
+        reno = Reno(CONFIG)
+        reno.ssthresh = 1.0
+        reno.cwnd = cwnd
+        member.on_ack(1.0)
+        reno.on_ack(1.0)
+        assert abs(member.cwnd - reno.cwnd) < 1e-9
+
+    @given(subflow_sets)
+    @settings(max_examples=50)
+    def test_decrease_is_standard_halving(self, setups):
+        coupling, members = _coupled(setups)
+        for member in members:
+            flight = member.cwnd
+            member.on_enter_recovery(flight)
+            assert member.cwnd == max(flight / 2.0, 2.0)

@@ -1,0 +1,75 @@
+"""Tests for RFC 6298 RTT estimation."""
+
+import pytest
+
+from repro.tcp.config import TcpConfig
+from repro.tcp.rtt import RttEstimator
+
+
+def _estimator(**overrides):
+    return RttEstimator(TcpConfig(**overrides))
+
+
+class TestRttEstimator:
+    def test_initial_rto_before_samples(self):
+        estimator = _estimator(initial_rto_s=1.0)
+        assert estimator.rto == 1.0
+        assert estimator.smoothed_rtt == 1.0
+
+    def test_first_sample_initializes(self):
+        estimator = _estimator()
+        estimator.add_sample(0.1)
+        assert estimator.srtt == pytest.approx(0.1)
+        assert estimator.rttvar == pytest.approx(0.05)
+        assert estimator.rto == pytest.approx(0.1 + 4 * 0.05)
+
+    def test_smoothing_converges(self):
+        estimator = _estimator()
+        for _ in range(100):
+            estimator.add_sample(0.08)
+        assert estimator.srtt == pytest.approx(0.08, rel=0.01)
+        # With constant samples, rttvar decays -> RTO approaches the
+        # minimum clamp.
+        assert estimator.rto == pytest.approx(0.2, abs=0.05)
+
+    def test_min_rto_clamped(self):
+        estimator = _estimator(min_rto_s=0.2)
+        for _ in range(200):
+            estimator.add_sample(0.01)
+        assert estimator.rto >= 0.2
+
+    def test_max_rto_clamped(self):
+        estimator = _estimator(max_rto_s=60.0)
+        estimator.add_sample(100.0)
+        assert estimator.rto == 60.0
+
+    def test_backoff_doubles(self):
+        estimator = _estimator()
+        estimator.add_sample(0.1)
+        base = estimator.rto
+        estimator.back_off()
+        assert estimator.rto == pytest.approx(min(base * 2, 60.0))
+        estimator.back_off()
+        assert estimator.rto == pytest.approx(min(base * 4, 60.0))
+
+    def test_new_sample_resets_backoff(self):
+        estimator = _estimator()
+        estimator.add_sample(0.1)
+        estimator.back_off()
+        estimator.back_off()
+        estimator.add_sample(0.1)
+        assert estimator.rto < 1.0
+
+    def test_negative_sample_ignored(self):
+        estimator = _estimator()
+        estimator.add_sample(-0.5)
+        assert estimator.samples == 0
+        assert estimator.srtt is None
+
+    def test_variance_grows_with_jitter(self):
+        steady = _estimator()
+        jittery = _estimator()
+        for index in range(50):
+            steady.add_sample(0.1)
+            jittery.add_sample(0.1 if index % 2 == 0 else 0.3)
+        assert jittery.rto > steady.rto

@@ -1,0 +1,83 @@
+"""Tests for bulk data sources with reinjection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.tcp.source import BulkSource
+
+
+class TestBulkSource:
+    def test_sequential_chunks(self):
+        source = BulkSource(3000)
+        assert source.next_chunk(1448) == (0, 1448)
+        assert source.next_chunk(1448) == (1448, 1448)
+        assert source.next_chunk(1448) == (2896, 104)
+        assert source.next_chunk(1448) is None
+
+    def test_has_data(self):
+        source = BulkSource(100)
+        assert source.has_data()
+        source.next_chunk(1448)
+        assert not source.has_data()
+
+    def test_zero_byte_source(self):
+        source = BulkSource(0)
+        assert not source.has_data()
+        assert source.next_chunk(1448) is None
+
+    def test_reinjection_takes_priority(self):
+        source = BulkSource(10000)
+        source.next_chunk(1448)
+        source.reinject([(0, 1448)])
+        assert source.next_chunk(1448) == (0, 1448)
+        assert source.next_chunk(1448) == (1448, 1448)
+
+    def test_reinjection_order_by_data_seq(self):
+        source = BulkSource(0)
+        source.reinject([(500, 10), (100, 10), (300, 10)])
+        assert source.next_chunk(1448) == (100, 10)
+        assert source.next_chunk(1448) == (300, 10)
+        assert source.next_chunk(1448) == (500, 10)
+
+    def test_large_reinjected_chunk_is_split(self):
+        source = BulkSource(0)
+        source.reinject([(0, 3000)])
+        assert source.next_chunk(1448) == (0, 1448)
+        assert source.next_chunk(1448) == (1448, 1448)
+        assert source.next_chunk(1448) == (2896, 104)
+
+    def test_zero_length_reinjection_ignored(self):
+        source = BulkSource(0)
+        source.reinject([(0, 0)])
+        assert not source.has_data()
+
+    def test_extend_grows_transfer(self):
+        source = BulkSource(100)
+        source.next_chunk(1448)
+        assert not source.has_data()
+        source.extend(50)
+        assert source.has_data()
+        assert source.next_chunk(1448) == (100, 50)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BulkSource(-1)
+        with pytest.raises(ConfigurationError):
+            BulkSource(10).next_chunk(0)
+        with pytest.raises(ConfigurationError):
+            BulkSource(10).extend(-1)
+
+    @given(st.integers(min_value=1, max_value=100_000),
+           st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=60)
+    def test_chunks_tile_the_transfer_exactly(self, total, mss):
+        source = BulkSource(total)
+        covered = 0
+        while source.has_data():
+            data_seq, length = source.next_chunk(mss)
+            assert data_seq == covered
+            assert 1 <= length <= mss
+            covered += length
+        assert covered == total

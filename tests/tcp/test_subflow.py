@@ -1,0 +1,175 @@
+"""Tests for the subflow: handshake, data flow, teardown, failure."""
+
+import pytest
+
+from repro.core.events import EventLoop
+from repro.core.packet import PacketFlags
+from repro.net.fabric import AttachedPath
+from repro.net.path import Path, PathConfig
+from repro.tcp.cc.reno import Reno
+from repro.tcp.config import TcpConfig
+from repro.tcp.subflow import Subflow, SubflowState
+
+MSS = 1448
+
+
+class Harness:
+    def __init__(self, direction="down", rtt_ms=40.0, **config_overrides):
+        self.loop = EventLoop()
+        self.path = Path(self.loop, PathConfig(
+            name="wifi", up_mbps=50.0, down_mbps=50.0, rtt_ms=rtt_ms,
+        ))
+        self.attached = AttachedPath(self.path)
+        self.config = TcpConfig(**config_overrides)
+        self.subflow = Subflow(
+            self.loop, self.attached, flow_id=1, subflow_id=0,
+            direction=direction, cc=Reno(self.config), config=self.config,
+        )
+        self.arrived = []
+        self.acked = []
+        self.established = []
+        self.closed = []
+        self.subflow.on_data_arrived = (
+            lambda sf, dseq, length: self.arrived.append((dseq, length))
+        )
+        self.subflow.on_data_acked = (
+            lambda sf, chunks: self.acked.extend(chunks)
+        )
+        self.subflow.on_established = lambda sf: self.established.append(
+            self.loop.now
+        )
+        self.subflow.on_closed = lambda sf: self.closed.append(self.loop.now)
+
+
+class TestHandshake:
+    def test_three_way_handshake_establishes_both_sides(self):
+        h = Harness()
+        h.subflow.connect()
+        h.loop.run(until=1.0)
+        assert h.subflow.client_established
+        assert h.subflow.server_established
+        assert h.subflow.state == SubflowState.ESTABLISHED
+
+    def test_established_after_one_rtt(self):
+        h = Harness(rtt_ms=40.0)
+        h.subflow.connect()
+        h.loop.run(until=1.0)
+        assert h.established[0] == pytest.approx(0.040, abs=0.005)
+        assert h.subflow.handshake_rtt == pytest.approx(0.040, abs=0.005)
+
+    def test_syn_retransmitted_through_blackhole(self):
+        h = Harness()
+        h.path.unplug()
+        h.subflow.connect()
+        h.loop.call_at(2.5, h.path.replug)
+        h.loop.run(until=10.0)
+        assert h.subflow.client_established
+
+    def test_syn_retry_exhaustion_kills_subflow(self):
+        h = Harness(max_syn_retries=2)
+        dead = []
+        h.subflow.on_dead = lambda sf: dead.append(True)
+        h.path.unplug()
+        h.subflow.connect()
+        h.loop.run(until=60.0)
+        assert dead == [True]
+        assert h.subflow.state == SubflowState.DEAD
+
+
+class TestDataTransfer:
+    def test_download_delivers_to_client(self):
+        h = Harness(direction="down")
+        h.subflow.connect()
+        h.loop.run(until=0.5)
+        h.subflow.send_chunk((0, MSS))
+        h.subflow.send_chunk((MSS, MSS))
+        h.loop.run(until=1.0)
+        assert h.arrived == [(0, MSS), (MSS, MSS)]
+        assert h.acked == [(0, MSS), (MSS, MSS)]
+
+    def test_upload_direction_works(self):
+        h = Harness(direction="up")
+        h.subflow.connect()
+        h.loop.run(until=0.5)
+        h.subflow.send_chunk((0, MSS))
+        h.loop.run(until=1.0)
+        assert h.arrived == [(0, MSS)]
+
+    def test_can_send_requires_establishment(self):
+        h = Harness()
+        assert not h.subflow.can_send()
+        h.subflow.connect()
+        h.loop.run(until=0.5)
+        assert h.subflow.can_send()
+
+    def test_srtt_tracks_path(self):
+        h = Harness(direction="down", rtt_ms=60.0)
+        h.subflow.connect()
+        h.loop.run(until=0.5)
+        for index in range(5):
+            h.subflow.send_chunk((index * MSS, MSS))
+        h.loop.run(until=1.5)
+        assert h.subflow.srtt == pytest.approx(0.060, abs=0.01)
+
+
+class TestTeardown:
+    def test_close_exchanges_fins(self):
+        h = Harness(direction="down")
+        fins = []
+        h.path.uplink.on_transmit.append(
+            lambda p, t: fins.append(("up", t)) if p.is_fin else None
+        )
+        h.path.downlink.on_transmit.append(
+            lambda p, t: fins.append(("down", t)) if p.is_fin else None
+        )
+        h.subflow.connect()
+        h.loop.run(until=0.5)
+        h.subflow.send_chunk((0, MSS))
+        h.loop.run(until=1.0)
+        h.subflow.start_close()
+        h.loop.run(until=2.0)
+        # Both directions carry a FIN (4-way close).
+        assert any(direction == "down" for direction, _ in fins)
+        assert any(direction == "up" for direction, _ in fins)
+        assert h.subflow.state == SubflowState.DONE
+        assert h.closed
+
+    def test_close_before_establishment_is_noop(self):
+        h = Harness()
+        h.subflow.start_close()
+        assert h.subflow.state == SubflowState.CLOSED
+
+
+class TestFailure:
+    def test_fail_returns_outstanding_chunks(self):
+        h = Harness(direction="down")
+        h.subflow.connect()
+        h.loop.run(until=0.5)
+        h.path.unplug()
+        h.subflow.send_chunk((0, MSS))
+        h.subflow.send_chunk((MSS, MSS))
+        chunks = h.subflow.fail()
+        assert chunks == [(0, MSS), (MSS, MSS)]
+        assert h.subflow.state == SubflowState.DEAD
+
+    def test_dead_subflow_ignores_packets(self):
+        h = Harness(direction="down")
+        h.subflow.connect()
+        h.loop.run(until=0.5)
+        h.subflow.fail()
+        h.subflow.send_chunk((0, MSS))  # sender dead; nothing delivered
+        h.loop.run(until=1.0)
+        assert h.arrived == []
+
+    def test_window_update_packet(self):
+        h = Harness()
+        updates = []
+        h.path.uplink.on_transmit.append(
+            lambda p, t: updates.append(t)
+            if p.flags & PacketFlags.WINDOW_UPDATE else None
+        )
+        h.subflow.connect()
+        h.loop.run(until=0.5)
+        h.subflow.send_window_update()
+        h.loop.run(until=1.0)
+        assert len(updates) == 1

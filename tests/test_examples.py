@@ -1,0 +1,49 @@
+"""Smoke tests: every example imports cleanly and exposes main().
+
+Full example runs take seconds to minutes; the quickstart is run end
+to end, the rest are import-checked (their logic is exercised by the
+library tests behind them).
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLE_FILES = [
+    "quickstart.py",
+    "network_selection_study.py",
+    "app_replay.py",
+    "failover_and_energy.py",
+    "crowd_dataset.py",
+    "adaptive_policy.py",
+]
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_all_examples_exist(self):
+        for name in EXAMPLE_FILES:
+            assert os.path.exists(os.path.join(EXAMPLES_DIR, name)), name
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_example_imports_and_has_main(self, name):
+        module = _load(name)
+        assert callable(module.main)
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        module = _load("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "TCP over WIFI" in out
+        assert "MPTCP" in out

@@ -1,0 +1,95 @@
+"""Tests for the top-level Scenario harness."""
+
+import pytest
+
+from repro import MptcpOptions, PathConfig, Scenario
+from repro.core.errors import ConfigurationError
+
+
+def _config(name="wifi"):
+    return PathConfig(name=name, down_mbps=10, up_mbps=5, rtt_ms=40)
+
+
+class TestTopology:
+    def test_add_and_lookup_path(self):
+        scenario = Scenario()
+        scenario.add_path(_config())
+        assert scenario.path("wifi").name == "wifi"
+        assert scenario.path_names == ["wifi"]
+
+    def test_duplicate_path_rejected(self):
+        scenario = Scenario()
+        scenario.add_path(_config())
+        with pytest.raises(ConfigurationError):
+            scenario.add_path(_config())
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario().attached("nope")
+
+    def test_unknown_cc_rejected(self):
+        scenario = Scenario()
+        scenario.add_path(_config())
+        with pytest.raises(ConfigurationError):
+            scenario.tcp("wifi", 1000, cc="vegas")
+
+
+class TestRunTransfer:
+    def test_result_fields(self):
+        scenario = Scenario()
+        scenario.add_path(_config())
+        result = scenario.run_transfer(scenario.tcp("wifi", 100_000))
+        assert result.completed
+        assert result.total_bytes == 100_000
+        assert result.duration_s > 0
+        assert result.throughput_mbps > 0
+        assert result.delivery_log[-1][1] == 100_000
+
+    def test_deadline_prevents_hangs(self):
+        scenario = Scenario()
+        scenario.add_path(_config())
+        scenario.path("wifi").unplug()
+        result = scenario.run_transfer(scenario.tcp("wifi", 100_000),
+                                       deadline_s=2.0)
+        assert not result.completed
+
+    def test_sequential_transfers_share_loop(self):
+        scenario = Scenario()
+        scenario.add_path(_config())
+        first = scenario.run_transfer(scenario.tcp("wifi", 50_000))
+        second = scenario.run_transfer(scenario.tcp("wifi", 50_000))
+        assert first.completed and second.completed
+        assert second.started_at > first.started_at
+
+
+class TestBackgroundFlows:
+    def test_background_flow_reduces_measured_throughput(self):
+        lone = Scenario()
+        lone.add_path(_config())
+        solo = lone.run_transfer(lone.tcp("wifi", 500_000))
+
+        shared = Scenario()
+        shared.add_path(_config())
+        shared.add_background_flow("wifi")
+        shared.run(until=2.0)
+        contended = shared.run_transfer(shared.tcp("wifi", 500_000))
+        assert contended.throughput_mbps < solo.throughput_mbps
+
+
+class TestMptcpFactory:
+    def test_requires_primary_among_paths(self):
+        scenario = Scenario()
+        scenario.add_path(_config("wifi"))
+        scenario.add_path(_config("lte"))
+        connection = scenario.mptcp(
+            10_000, options=MptcpOptions(primary="lte"))
+        assert connection.primary_subflow.name == "lte"
+
+    def test_path_subset_selection(self):
+        scenario = Scenario()
+        scenario.add_path(_config("wifi"))
+        scenario.add_path(_config("lte"))
+        connection = scenario.mptcp(
+            10_000, options=MptcpOptions(primary="wifi"),
+            path_names=["wifi"])
+        assert len(connection.subflows) == 1
