@@ -11,6 +11,7 @@ headline claims hold.
 import os
 
 from repro.experiments.common import ExperimentResult
+from repro.parallel import resolve_workers, set_default_workers
 
 __all__ = ["run_once", "emit"]
 
@@ -37,7 +38,14 @@ def emit(result: ExperimentResult, capfd=None) -> None:
 
 
 def run_once(benchmark, fn, capfd=None, **kwargs) -> ExperimentResult:
-    """Benchmark ``fn`` with a single timed invocation."""
+    """Benchmark ``fn`` with a single timed invocation.
+
+    Honours ``REPRO_WORKERS``: exporting it shards each experiment's
+    sweep across that many worker processes (outputs are identical;
+    only the wall-clock changes, which is the point of a benchmark
+    knob).
+    """
+    set_default_workers(resolve_workers())
     result = benchmark.pedantic(
         lambda: fn(**kwargs), rounds=1, iterations=1, warmup_rounds=0,
     )

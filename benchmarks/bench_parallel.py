@@ -1,0 +1,90 @@
+"""Track the sweep engine's perf trajectory across PRs.
+
+Times ``fig09_10 --fast`` three ways — cold serial, cold 4-worker, and
+warm-cache — and writes the numbers to ``BENCH_parallel.json`` at the
+repo root so successive PRs can compare wall-clocks::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --workers 8 \
+        --output /tmp/bench.json
+
+The parallel speedup scales with physical cores (the sweep is four
+independent event-loop simulations); the warm-cache run measures pure
+cache-hit overhead and should be near-instant on any machine.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+
+
+def _timed_run(workers: int) -> float:
+    """One ``fig09_10`` fast run; returns wall-clock seconds."""
+    from repro.experiments import fig09_10
+
+    started = time.perf_counter()
+    fig09_10.run(fast=True, workers=workers)
+    return time.perf_counter() - started
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark serial vs parallel vs cached fig09_10 --fast."
+    )
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker count for the parallel leg (default 4)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    from repro.parallel.cache import CACHE_DIR_ENV, CACHE_TOGGLE_ENV
+
+    results = {}
+    # Cold legs: caching off entirely.
+    os.environ[CACHE_TOGGLE_ENV] = "0"
+    print("cold serial (workers=1) ...", flush=True)
+    results["serial_s"] = round(_timed_run(1), 3)
+    print(f"  {results['serial_s']:.2f}s")
+    print(f"cold parallel (workers={args.workers}) ...", flush=True)
+    results["parallel_s"] = round(_timed_run(args.workers), 3)
+    print(f"  {results['parallel_s']:.2f}s")
+
+    # Warm leg: populate a fresh cache, then time the hit path.
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        os.environ[CACHE_TOGGLE_ENV] = "1"
+        os.environ[CACHE_DIR_ENV] = tmp
+        print("populating cache ...", flush=True)
+        _timed_run(1)
+        print("warm cache (workers=1) ...", flush=True)
+        results["warm_cache_s"] = round(_timed_run(1), 3)
+        print(f"  {results['warm_cache_s']:.2f}s")
+    os.environ.pop(CACHE_DIR_ENV, None)
+    os.environ.pop(CACHE_TOGGLE_ENV, None)
+
+    results.update({
+        "experiment": "fig09_10 --fast",
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "parallel_speedup": round(
+            results["serial_s"] / max(results["parallel_s"], 1e-9), 2
+        ),
+        "warm_cache_speedup": round(
+            results["serial_s"] / max(results["warm_cache_s"], 1e-9), 2
+        ),
+    })
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(results, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,7 @@ points — into exactly that series, plus a windowed instantaneous
 variant.
 """
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.units import throughput_mbps
 
@@ -20,7 +20,7 @@ def average_throughput_series(
     delivery_log: Sequence[Tuple[float, int]],
     start_time: float,
     step_s: float = 0.05,
-    end_time: float = None,
+    end_time: Optional[float] = None,
 ) -> List[Point]:
     """Cumulative-average throughput vs time (the paper's Fig. 9/10 metric).
 
@@ -52,7 +52,7 @@ def instantaneous_throughput_series(
     start_time: float,
     window_s: float = 0.2,
     step_s: float = 0.05,
-    end_time: float = None,
+    end_time: Optional[float] = None,
 ) -> List[Point]:
     """Sliding-window throughput vs time.
 

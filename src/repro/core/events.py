@@ -5,6 +5,13 @@ callback)`` entries.  ``seq`` is a monotonically increasing tiebreaker
 so that events scheduled at the same instant run in FIFO order, which
 keeps runs fully deterministic.
 
+Cancellation is lazy — a cancelled entry stays in the heap until it
+reaches the top — but the loop keeps a live-event counter so
+:meth:`EventLoop.pending` is O(1), and it compacts the heap whenever
+cancelled entries outnumber live ones (TCP retransmission timers
+cancel and re-arm on every ACK, so cancelled-entry churn would
+otherwise dominate the heap).
+
 Example
 -------
 >>> loop = EventLoop()
@@ -17,12 +24,14 @@ Example
 """
 
 import heapq
-import itertools
 from typing import Callable, List, Optional
 
 from repro.core.errors import SimulationError
 
 __all__ = ["Event", "EventLoop", "Timer"]
+
+#: Below this heap size compaction is pointless bookkeeping.
+_COMPACT_MIN_HEAP = 64
 
 
 class Event:
@@ -32,13 +41,15 @@ class Event:
     so callers can cancel the callback before it fires.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_loop")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+    def __init__(self, time: float, seq: int, callback: Callable[[], None],
+                 loop: Optional["EventLoop"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self._loop = loop
 
     def cancel(self) -> None:
         """Prevent the callback from running.
@@ -47,7 +58,11 @@ class Event:
         no-op; the loop simply skips cancelled entries when it pops
         them.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._loop is not None:
+            self._loop._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -68,7 +83,8 @@ class EventLoop:
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Event] = []
-        self._seq = itertools.count()
+        self._seq = 0
+        self._cancelled = 0  # cancelled entries still sitting in the heap
         self._running = False
 
     @property
@@ -82,7 +98,8 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule event in the past: {when:.6f} < {self._now:.6f}"
             )
-        event = Event(when, next(self._seq), callback)
+        self._seq += 1
+        event = Event(when, self._seq, callback, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -93,8 +110,19 @@ class EventLoop:
         return self.call_at(self._now + delay, callback)
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return len(self._heap) - self._cancelled
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping callback from :meth:`Event.cancel`."""
+        self._cancelled += 1
+        heap = self._heap
+        if self._cancelled * 2 > len(heap) and len(heap) >= _COMPACT_MIN_HEAP:
+            # In-place rebuild so any outstanding reference to the heap
+            # list (e.g. a local binding inside run()) stays valid.
+            heap[:] = [event for event in heap if not event.cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
         """Run events in order until the queue empties.
@@ -109,16 +137,23 @@ class EventLoop:
         """
         self._running = True
         processed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    pop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
+                event_time = event.time
+                if until is not None and event_time > until:
                     break
-                heapq.heappop(self._heap)
-                self._now = event.time
+                pop(heap)
+                # Detach so a late cancel() of a fired event cannot
+                # skew the live-event counter.
+                event._loop = None
+                self._now = event_time
                 event.callback()
                 processed += 1
                 if processed > max_events:
@@ -141,6 +176,8 @@ class Timer:
     Wraps the cancel-and-reschedule dance so protocol code can simply
     ``start``/``stop``/``restart``.
     """
+
+    __slots__ = ("_loop", "_callback", "_event")
 
     def __init__(self, loop: EventLoop, callback: Callable[[], None]):
         self._loop = loop

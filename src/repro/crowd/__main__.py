@@ -13,6 +13,7 @@ rests on.
 
 import argparse
 import sys
+from typing import List, Optional
 
 from repro.core.rng import DEFAULT_SEED
 from repro.crowd.app import CellVsWifiApp
@@ -29,7 +30,7 @@ def _find_site(name: str):
     return min(matches, key=lambda s: len(s.name))
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.crowd",
         description="Simulate a Cell vs WiFi measurement run.",

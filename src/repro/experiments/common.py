@@ -6,11 +6,12 @@ paper's target values for side-by-side comparison.
 """
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.rng import DEFAULT_SEED
 from repro.linkem.conditions import LocationCondition, build_scenario, make_conditions
 from repro.mptcp.connection import MptcpOptions
+from repro.parallel import SimTask, SweepRunner
 from repro.scenario import Scenario, TransferResult
 from repro.tcp.config import TcpConfig
 
@@ -19,6 +20,10 @@ __all__ = [
     "EXPERIMENTS",
     "run_tcp_at",
     "run_mptcp_at",
+    "run_sweep",
+    "tcp_task",
+    "mptcp_task",
+    "crowd_dataset",
     "MPTCP_VARIANTS",
     "FLOW_SIZES",
 ]
@@ -131,6 +136,86 @@ def run_mptcp_at(
     connection = scenario.mptcp(nbytes, direction=direction, options=options,
                                 config=config)
     return scenario.run_transfer(connection, deadline_s=deadline_s)
+
+
+def run_sweep(
+    tasks: Sequence[SimTask],
+    workers: Optional[int] = None,
+    seed: int = DEFAULT_SEED,
+    cache=None,
+) -> List[Any]:
+    """Run a sweep's task list through the parallel engine.
+
+    ``workers=None`` resolves the CLI/env default (see
+    :func:`repro.parallel.resolve_workers`); results come back in task
+    order, bit-identical regardless of the worker count.
+    """
+    return SweepRunner(workers=workers, cache=cache, seed=seed).run(tasks)
+
+
+def tcp_task(
+    condition: LocationCondition,
+    path: str,
+    nbytes: int,
+    key: Optional[str] = None,
+    **kwargs,
+) -> SimTask:
+    """Declarative spec of one :func:`run_tcp_at` call.
+
+    The worker-side wrapper returns a picklable
+    :class:`~repro.parallel.tasks.TransferSummary`.
+    """
+    return SimTask(
+        fn="repro.parallel.tasks:tcp_transfer",
+        kwargs={"condition": condition, "path": path, "nbytes": nbytes,
+                **kwargs},
+        key=key or f"tcp.{condition.condition_id}.{path}.{nbytes}",
+    )
+
+
+def mptcp_task(
+    condition: LocationCondition,
+    primary: str,
+    congestion_control: str,
+    nbytes: int,
+    key: Optional[str] = None,
+    **kwargs,
+) -> SimTask:
+    """Declarative spec of one :func:`run_mptcp_at` call."""
+    return SimTask(
+        fn="repro.parallel.tasks:mptcp_transfer",
+        kwargs={"condition": condition, "primary": primary,
+                "congestion_control": congestion_control, "nbytes": nbytes,
+                **kwargs},
+        key=key or (
+            f"mptcp.{condition.condition_id}.{primary}."
+            f"{congestion_control}.{nbytes}"
+        ),
+    )
+
+
+def crowd_dataset(sites, seed: int = DEFAULT_SEED,
+                  workers: Optional[int] = None):
+    """The crowdsourced dataset for ``sites``, collected site-parallel.
+
+    Equivalent to ``CellVsWifiApp(seed=seed).collect_all(sites)``: every
+    RNG stream is named after the site, so per-site collection is
+    independent and concatenating in site order is bit-identical.
+    """
+    from repro.crowd.dataset import Dataset
+
+    tasks = [
+        SimTask(
+            fn="repro.parallel.tasks:collect_site_runs",
+            kwargs={"site_name": site.name, "seed": seed},
+            key=f"crowd.{site.name}",
+        )
+        for site in sites
+    ]
+    runs = []
+    for site_runs in run_sweep(tasks, workers=workers, seed=seed):
+        runs.extend(site_runs)
+    return Dataset(runs)
 
 
 def config_seed(seed: int, label: str) -> int:

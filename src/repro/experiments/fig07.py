@@ -21,11 +21,13 @@ from repro.experiments.common import (
     ExperimentResult,
     MPTCP_VARIANTS,
     WARM_FLOW_CONFIG,
+    mptcp_task,
     register,
-    run_mptcp_at,
-    run_tcp_at,
+    run_sweep,
+    tcp_task,
 )
 from repro.linkem.conditions import LocationCondition, make_conditions
+from repro.parallel import SimTask
 
 __all__ = ["run", "flow_size_sweep", "SWEEP_SIZES_KB"]
 
@@ -33,30 +35,44 @@ ONE_MBYTE = 1_048_576
 SWEEP_SIZES_KB = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1024]
 
 
+def _transfer_tasks(
+    condition: LocationCondition, seed: int
+) -> List[Tuple[str, SimTask]]:
+    """The six (label, task) transfer specs of one Fig. 7 panel."""
+    tasks = [
+        ("LTE", tcp_task(condition, "lte", ONE_MBYTE, seed=seed)),
+        ("WiFi", tcp_task(condition, "wifi", ONE_MBYTE, seed=seed)),
+    ]
+    for label, primary, cc in MPTCP_VARIANTS:
+        tasks.append(
+            (label, mptcp_task(condition, primary, cc, ONE_MBYTE, seed=seed))
+        )
+    return tasks
+
+
+def _curve(summary, sizes_kb: List[int]) -> List[Tuple[float, float]]:
+    points = []
+    for kb in sizes_kb:
+        tput = summary.throughput_at_bytes(kb * 1024)
+        if tput is not None:
+            points.append((float(kb), tput))
+    return points
+
+
 def flow_size_sweep(
     condition: LocationCondition,
     seed: int,
     sizes_kb: Optional[List[int]] = None,
+    workers: Optional[int] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """(flow size KB, throughput Mbps) series for the six configs."""
     sizes_kb = sizes_kb if sizes_kb is not None else SWEEP_SIZES_KB
-
-    def curve(result) -> List[Tuple[float, float]]:
-        points = []
-        for kb in sizes_kb:
-            tput = result.throughput_at_bytes(kb * 1024)
-            if tput is not None:
-                points.append((float(kb), tput))
-        return points
-
-    series: Dict[str, List[Tuple[float, float]]] = {}
-    series["LTE"] = curve(run_tcp_at(condition, "lte", ONE_MBYTE, seed=seed))
-    series["WiFi"] = curve(run_tcp_at(condition, "wifi", ONE_MBYTE, seed=seed))
-    for label, primary, cc in MPTCP_VARIANTS:
-        series[label] = curve(
-            run_mptcp_at(condition, primary, cc, ONE_MBYTE, seed=seed)
-        )
-    return series
+    labels, tasks = zip(*_transfer_tasks(condition, seed))
+    summaries = run_sweep(tasks, workers=workers, seed=seed)
+    return {
+        label: _curve(summary, sizes_kb)
+        for label, summary in zip(labels, summaries)
+    }
 
 
 def _at_size(series: Dict[str, List[Tuple[float, float]]], kb: float, name: str) -> float:
@@ -71,7 +87,8 @@ def _best(series, kb: float, names) -> float:
 
 
 @register("fig07")
-def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+def run(seed: int = DEFAULT_SEED, fast: bool = False,
+        workers: Optional[int] = None) -> ExperimentResult:
     conditions = make_conditions(seed=seed)
     disparate = conditions[0]   # ID 1: WiFi >> LTE
     comparable = next(
@@ -80,8 +97,21 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     )
     sizes = [1, 10, 100, 1024] if fast else SWEEP_SIZES_KB
 
-    sweep_a = flow_size_sweep(disparate, seed, sizes)
-    sweep_b = flow_size_sweep(comparable, seed, sizes)
+    # Both panels' transfers go through one sweep so all twelve
+    # independent simulations can run concurrently.
+    specs_a = _transfer_tasks(disparate, seed)
+    specs_b = _transfer_tasks(comparable, seed)
+    summaries = run_sweep(
+        [task for _, task in specs_a + specs_b], workers=workers, seed=seed
+    )
+    sweep_a = {
+        label: _curve(summary, sizes)
+        for (label, _), summary in zip(specs_a, summaries[: len(specs_a)])
+    }
+    sweep_b = {
+        label: _curve(summary, sizes)
+        for (label, _), summary in zip(specs_b, summaries[len(specs_a):])
+    }
 
     tcp_names = ["LTE", "WiFi"]
     mptcp_names = [label for label, _, _ in MPTCP_VARIANTS]

@@ -7,14 +7,20 @@ case where WiFi is faster.  Each panel shows the whole-connection
 average throughput over time plus the per-subflow contributions.
 """
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.plotting import ascii_series
 from repro.analysis.throughput import average_throughput_series
 from repro.core.rng import DEFAULT_SEED
-from repro.experiments.common import ExperimentResult, WARM_FLOW_CONFIG, register
+from repro.experiments.common import (
+    ExperimentResult,
+    WARM_FLOW_CONFIG,
+    register,
+    run_sweep,
+)
 from repro.linkem.conditions import LocationCondition, build_scenario, make_conditions
 from repro.mptcp.connection import MptcpOptions
+from repro.parallel import SimTask
 
 __all__ = ["run", "throughput_evolution"]
 
@@ -100,8 +106,38 @@ def _illustrative_conditions():
 
 
 @register("fig09_10")
-def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+def run(seed: int = DEFAULT_SEED, fast: bool = False,
+        workers: Optional[int] = None) -> ExperimentResult:
     lte_better, wifi_better = _illustrative_conditions()
+
+    # All four (condition, primary) simulations are independent; run
+    # them as one sweep.  ``throughput_evolution`` itself is the task
+    # callable — its series-of-points return value is plain data.
+    panel_specs = [
+        (fig, condition, better, primary)
+        for fig, condition, better in (
+            ("fig09", lte_better, "lte"),
+            ("fig10", wifi_better, "wifi"),
+        )
+        for primary in ("wifi", "lte")
+    ]
+    evolutions = run_sweep(
+        [
+            SimTask(
+                fn="repro.experiments.fig09_10:throughput_evolution",
+                kwargs={"condition": condition, "primary": primary,
+                        "seed": seed},
+                key=f"{fig}.{primary}",
+            )
+            for fig, condition, _, primary in panel_specs
+        ],
+        workers=workers,
+        seed=seed,
+    )
+    series_by_key = {
+        (fig, primary): series
+        for (fig, condition, _, primary), series in zip(panel_specs, evolutions)
+    }
 
     panels = []
     metrics = {}
@@ -111,7 +147,7 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     ):
         per_primary = {}
         for primary in ("wifi", "lte"):
-            series = throughput_evolution(condition, primary, seed)
+            series = series_by_key[(fig, primary)]
             per_primary[primary] = series
             panels.append(
                 f"{fig}{'a' if primary == 'wifi' else 'b'}: "

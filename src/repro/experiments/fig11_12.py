@@ -6,18 +6,20 @@ the right primary matters most, proportionally, for small flows.
 Fig. 11 is measured where LTE is faster; Fig. 12 where WiFi is faster.
 """
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.plotting import ascii_series
 from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import (
     ExperimentResult,
     WARM_FLOW_CONFIG,
+    mptcp_task,
     register,
-    run_mptcp_at,
+    run_sweep,
 )
 from repro.experiments.fig09_10 import _illustrative_conditions
 from repro.linkem.conditions import LocationCondition
+from repro.parallel import SimTask
 
 __all__ = ["run", "size_profile"]
 
@@ -25,21 +27,24 @@ ONE_MBYTE = 1_048_576
 PROFILE_SIZES_KB = list(range(25, 1025, 50))
 
 
-def size_profile(
-    condition: LocationCondition, seed: int, sizes_kb: List[int]
+def _profile_tasks(condition: LocationCondition, seed: int) -> List[SimTask]:
+    """The two primary-subflow transfers of one Fig. 11/12 panel."""
+    return [
+        mptcp_task(condition, primary, "decoupled", ONE_MBYTE, seed=seed,
+                   config=WARM_FLOW_CONFIG)
+        for primary in ("lte", "wifi")
+    ]
+
+
+def _profile_from(
+    lte_summary, wifi_summary, sizes_kb: List[int]
 ) -> Dict[str, List[Tuple[float, float]]]:
-    """MPTCP(LTE) and MPTCP(WiFi) throughput vs flow size, plus ratio."""
-    runs = {
-        "MPTCP(LTE)": run_mptcp_at(condition, "lte", "decoupled", ONE_MBYTE,
-                                   seed=seed, config=WARM_FLOW_CONFIG),
-        "MPTCP(WiFi)": run_mptcp_at(condition, "wifi", "decoupled", ONE_MBYTE,
-                                    seed=seed, config=WARM_FLOW_CONFIG),
-    }
     absolute: Dict[str, List[Tuple[float, float]]] = {}
-    for label, result in runs.items():
+    for label, summary in (("MPTCP(LTE)", lte_summary),
+                           ("MPTCP(WiFi)", wifi_summary)):
         points = []
         for kb in sizes_kb:
-            tput = result.throughput_at_bytes(kb * 1024)
+            tput = summary.throughput_at_bytes(kb * 1024)
             if tput is not None:
                 points.append((float(kb), tput))
         absolute[label] = points
@@ -48,6 +53,17 @@ def size_profile(
         if wifi_t > 0:
             ratio.append((kb, lte_t / wifi_t))
     return {**absolute, "ratio LTE/WiFi": ratio}
+
+
+def size_profile(
+    condition: LocationCondition, seed: int, sizes_kb: List[int],
+    workers: Optional[int] = None,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """MPTCP(LTE) and MPTCP(WiFi) throughput vs flow size, plus ratio."""
+    lte_summary, wifi_summary = run_sweep(
+        _profile_tasks(condition, seed), workers=workers, seed=seed
+    )
+    return _profile_from(lte_summary, wifi_summary, sizes_kb)
 
 
 def _gap_and_ratio(profile, kb: float) -> Tuple[float, float]:
@@ -66,14 +82,26 @@ def _gap_and_ratio(profile, kb: float) -> Tuple[float, float]:
 
 
 @register("fig11_12")
-def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+def run(seed: int = DEFAULT_SEED, fast: bool = False,
+        workers: Optional[int] = None) -> ExperimentResult:
     lte_better, wifi_better = _illustrative_conditions()
     sizes = PROFILE_SIZES_KB[::4] if fast else PROFILE_SIZES_KB
+
+    # One sweep covers both panels' four independent transfers.
+    summaries = run_sweep(
+        _profile_tasks(lte_better, seed) + _profile_tasks(wifi_better, seed),
+        workers=workers,
+        seed=seed,
+    )
+    profiles = {
+        "fig11": _profile_from(summaries[0], summaries[1], sizes),
+        "fig12": _profile_from(summaries[2], summaries[3], sizes),
+    }
 
     panels = []
     metrics = {}
     for fig, condition in (("fig11", lte_better), ("fig12", wifi_better)):
-        profile = size_profile(condition, seed, sizes)
+        profile = profiles[fig]
         absolute = {k: v for k, v in profile.items() if k != "ratio LTE/WiFi"}
         panels.append(
             f"{fig}a: absolute throughput (condition #{condition.condition_id})\n"

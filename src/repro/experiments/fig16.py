@@ -6,14 +6,15 @@ headline claim: because a lone SYN or FIN keeps the LTE radio in its
 little energy for flows shorter than about 15 seconds.
 """
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.plotting import ascii_series
 from repro.analysis.report import Table
 from repro.core.rng import DEFAULT_SEED
 from repro.energy.monitor import InterfaceActivityLog, PowerMonitor
 from repro.energy.states import LTE_POWER_MODEL, WIFI_POWER_MODEL
-from repro.experiments.common import ExperimentResult, register
+from repro.experiments.common import ExperimentResult, register, run_sweep
+from repro.parallel import SimTask
 from repro.mptcp.connection import MptcpOptions
 from repro.net.path import PathConfig
 from repro.scenario import Scenario
@@ -111,8 +112,31 @@ def backup_flow_energy(
 
 
 @register("fig16")
-def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
-    panels = power_panels(seed)
+def run(seed: int = DEFAULT_SEED, fast: bool = False,
+        workers: Optional[int] = None) -> ExperimentResult:
+    durations = [3.0, 8.0] if fast else [3.0, 8.0, 15.0, 30.0, 60.0]
+
+    # The power panels and every (duration, dormancy) energy figure are
+    # independent simulations: one sweep covers them all.
+    tasks = [SimTask(fn="repro.experiments.fig16:power_panels",
+                     kwargs={"seed": seed}, key="fig16.panels")]
+    for duration in durations:
+        for fast_dormancy in (False, True):
+            tasks.append(SimTask(
+                fn="repro.experiments.fig16:backup_flow_energy",
+                kwargs={"flow_duration_target_s": duration, "seed": seed,
+                        "fast_dormancy": fast_dormancy},
+                key=f"fig16.energy.{duration}.{fast_dormancy}",
+            ))
+    outcomes = run_sweep(tasks, workers=workers, seed=seed)
+    panels = outcomes[0]
+    energies = {
+        (duration, fast_dormancy): outcome
+        for (duration, fast_dormancy), outcome in zip(
+            [(d, fd) for d in durations for fd in (False, True)], outcomes[1:]
+        )
+    }
+
     parts = []
     for name, series in panels.items():
         parts.append(
@@ -120,7 +144,6 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
                                        x_label="time (s)", y_label="W")
         )
 
-    durations = [3.0, 8.0] if fast else [3.0, 8.0, 15.0, 30.0, 60.0]
     table = Table(
         ["target duration (s)", "LTE active (J)", "LTE backup (J)", "saving",
          "saving w/ fast dormancy"],
@@ -128,8 +151,8 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     )
     metrics: Dict[str, float] = {}
     for duration in durations:
-        result = backup_flow_energy(duration, seed)
-        dormant = backup_flow_energy(duration, seed, fast_dormancy=True)
+        result = energies[(duration, False)]
+        dormant = energies[(duration, True)]
         table.add_row([
             duration,
             result["lte_active_j"],

@@ -4,17 +4,28 @@ Usage::
 
     repro-experiments --list
     repro-experiments fig03 fig08
-    repro-experiments --all --fast
+    repro-experiments --all --fast --workers 4
+
+Sweep-based experiments shard their independent simulations across
+``--workers`` processes (default: the ``REPRO_WORKERS`` environment
+variable, else 1) and reuse cached results from previous runs unless
+``--no-cache`` is given.  Worker count never changes the outputs —
+only the wall-clock.
 """
 
 import argparse
 import importlib
+import inspect
+import os
 import sys
 import time
-from typing import List
+from typing import List, Optional
 
+from repro.core.errors import ConfigurationError
 from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import EXPERIMENTS
+from repro.parallel import resolve_workers, set_default_workers
+from repro.parallel.cache import CACHE_TOGGLE_ENV
 
 __all__ = ["main", "load_all_experiments", "EXPERIMENT_MODULES"]
 
@@ -45,7 +56,14 @@ def load_all_experiments() -> None:
         importlib.import_module(f"repro.experiments.{module}")
 
 
-def main(argv: List[str] = None) -> int:
+def _run_kwargs(fn, workers: int) -> dict:
+    """Pass ``workers`` only to experiments whose sweeps accept it."""
+    if "workers" in inspect.signature(fn).parameters:
+        return {"workers": workers}
+    return {}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of Deng et al., IMC'14.",
@@ -59,7 +77,22 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--fast", action="store_true",
                         help="reduced sweep sizes (seconds instead of minutes)")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for sweep execution "
+                             "(default: $REPRO_WORKERS, else 1; results "
+                             "are identical for any value)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not populate the on-disk "
+                             "sweep result cache")
     args = parser.parse_args(argv)
+
+    try:
+        workers = resolve_workers(args.workers)
+    except ConfigurationError as exc:
+        parser.error(str(exc))
+    set_default_workers(workers)
+    if args.no_cache:
+        os.environ[CACHE_TOGGLE_ENV] = "0"
 
     load_all_experiments()
     if args.list:
@@ -78,7 +111,9 @@ def main(argv: List[str] = None) -> int:
 
     for name in names:
         started = time.time()
-        result = EXPERIMENTS[name](seed=args.seed, fast=args.fast)
+        fn = EXPERIMENTS[name]
+        result = fn(seed=args.seed, fast=args.fast,
+                    **_run_kwargs(fn, workers))
         print(result.render())
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
     return 0

@@ -6,14 +6,13 @@ prints the same columns as the paper: location, coordinates, run
 count, and the percentage of runs where LTE beat WiFi.
 """
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.analysis.report import Table
 from repro.core.rng import DEFAULT_SEED
-from repro.crowd.app import CellVsWifiApp
 from repro.crowd.kmeans import cluster_runs
 from repro.crowd.world import TABLE1_SITES
-from repro.experiments.common import ExperimentResult, register
+from repro.experiments.common import ExperimentResult, crowd_dataset, register
 
 __all__ = ["run"]
 
@@ -25,11 +24,11 @@ def _nearest_site_name(cluster) -> str:
 
 
 @register("table1")
-def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
+def run(seed: int = DEFAULT_SEED, fast: bool = False,
+        workers: Optional[int] = None) -> ExperimentResult:
     """Reproduce Table 1.  ``fast`` restricts to the 8 largest sites."""
     sites = TABLE1_SITES[:8] if fast else TABLE1_SITES
-    app = CellVsWifiApp(seed=seed)
-    dataset = app.collect_all(sites)
+    dataset = crowd_dataset(sites, seed=seed, workers=workers)
     analysis = dataset.analysis_set()
     clusters = cluster_runs(analysis.runs, radius_km=100.0)
 

@@ -13,12 +13,13 @@ via :meth:`repro.net.trace.DeliveryTrace.load`.
 import argparse
 import random
 import sys
+from typing import List, Optional
 
 from repro.core.rng import DEFAULT_SEED
 from repro.linkem.traces import synth_lte_trace, synth_wifi_trace
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.linkem",
         description="Synthesize Mahimahi-format LTE/WiFi delivery traces.",

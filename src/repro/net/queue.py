@@ -10,7 +10,7 @@ from repro.core.packet import Packet
 __all__ = ["QueueStats", "DropTailQueue"]
 
 
-@dataclass
+@dataclass(slots=True)
 class QueueStats:
     """Counters a queue keeps over its lifetime."""
 
@@ -37,6 +37,8 @@ class DropTailQueue:
     bounds default to values typical of access-link buffers; pass
     ``None`` to make a bound infinite.
     """
+
+    __slots__ = ("max_packets", "max_bytes", "_queue", "_bytes", "stats")
 
     def __init__(
         self,
@@ -74,15 +76,20 @@ class DropTailQueue:
 
     def offer(self, packet: Packet) -> bool:
         """Try to enqueue ``packet``; return False if it was tail-dropped."""
+        stats = self.stats
+        wire_bytes = packet.wire_bytes
         if not self._fits(packet):
-            self.stats.dropped += 1
-            self.stats.bytes_dropped += packet.wire_bytes
+            stats.dropped += 1
+            stats.bytes_dropped += wire_bytes
             return False
-        self._queue.append(packet)
-        self._bytes += packet.wire_bytes
-        self.stats.enqueued += 1
-        self.stats.bytes_enqueued += packet.wire_bytes
-        self.stats.max_depth_packets = max(self.stats.max_depth_packets, len(self._queue))
+        queue = self._queue
+        queue.append(packet)
+        self._bytes += wire_bytes
+        stats.enqueued += 1
+        stats.bytes_enqueued += wire_bytes
+        depth = len(queue)
+        if depth > stats.max_depth_packets:
+            stats.max_depth_packets = depth
         return True
 
     def peek(self) -> Optional[Packet]:
@@ -91,9 +98,10 @@ class DropTailQueue:
 
     def poll(self) -> Optional[Packet]:
         """Remove and return the head packet, or ``None`` when empty."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return None
-        packet = self._queue.popleft()
+        packet = queue.popleft()
         self._bytes -= packet.wire_bytes
         self.stats.dequeued += 1
         return packet

@@ -1,0 +1,43 @@
+"""Parallel sweep engine.
+
+Every experiment in the reproduction is a sweep of fully independent
+simulated transfers (locations x flow sizes x MPTCP variants).  This
+package turns such sweeps into declarative task lists and runs them:
+
+* :class:`~repro.parallel.runner.SimTask` — a picklable spec naming a
+  module-level callable plus keyword arguments;
+* :class:`~repro.parallel.runner.SweepRunner` — shards a task list
+  deterministically across a ``ProcessPoolExecutor`` (``workers=1``
+  falls back to pure in-process execution) and layers a
+  content-addressed on-disk result cache keyed by the task spec and a
+  fingerprint of the ``repro`` source tree;
+* :mod:`repro.parallel.tasks` — ready-made task callables returning
+  picklable summaries of simulated transfers.
+
+Parallel and serial runs produce bit-identical results: every task
+carries its own seed (derived via :func:`repro.core.rng.derive_seed`),
+simulations share no state, and results are reassembled in task-list
+order regardless of which worker finished first.
+"""
+
+from repro.parallel.cache import ResultCache, code_fingerprint, spec_key
+from repro.parallel.runner import (
+    SimTask,
+    SweepRunner,
+    SweepStats,
+    get_default_workers,
+    resolve_workers,
+    set_default_workers,
+)
+
+__all__ = [
+    "ResultCache",
+    "SimTask",
+    "SweepRunner",
+    "SweepStats",
+    "code_fingerprint",
+    "get_default_workers",
+    "resolve_workers",
+    "set_default_workers",
+    "spec_key",
+]

@@ -1,0 +1,189 @@
+"""Content-addressed on-disk cache for sweep results.
+
+A cached entry is keyed by the *task spec* (callable path + canonical
+JSON of its keyword arguments) and a *code fingerprint* (a hash of
+every ``.py`` file in the installed ``repro`` package).  Editing any
+source file therefore invalidates the whole cache — the conservative
+choice, since a change to the event loop or a congestion controller
+can perturb any simulation output.
+
+Environment knobs:
+
+``REPRO_CACHE_DIR``
+    Cache directory (default ``~/.cache/repro-sweep``).
+``REPRO_CACHE``
+    Set to ``0``/``off``/``no`` to disable caching entirely.
+"""
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from typing import Any, Optional, Tuple
+
+__all__ = ["CACHE_DIR_ENV", "CACHE_TOGGLE_ENV", "ResultCache",
+           "cache_enabled_by_env", "canonical_spec", "code_fingerprint",
+           "default_cache_dir", "spec_key"]
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_TOGGLE_ENV = "REPRO_CACHE"
+_ENV_DIR = CACHE_DIR_ENV
+_ENV_TOGGLE = CACHE_TOGGLE_ENV
+_DISABLED_VALUES = {"0", "off", "no", "false"}
+
+
+def default_cache_dir() -> str:
+    """The cache directory honouring ``REPRO_CACHE_DIR``."""
+    configured = os.environ.get(_ENV_DIR)
+    if configured:
+        return configured
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-sweep")
+
+
+def cache_enabled_by_env() -> bool:
+    """False when ``REPRO_CACHE`` disables caching."""
+    return os.environ.get(_ENV_TOGGLE, "1").lower() not in _DISABLED_VALUES
+
+
+def canonical_spec(obj: Any) -> Any:
+    """Reduce ``obj`` to a canonical JSON-serialisable structure.
+
+    Dataclasses become tagged dicts (so two specs differing only in
+    dataclass type hash differently); dict keys are sorted by
+    ``json.dumps``; tuples and lists coincide (both are JSON arrays).
+    Anything else that JSON cannot express raises ``TypeError`` — task
+    kwargs must stay declarative and picklable anyway.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        spec = {
+            field.name: canonical_spec(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        spec["__dataclass__"] = f"{type(obj).__module__}.{type(obj).__qualname__}"
+        return spec
+    if isinstance(obj, dict):
+        return {str(key): canonical_spec(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [canonical_spec(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"task kwargs must be JSON/dataclass-representable, got {type(obj)!r}"
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hash of every ``.py`` file under the ``repro`` package.
+
+    Computed once per process; any source edit yields a new
+    fingerprint and hence a cold cache.
+    """
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    entries = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, "rb") as handle:
+                file_hash = hashlib.sha256(handle.read()).hexdigest()
+            entries.append((os.path.relpath(path, root), file_hash))
+    for relpath, file_hash in entries:
+        digest.update(relpath.encode())
+        digest.update(file_hash.encode())
+    return digest.hexdigest()
+
+
+def spec_key(fn: str, kwargs: dict, fingerprint: Optional[str] = None) -> str:
+    """The content address of one task result."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint()
+    payload = json.dumps(
+        {"fn": fn, "kwargs": canonical_spec(kwargs), "code": fingerprint},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-on-disk store addressed by :func:`spec_key` hashes.
+
+    Filesystem failures (read-only home, corrupt entries) degrade to
+    cache misses rather than errors: the sweep must never fail because
+    of its cache.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 fingerprint: Optional[str] = None) -> None:
+        self.root = root if root is not None else default_cache_dir()
+        self._fingerprint = fingerprint
+
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = code_fingerprint()
+        return self._fingerprint
+
+    def key_for(self, fn: str, kwargs: dict) -> str:
+        return spec_key(fn, kwargs, self.fingerprint)
+
+    def _path(self, key: str) -> str:
+        # Two-level fan-out keeps directory listings manageable.
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a miss is ``(False, None)``."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                return True, pickle.load(handle)
+        except Exception:
+            # A cache entry is always recomputable: any unreadable or
+            # corrupt file (truncated pickle, bad opcode stream, missing
+            # class, permission change) degrades to a miss.
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` atomically (write-to-temp + rename)."""
+        path = self._path(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PickleError):
+            return
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for dirpath, _, filenames in os.walk(self.root):
+            for filename in filenames:
+                if filename.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(dirpath, filename))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,269 @@
+"""The sweep engine: declarative tasks, deterministic shards, workers.
+
+A :class:`SimTask` names a module-level callable (``"pkg.mod:fn"``)
+plus keyword arguments; both the arguments and the return value must
+be picklable, so tasks can cross a process boundary and live in the
+on-disk cache.  :class:`SweepRunner` executes a task list:
+
+1. every task is looked up in the :class:`~repro.parallel.cache.ResultCache`
+   (spec hash + code fingerprint);
+2. cache misses are sharded **deterministically** — miss ``j`` goes to
+   shard ``j % nshards`` — and each shard runs in its own worker
+   process (``workers=1`` runs in-process, which keeps debugging and
+   profiling trivial);
+3. results are reassembled in task-list order, so scheduling jitter
+   can never reorder outputs, and written back to the cache.
+
+Because each simulation derives all randomness from seeds carried in
+its task spec (see :func:`repro.core.rng.derive_seed`) and shares no
+process state, ``workers=N`` is bit-identical to ``workers=1``.
+"""
+
+import importlib
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import DEFAULT_SEED, derive_seed
+from repro.parallel.cache import ResultCache, cache_enabled_by_env
+
+__all__ = [
+    "SimTask",
+    "SweepRunner",
+    "SweepStats",
+    "WORKERS_ENV",
+    "get_default_workers",
+    "resolve_workers",
+    "set_default_workers",
+]
+
+#: Environment variable consulted when no worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_default_workers: Optional[int] = None
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` resets)."""
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1: {workers}")
+    _default_workers = workers
+
+
+def get_default_workers() -> Optional[int]:
+    return _default_workers
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument > :func:`set_default_workers` > env > 1."""
+    if workers is not None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {workers}")
+        return workers
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer: {env!r}"
+            )
+        if value < 1:
+            raise ConfigurationError(f"{WORKERS_ENV} must be >= 1: {value}")
+        return value
+    return 1
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One unit of sweep work.
+
+    ``fn`` is a ``"module.path:callable"`` reference resolved at
+    execution time (inside the worker process), so the spec itself is
+    tiny and always picklable.  ``key`` is a stable human-readable
+    identity used for per-task seed derivation; it defaults to the
+    function path and does not affect cache addressing (the kwargs
+    already do).
+    """
+
+    fn: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    key: Optional[str] = None
+
+    def label(self) -> str:
+        return self.key if self.key is not None else self.fn
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the task callable."""
+        if ":" not in self.fn:
+            raise ConfigurationError(
+                f"task fn must be 'module:callable', got {self.fn!r}"
+            )
+        module_path, _, attr = self.fn.partition(":")
+        module = importlib.import_module(module_path)
+        try:
+            fn = getattr(module, attr)
+        except AttributeError:
+            raise ConfigurationError(
+                f"module {module_path!r} has no callable {attr!r}"
+            )
+        if not callable(fn):
+            raise ConfigurationError(f"{self.fn!r} is not callable")
+        return fn
+
+    def seeded(self, master_seed: int) -> "SimTask":
+        """Fill in a derived ``seed`` kwarg when the task lacks one.
+
+        The derivation only depends on the master seed and the task's
+        ``key`` — never on shard assignment or worker count — so the
+        same sweep always simulates the same randomness.
+        """
+        if "seed" in self.kwargs:
+            return self
+        seed = derive_seed(master_seed, f"sweep-task.{self.label()}")
+        return SimTask(fn=self.fn, kwargs={**self.kwargs, "seed": seed},
+                       key=self.key)
+
+
+def _run_task(task: SimTask) -> Any:
+    return task.resolve()(**task.kwargs)
+
+
+def _run_shard(tasks: List[SimTask]) -> List[Any]:
+    """Worker entry point: run one shard's tasks in order."""
+    return [_run_task(task) for task in tasks]
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping from the last :meth:`SweepRunner.run` call."""
+
+    tasks: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    workers: int = 1
+    elapsed_s: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.tasks} tasks, {self.cache_hits} cached, "
+            f"{self.executed} run on {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''} in {self.elapsed_s:.1f}s"
+        )
+
+
+class SweepRunner:
+    """Execute a list of :class:`SimTask` with caching and workers.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes; ``None`` resolves via
+        :func:`resolve_workers` (default / ``REPRO_WORKERS`` / 1).
+        ``1`` executes in-process — no executor, no pickling.
+    cache:
+        ``None`` uses the default on-disk cache (subject to the
+        ``REPRO_CACHE`` env toggle); ``False`` disables caching; a
+        :class:`ResultCache` instance is used as given.
+    seed:
+        Master seed for :meth:`SimTask.seeded` derivation of tasks
+        that do not carry an explicit ``seed`` kwarg.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Union[ResultCache, bool, None] = None,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        if cache is None:
+            self.cache: Optional[ResultCache] = (
+                ResultCache() if cache_enabled_by_env() else None
+            )
+        elif cache is False:
+            self.cache = None
+        elif cache is True:
+            self.cache = ResultCache()
+        else:
+            self.cache = cache
+        self.seed = seed
+        self.last_stats = SweepStats()
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[SimTask]) -> List[Any]:
+        """Run every task; results are ordered like ``tasks``."""
+        started = time.perf_counter()
+        tasks = [task.seeded(self.seed) for task in tasks]
+        results: List[Any] = [None] * len(tasks)
+
+        keys: List[Optional[str]] = [None] * len(tasks)
+        misses: List[int] = []
+        hits = 0
+        if self.cache is not None:
+            for index, task in enumerate(tasks):
+                key = self.cache.key_for(task.fn, task.kwargs)
+                keys[index] = key
+                hit, value = self.cache.get(key)
+                if hit:
+                    results[index] = value
+                    hits += 1
+                else:
+                    misses.append(index)
+        else:
+            misses = list(range(len(tasks)))
+
+        if misses:
+            self._execute(tasks, misses, results)
+            if self.cache is not None:
+                for index in misses:
+                    assert keys[index] is not None
+                    self.cache.put(keys[index], results[index])
+
+        self.last_stats = SweepStats(
+            tasks=len(tasks),
+            cache_hits=hits,
+            executed=len(misses),
+            workers=self.workers,
+            elapsed_s=time.perf_counter() - started,
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    def _execute(self, tasks: List[SimTask], misses: List[int],
+                 results: List[Any]) -> None:
+        nshards = min(self.workers, len(misses))
+        if nshards <= 1:
+            for index in misses:
+                results[index] = _run_task(tasks[index])
+            return
+        # Deterministic sharding: miss j -> shard j % nshards.  The
+        # assignment depends only on task order and worker count, and
+        # results are reassembled by original index, so scheduling
+        # jitter cannot reorder (or change) anything.
+        shards = [misses[offset::nshards] for offset in range(nshards)]
+        context = self._mp_context()
+        with ProcessPoolExecutor(max_workers=nshards,
+                                 mp_context=context) as pool:
+            futures = [
+                pool.submit(_run_shard, [tasks[index] for index in shard])
+                for shard in shards
+            ]
+            for shard, future in zip(shards, futures):
+                for index, value in zip(shard, future.result()):
+                    results[index] = value
+
+    @staticmethod
+    def _mp_context():
+        """Prefer ``fork`` so workers inherit ``sys.path`` untouched."""
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()

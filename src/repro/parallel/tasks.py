@@ -1,0 +1,147 @@
+"""Picklable task callables and result summaries for sweeps.
+
+:class:`~repro.scenario.TransferResult` holds a live connection object
+(callbacks, event-loop references) and cannot cross a process
+boundary.  The wrappers here run the same simulations but return
+:class:`TransferSummary`, a plain-data snapshot exposing the metrics
+the experiment layer actually consumes (duration, throughput, the
+throughput-at-flow-size curve, subflow delivery logs).
+"""
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.rng import DEFAULT_SEED
+from repro.linkem.conditions import LocationCondition
+from repro.scenario import TransferResult
+from repro.tcp.config import TcpConfig
+
+__all__ = [
+    "TransferSummary",
+    "collect_site_runs",
+    "mptcp_transfer",
+    "summarize",
+    "tcp_transfer",
+]
+
+
+@dataclass
+class TransferSummary:
+    """Plain-data outcome of one bulk transfer (picklable/cacheable)."""
+
+    total_bytes: int
+    started_at: Optional[float]
+    completed_at: Optional[float]
+    delivery_log: List[Tuple[float, int]] = field(default_factory=list)
+    subflow_delivery_logs: Dict[str, List[Tuple[float, int]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def throughput_mbps(self) -> Optional[float]:
+        duration = self.duration_s
+        if not duration:
+            return None
+        return self.total_bytes * 8.0 / duration / 1e6
+
+    def time_to_bytes(self, nbytes: int) -> Optional[float]:
+        """Seconds from start until ``nbytes`` were delivered in order.
+
+        Mirrors :meth:`repro.tcp.connection.ConnectionBase.time_to_bytes`
+        exactly, bisecting the recorded delivery log.
+        """
+        if self.started_at is None or nbytes <= 0:
+            return None
+        cums = [c for _, c in self.delivery_log]
+        index = bisect.bisect_left(cums, nbytes)
+        if index >= len(cums):
+            return None
+        return self.delivery_log[index][0] - self.started_at
+
+    def throughput_at_bytes(self, nbytes: int) -> Optional[float]:
+        """Average throughput (Mbit/s) over the first ``nbytes``."""
+        elapsed = self.time_to_bytes(nbytes)
+        if elapsed is None or elapsed <= 0:
+            return None
+        return nbytes * 8.0 / elapsed / 1e6
+
+
+def summarize(result: TransferResult) -> TransferSummary:
+    """Snapshot a :class:`TransferResult` into plain data."""
+    connection = result.connection
+    subflow_logs: Dict[str, List[Tuple[float, int]]] = {}
+    for name, log in getattr(connection, "subflow_delivery_logs", {}).items():
+        subflow_logs[name] = list(log)
+    return TransferSummary(
+        total_bytes=result.total_bytes,
+        started_at=result.started_at,
+        completed_at=result.completed_at,
+        delivery_log=list(result.delivery_log),
+        subflow_delivery_logs=subflow_logs,
+    )
+
+
+def tcp_transfer(
+    condition: LocationCondition,
+    path: str,
+    nbytes: int,
+    direction: str = "down",
+    cc: str = "cubic",
+    seed: int = DEFAULT_SEED,
+    deadline_s: float = 240.0,
+    config: Optional[TcpConfig] = None,
+) -> TransferSummary:
+    """Worker-side single-path TCP transfer (see ``run_tcp_at``)."""
+    from repro.experiments.common import run_tcp_at
+
+    return summarize(run_tcp_at(
+        condition, path, nbytes, direction=direction, cc=cc, seed=seed,
+        deadline_s=deadline_s, config=config,
+    ))
+
+
+def mptcp_transfer(
+    condition: LocationCondition,
+    primary: str,
+    congestion_control: str,
+    nbytes: int,
+    direction: str = "down",
+    seed: int = DEFAULT_SEED,
+    deadline_s: float = 240.0,
+    config: Optional[TcpConfig] = None,
+) -> TransferSummary:
+    """Worker-side MPTCP transfer (see ``run_mptcp_at``)."""
+    from repro.experiments.common import run_mptcp_at
+
+    return summarize(run_mptcp_at(
+        condition, primary, congestion_control, nbytes, direction=direction,
+        seed=seed, deadline_s=deadline_s, config=config,
+    ))
+
+
+def collect_site_runs(site_name: str, seed: int = DEFAULT_SEED) -> list:
+    """Collect one Table-1 site's crowd measurement runs.
+
+    Site collection is independent by construction: every RNG stream
+    the app and world model draw from is named after the site, so
+    collecting sites in parallel and concatenating in site order is
+    bit-identical to :meth:`CellVsWifiApp.collect_all`.
+    """
+    from repro.crowd.app import CellVsWifiApp
+    from repro.crowd.world import TABLE1_SITES
+
+    by_name = {site.name: site for site in TABLE1_SITES}
+    if site_name not in by_name:
+        raise KeyError(f"unknown Table-1 site: {site_name!r}")
+    return CellVsWifiApp(seed=seed).collect_site(by_name[site_name])

@@ -24,7 +24,7 @@ from repro.tcp.source import Chunk
 __all__ = ["SubflowSender", "SenderStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _SegmentRecord:
     seq: int
     length: int
@@ -35,7 +35,7 @@ class _SegmentRecord:
     rxt_epoch: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class SenderStats:
     """Counters exposed for analysis and tests."""
 
@@ -48,6 +48,15 @@ class SenderStats:
 
 class SubflowSender:
     """Reliable, congestion-controlled byte transmission on one subflow."""
+
+    __slots__ = (
+        "loop", "config", "cc", "rtt", "_transmit", "flow_id", "subflow_id",
+        "snd_una", "snd_nxt", "_outstanding", "_pipe", "_dupacks",
+        "_in_recovery", "_recovery_point", "_recovery_epoch",
+        "_max_sacked_end", "_head_retries", "_dead", "peer_window_bytes",
+        "stats", "_rto_timer", "on_data_acked", "on_window_open", "on_dead",
+        "on_rto_event",
+    )
 
     def __init__(
         self,
@@ -189,27 +198,34 @@ class SubflowSender:
         if not packet.sack:
             return False
         advanced = False
+        outstanding = self._outstanding
+        pipe = self._pipe
+        max_sacked = self._max_sacked_end
         for start, end in packet.sack:
-            self._max_sacked_end = max(self._max_sacked_end, end)
-            for seq, record in self._outstanding.items():
+            if end > max_sacked:
+                max_sacked = end
+            for seq, record in outstanding.items():
                 if record.sacked:
                     continue
                 if seq >= start and seq + record.length <= end:
                     record.sacked = True
-                    self._pipe -= 1
+                    pipe -= 1
                     advanced = True
                 elif seq >= end:
                     break
+        self._pipe = pipe
+        self._max_sacked_end = max_sacked
         return advanced
 
     def _on_new_ack(self, ack: int) -> None:
         acked_chunks: List[Chunk] = []
         acked_segments = 0
-        while self._outstanding:
-            seq, record = next(iter(self._outstanding.items()))
+        outstanding = self._outstanding
+        while outstanding:
+            seq, record = next(iter(outstanding.items()))
             if seq + record.length > ack:
                 break
-            self._outstanding.popitem(last=False)
+            outstanding.popitem(last=False)
             if not record.sacked:
                 self._pipe -= 1
             acked_chunks.append((record.data_seq, record.length))

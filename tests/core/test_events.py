@@ -103,6 +103,92 @@ class TestEventLoop:
         event.cancel()
         assert loop.pending() == 1
 
+    def test_run_until_advances_clock_with_empty_queue(self):
+        loop = EventLoop()
+        loop.run(until=5.0)
+        assert loop.now == 5.0
+        loop.run(until=3.0)  # never moves backwards
+        assert loop.now == 5.0
+
+    def test_run_until_exact_event_time_fires_event(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(2.0, lambda: fired.append(loop.now))
+        loop.run(until=2.0)
+        assert fired == [2.0]
+        assert loop.now == 2.0
+
+    def test_double_cancel_counts_once(self):
+        loop = EventLoop()
+        event = loop.call_at(1.0, lambda: None)
+        loop.call_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert loop.pending() == 1
+
+    def test_cancel_after_firing_keeps_pending_accurate(self):
+        loop = EventLoop()
+        event = loop.call_at(1.0, lambda: None)
+        loop.call_at(2.0, lambda: None)
+        loop.run(until=1.5)
+        event.cancel()  # already fired: must not skew the live count
+        assert loop.pending() == 1
+        loop.run()
+        assert loop.pending() == 0
+
+    def test_mass_cancellation_compacts_heap(self):
+        loop = EventLoop()
+        keep, cancelled = [], []
+        events = [
+            loop.call_at(float(i + 1), lambda i=i: keep.append(i))
+            for i in range(200)
+        ]
+        for event in events[50:]:
+            event.cancel()
+            cancelled.append(event)
+        # Lazy deletion must not leave 150 dead entries in the heap.
+        assert loop.pending() == 50
+        assert len(loop._heap) < 200
+        loop.run()
+        assert keep == list(range(50))
+
+    def test_cancellation_during_run_stays_consistent(self):
+        loop = EventLoop()
+        fired = []
+        later = [loop.call_at(10.0 + i, lambda i=i: fired.append(i))
+                 for i in range(100)]
+
+        def cancel_most():
+            for event in later[5:]:
+                event.cancel()
+
+        loop.call_at(1.0, cancel_most)
+        loop.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert loop.pending() == 0
+
+    def test_max_events_budget_allows_exact_count(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.call_at(float(i), lambda: None)
+        loop.run(max_events=10)  # exactly the budget: no error
+        assert loop.pending() == 0
+
+    def test_max_events_budget_exhaustion_raises(self):
+        loop = EventLoop()
+        for i in range(11):
+            loop.call_at(float(i), lambda: None)
+        with pytest.raises(SimulationError):
+            loop.run(max_events=10)
+
+    def test_cancelled_events_do_not_consume_budget(self):
+        loop = EventLoop()
+        events = [loop.call_at(float(i), lambda: None) for i in range(50)]
+        for event in events[:40]:
+            event.cancel()
+        loop.run(max_events=10)  # only the 10 live events count
+        assert loop.pending() == 0
+
 
 class TestTimer:
     def test_fires_after_delay(self):

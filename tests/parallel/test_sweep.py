@@ -1,0 +1,213 @@
+"""Tests for the parallel sweep engine: determinism, sharding, cache."""
+
+import os
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import derive_seed
+from repro.experiments.common import crowd_dataset, mptcp_task, tcp_task
+from repro.linkem.conditions import make_conditions
+from repro.parallel import (
+    ResultCache,
+    SimTask,
+    SweepRunner,
+    resolve_workers,
+    set_default_workers,
+)
+from repro.parallel.cache import canonical_spec, spec_key
+
+FLOW_BYTES = 20 * 1024
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sweep_env(monkeypatch):
+    """Keep tests off the user's on-disk cache and env knobs.
+
+    Tests that want caching pass an explicit :class:`ResultCache`,
+    which takes precedence over the env toggle.
+    """
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    set_default_workers(None)
+    yield
+    set_default_workers(None)
+
+
+def _small_tasks(seed: int = 7):
+    """Six quick transfer tasks spanning both task kinds."""
+    conditions = make_conditions(seed=1)
+    tasks = []
+    for condition in conditions[4:6]:
+        tasks.append(tcp_task(condition, "wifi", FLOW_BYTES, seed=seed))
+        tasks.append(tcp_task(condition, "lte", FLOW_BYTES, seed=seed))
+        tasks.append(
+            mptcp_task(condition, "wifi", "decoupled", FLOW_BYTES, seed=seed)
+        )
+    return tasks
+
+
+class TestSimTask:
+    def test_resolves_module_callable(self):
+        task = SimTask(fn="repro.parallel.tasks:tcp_transfer")
+        assert callable(task.resolve())
+
+    def test_rejects_malformed_path(self):
+        with pytest.raises(ConfigurationError):
+            SimTask(fn="no.colon.here").resolve()
+
+    def test_rejects_missing_attribute(self):
+        with pytest.raises(ConfigurationError):
+            SimTask(fn="repro.parallel.tasks:nope").resolve()
+
+    def test_seeded_derives_from_key_not_order(self):
+        task = SimTask(fn="m:f", kwargs={"x": 1}, key="alpha")
+        seeded = task.seeded(99)
+        assert seeded.kwargs["seed"] == derive_seed(99, "sweep-task.alpha")
+
+    def test_seeded_keeps_explicit_seed(self):
+        task = SimTask(fn="m:f", kwargs={"seed": 123}, key="alpha")
+        assert task.seeded(99).kwargs["seed"] == 123
+
+
+class TestWorkersResolution:
+    def teardown_method(self):
+        set_default_workers(None)
+        os.environ.pop("REPRO_WORKERS", None)
+
+    def test_defaults_to_one(self):
+        os.environ.pop("REPRO_WORKERS", None)
+        set_default_workers(None)
+        assert resolve_workers() == 1
+
+    def test_explicit_wins(self):
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self):
+        set_default_workers(None)
+        os.environ["REPRO_WORKERS"] = "5"
+        assert resolve_workers() == 5
+
+    def test_global_default_beats_env(self):
+        os.environ["REPRO_WORKERS"] = "5"
+        set_default_workers(2)
+        assert resolve_workers() == 2
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+        os.environ["REPRO_WORKERS"] = "zero"
+        set_default_workers(None)
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+
+
+class TestParallelSerialDeterminism:
+    def test_workers_do_not_change_results(self):
+        tasks = _small_tasks()
+        serial = SweepRunner(workers=1, cache=False).run(tasks)
+        parallel = SweepRunner(workers=4, cache=False).run(tasks)
+        assert serial == parallel  # TransferSummary dataclass equality
+        assert all(summary.completed for summary in serial)
+
+    def test_results_come_back_in_task_order(self):
+        tasks = _small_tasks()
+        results = SweepRunner(workers=3, cache=False).run(tasks)
+        for task, summary in zip(tasks, results):
+            assert summary.total_bytes == task.kwargs["nbytes"]
+
+    def test_crowd_dataset_matches_collect_all(self):
+        from repro.crowd.app import CellVsWifiApp
+        from repro.crowd.world import TABLE1_SITES
+
+        sites = TABLE1_SITES[:3]
+        serial = CellVsWifiApp(seed=11).collect_all(sites)
+        sharded = crowd_dataset(sites, seed=11, workers=2)
+        assert sharded.to_csv() == serial.to_csv()
+
+
+class TestResultCache:
+    def test_cold_then_warm(self, tmp_path):
+        tasks = _small_tasks()
+        cache = ResultCache(root=str(tmp_path))
+        runner = SweepRunner(workers=1, cache=cache)
+        cold = runner.run(tasks)
+        assert runner.last_stats.cache_hits == 0
+        assert runner.last_stats.executed == len(tasks)
+
+        warm_runner = SweepRunner(workers=1, cache=ResultCache(str(tmp_path)))
+        warm = warm_runner.run(tasks)
+        assert warm_runner.last_stats.cache_hits == len(tasks)
+        assert warm_runner.last_stats.executed == 0
+        assert warm == cold
+
+    def test_cache_shared_between_worker_counts(self, tmp_path):
+        tasks = _small_tasks()
+        SweepRunner(workers=2, cache=ResultCache(str(tmp_path))).run(tasks)
+        warm = SweepRunner(workers=1, cache=ResultCache(str(tmp_path)))
+        warm.run(tasks)
+        assert warm.last_stats.cache_hits == len(tasks)
+
+    def test_code_change_invalidates(self, tmp_path):
+        tasks = _small_tasks()
+        before = SweepRunner(
+            workers=1, cache=ResultCache(str(tmp_path), fingerprint="rev-a")
+        )
+        before.run(tasks)
+        after = SweepRunner(
+            workers=1, cache=ResultCache(str(tmp_path), fingerprint="rev-b")
+        )
+        after.run(tasks)
+        # Different code fingerprint -> different content address -> miss.
+        assert after.last_stats.cache_hits == 0
+        assert after.last_stats.executed == len(tasks)
+
+    def test_env_toggle_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert SweepRunner(workers=1).cache is None
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert SweepRunner(workers=1).cache is not None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(root=str(tmp_path), fingerprint="f")
+        key = cache.key_for("m:f", {"x": 1})
+        cache.put(key, {"ok": True})
+        hit, value = cache.get(key)
+        assert hit and value == {"ok": True}
+        path = cache._path(key)
+        # Two corruption flavours: an UnpicklingError and a truncated
+        # opcode stream that raises ValueError inside pickle.
+        for garbage in (b"not a pickle", b"garbage\n"):
+            with open(path, "wb") as handle:
+                handle.write(garbage)
+            hit, _ = cache.get(key)
+            assert not hit
+
+
+class TestSpecKeys:
+    def test_kwarg_value_changes_key(self):
+        a = spec_key("m:f", {"x": 1}, fingerprint="f")
+        b = spec_key("m:f", {"x": 2}, fingerprint="f")
+        assert a != b
+
+    def test_dataclasses_canonicalize(self):
+        condition = make_conditions(seed=1)[0]
+        spec = canonical_spec({"condition": condition})
+        assert spec["condition"]["__dataclass__"].endswith("LocationCondition")
+        assert spec_key("m:f", {"condition": condition}, "f") == spec_key(
+            "m:f", {"condition": condition}, "f"
+        )
+
+    def test_unrepresentable_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_spec({"fn": lambda: None})
+
+
+class TestExperimentLevelParity:
+    def test_fig04_metrics_identical_across_worker_counts(self):
+        from repro.experiments import fig04
+
+        serial = fig04.run(fast=True, workers=1)
+        parallel = fig04.run(fast=True, workers=2)
+        assert serial.metrics == parallel.metrics
+        assert serial.body == parallel.body
