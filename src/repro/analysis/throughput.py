@@ -1,19 +1,90 @@
-"""Throughput timeseries extracted from connection delivery logs.
+"""Throughput metrics extracted from connection delivery logs.
 
-Figures 9 and 10 of the paper plot "the average throughput from the
-time the MPTCP session is established, to the current time t"; these
-helpers turn a delivery log — a list of ``(time, cumulative bytes)``
-points — into exactly that series, plus a windowed instantaneous
-variant.
+Two families of helpers live here:
+
+* **whole-transfer metrics** — duration, mean throughput, and the
+  paper's flow-size metrics ``time_to_bytes`` / ``throughput_at_bytes``
+  ("flow size is measured using the cumulative number of bytes
+  acknowledged").  These used to be implemented twice, once on the live
+  :class:`~repro.tcp.connection.ConnectionBase` and once on the
+  picklable summary type; both now delegate here, as does the
+  canonical :class:`~repro.workload.TransferReport`.
+* **timeseries** — Figures 9 and 10 of the paper plot "the average
+  throughput from the time the MPTCP session is established, to the
+  current time t"; :func:`average_throughput_series` turns a delivery
+  log — a list of ``(time, cumulative bytes)`` points — into exactly
+  that series, plus a windowed instantaneous variant.
 """
 
+import bisect
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.units import throughput_mbps
 
-__all__ = ["average_throughput_series", "instantaneous_throughput_series"]
+__all__ = [
+    "average_throughput_series",
+    "instantaneous_throughput_series",
+    "mean_throughput_mbps",
+    "throughput_at_bytes",
+    "time_to_bytes",
+    "transfer_duration_s",
+]
 
 Point = Tuple[float, float]
+
+DeliveryLog = Sequence[Tuple[float, int]]
+
+
+def transfer_duration_s(
+    started_at: Optional[float], completed_at: Optional[float]
+) -> Optional[float]:
+    """Transfer duration, or ``None`` while either endpoint is unknown."""
+    if started_at is None or completed_at is None:
+        return None
+    return completed_at - started_at
+
+
+def mean_throughput_mbps(
+    total_bytes: int,
+    started_at: Optional[float],
+    completed_at: Optional[float],
+) -> Optional[float]:
+    """Whole-transfer average throughput (Mbit/s), ``None`` if unfinished."""
+    duration = transfer_duration_s(started_at, completed_at)
+    if not duration:
+        return None
+    return throughput_mbps(total_bytes, duration)
+
+
+def time_to_bytes(
+    delivery_log: DeliveryLog,
+    started_at: Optional[float],
+    nbytes: int,
+) -> Optional[float]:
+    """Seconds from start until ``nbytes`` were delivered in order.
+
+    This is the paper's flow-size metric; it bisects the recorded
+    ``(time, cumulative in-order bytes)`` delivery log.
+    """
+    if started_at is None or nbytes <= 0:
+        return None
+    cums = [c for _, c in delivery_log]
+    index = bisect.bisect_left(cums, nbytes)
+    if index >= len(cums):
+        return None
+    return delivery_log[index][0] - started_at
+
+
+def throughput_at_bytes(
+    delivery_log: DeliveryLog,
+    started_at: Optional[float],
+    nbytes: int,
+) -> Optional[float]:
+    """Average throughput (Mbit/s) over the first ``nbytes`` delivered."""
+    elapsed = time_to_bytes(delivery_log, started_at, nbytes)
+    if elapsed is None or elapsed <= 0:
+        return None
+    return throughput_mbps(nbytes, elapsed)
 
 
 def average_throughput_series(

@@ -86,6 +86,7 @@ class EventLoop:
         self._seq = 0
         self._cancelled = 0  # cancelled entries still sitting in the heap
         self._running = False
+        self._stop_requested = False
 
     @property
     def now(self) -> float:
@@ -113,6 +114,16 @@ class EventLoop:
         """Number of not-yet-cancelled events still queued (O(1))."""
         return len(self._heap) - self._cancelled
 
+    def stop(self) -> None:
+        """Make :meth:`run` return after the currently running callback.
+
+        Intended to be called *from inside* an event callback (e.g. a
+        transfer's completion hook); simulated time stays exactly at
+        the stopping event's timestamp.  Outside of :meth:`run` it is
+        a no-op on the next call, which resets the flag.
+        """
+        self._stop_requested = True
+
     def _note_cancelled(self) -> None:
         """Bookkeeping callback from :meth:`Event.cancel`."""
         self._cancelled += 1
@@ -136,6 +147,7 @@ class EventLoop:
             Safety valve against runaway simulations.
         """
         self._running = True
+        self._stop_requested = False
         processed = 0
         heap = self._heap
         pop = heapq.heappop
@@ -156,6 +168,10 @@ class EventLoop:
                 self._now = event_time
                 event.callback()
                 processed += 1
+                if self._stop_requested:
+                    # A callback asked us to return; leave the clock at
+                    # its timestamp instead of advancing to ``until``.
+                    return
                 if processed > max_events:
                     raise SimulationError(
                         f"event budget exhausted after {max_events} events"

@@ -11,7 +11,7 @@ paper applies in §2.2.
 
 import csv
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
 from repro.crowd.geo import GeoPoint

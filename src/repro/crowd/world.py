@@ -16,9 +16,8 @@ downlink) throughput and ping RTTs:
 """
 
 import math
-import random
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.core.errors import ConfigurationError
 from repro.core.rng import DEFAULT_SEED, RngStreams

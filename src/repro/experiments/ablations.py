@@ -24,10 +24,10 @@ from repro.experiments.common import (
     ExperimentResult,
     config_seed,
     flow_conditions,
+    mptcp_spec,
     register,
-    run_mptcp_at,
+    run_spec,
 )
-from repro.mptcp.connection import MptcpOptions
 from repro.tcp.config import TcpConfig
 
 __all__ = [
@@ -50,20 +50,15 @@ def primary_effect(
     options_kwargs: Dict = None,
 ) -> float:
     """Median Fig. 8 relative difference at ``nbytes`` under given knobs."""
-    options_kwargs = options_kwargs or {}
     samples: List[float] = []
     for condition in flow_conditions(seed)[:condition_count]:
         runs = {}
         for primary in ("lte", "wifi"):
-            options = MptcpOptions(
-                primary=primary, congestion_control="decoupled",
-                **options_kwargs,
-            )
-            runs[primary] = run_mptcp_at(
+            runs[primary] = run_spec(mptcp_spec(
                 condition, primary, "decoupled", ONE_MBYTE,
                 seed=config_seed(seed, f"{condition.condition_id}.{primary}"),
-                options=options, config=config,
-            )
+                options=options_kwargs or None, config=config,
+            ))
         lte_t = runs["lte"].throughput_at_bytes(nbytes)
         wifi_t = runs["wifi"].throughput_at_bytes(nbytes)
         if lte_t and wifi_t:
@@ -155,14 +150,10 @@ def run_scheduler_ablation(seed: int = DEFAULT_SEED, fast: bool = False) -> Expe
     condition = conditions[0]  # strongly asymmetric
     results = {}
     for scheduler in ("minrtt", "roundrobin"):
-        options = MptcpOptions(
-            primary="wifi", congestion_control="decoupled",
-            scheduler=scheduler,
-        )
-        run = run_mptcp_at(
+        run = run_spec(mptcp_spec(
             condition, "wifi", "decoupled", ONE_MBYTE,
-            seed=seed, options=options,
-        )
+            seed=seed, options={"scheduler": scheduler},
+        ))
         results[scheduler] = run.throughput_mbps or 0.0
     metrics = {
         f"throughput_{name}": value for name, value in results.items()
@@ -236,9 +227,9 @@ def run_coupling_ablation(seed: int = DEFAULT_SEED, fast: bool = False) -> Exper
     config = TcpConfig(initial_ssthresh_segments=32)
     results = {}
     for cc in ("decoupled", "coupled", "olia"):
-        run = run_mptcp_at(
+        run = run_spec(mptcp_spec(
             condition, "wifi", cc, ONE_MBYTE, seed=seed, config=config,
-        )
+        ))
         results[cc] = run.throughput_mbps or 0.0
     metrics = {f"throughput_{name}": value for name, value in results.items()}
     metrics["all_complete"] = float(all(v > 0 for v in results.values()))

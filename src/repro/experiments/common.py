@@ -6,21 +6,32 @@ paper's target values for side-by-side comparison.
 """
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.rng import DEFAULT_SEED
-from repro.linkem.conditions import LocationCondition, build_scenario, make_conditions
+from repro.linkem.conditions import LocationCondition, make_conditions
 from repro.mptcp.connection import MptcpOptions
 from repro.parallel import SimTask, SweepRunner
-from repro.scenario import Scenario, TransferResult
+from repro.scenario import TransferResult
 from repro.tcp.config import TcpConfig
+from repro.workload import (
+    ConditionSpec,
+    Session,
+    TransferReport,
+    TransferSpec,
+    config_overrides,
+)
+from repro.workload.spec import mptcp_option_overrides
 
 __all__ = [
     "ExperimentResult",
     "EXPERIMENTS",
+    "run_spec",
     "run_tcp_at",
     "run_mptcp_at",
     "run_sweep",
+    "tcp_spec",
+    "mptcp_spec",
     "tcp_task",
     "mptcp_task",
     "crowd_dataset",
@@ -99,6 +110,74 @@ class ExperimentResult:
         return "\n".join(lines)
 
 
+#: Shared stateless interpreter: every experiment transfer runs
+#: through the same spec → scenario → report pipeline.
+_SESSION = Session()
+
+
+def _condition_spec(
+    condition: Union[LocationCondition, ConditionSpec]
+) -> ConditionSpec:
+    if isinstance(condition, ConditionSpec):
+        return condition
+    return ConditionSpec.from_condition(condition)
+
+
+def tcp_spec(
+    condition: Union[LocationCondition, ConditionSpec],
+    path: str,
+    nbytes: int,
+    direction: str = "down",
+    cc: str = "cubic",
+    seed: Optional[int] = None,
+    deadline_s: float = 240.0,
+    config: Optional[TcpConfig] = None,
+    label: Optional[str] = None,
+) -> TransferSpec:
+    """Declarative spec of one single-path TCP transfer."""
+    return TransferSpec(
+        kind="tcp", condition=_condition_spec(condition), nbytes=nbytes,
+        direction=direction, cc=cc, path=path, seed=seed,
+        deadline_s=deadline_s, config=config_overrides(config), label=label,
+    )
+
+
+def mptcp_spec(
+    condition: Union[LocationCondition, ConditionSpec],
+    primary: str,
+    congestion_control: str,
+    nbytes: int,
+    direction: str = "down",
+    seed: Optional[int] = None,
+    deadline_s: float = 240.0,
+    options: Union[MptcpOptions, Dict[str, Any], None] = None,
+    config: Optional[TcpConfig] = None,
+    label: Optional[str] = None,
+) -> TransferSpec:
+    """Declarative spec of one MPTCP transfer.
+
+    ``options`` holds the extra :class:`MptcpOptions` knobs (mode,
+    scheduler, join behaviour …) as a plain dict; a live
+    :class:`MptcpOptions` is also accepted and diffed against defaults
+    (its ``primary``/``congestion_control`` win over the arguments).
+    """
+    if isinstance(options, MptcpOptions):
+        primary = options.primary
+        congestion_control = options.congestion_control
+        options = mptcp_option_overrides(options)
+    return TransferSpec(
+        kind="mptcp", condition=_condition_spec(condition), nbytes=nbytes,
+        direction=direction, cc=congestion_control, primary=primary,
+        seed=seed, deadline_s=deadline_s, options=options or None,
+        config=config_overrides(config), label=label,
+    )
+
+
+def run_spec(spec: TransferSpec, seed: Optional[int] = None) -> TransferReport:
+    """Execute one transfer spec in-process (see :class:`Session`)."""
+    return _SESSION.run(spec, seed=seed)
+
+
 def run_tcp_at(
     condition: LocationCondition,
     path: str,
@@ -109,11 +188,15 @@ def run_tcp_at(
     deadline_s: float = 240.0,
     config: Optional[TcpConfig] = None,
 ) -> TransferResult:
-    """One single-path TCP bulk transfer at an emulated location."""
-    scenario = build_scenario(condition, seed=seed)
-    connection = scenario.tcp(path, nbytes, direction=direction, cc=cc,
-                              config=config)
-    return scenario.run_transfer(connection, deadline_s=deadline_s)
+    """One single-path TCP transfer, returning the *live* result.
+
+    Prefer :func:`tcp_spec` + :func:`run_spec`; this seam remains for
+    callers that need the live connection (monitors, mid-run events).
+    """
+    spec = tcp_spec(condition, path, nbytes, direction=direction, cc=cc,
+                    seed=seed, deadline_s=deadline_s, config=config)
+    scenario, connection = _SESSION.open(spec)
+    return scenario.run_transfer(connection, deadline_s=spec.deadline_s)
 
 
 def run_mptcp_at(
@@ -127,15 +210,16 @@ def run_mptcp_at(
     options: Optional[MptcpOptions] = None,
     config: Optional[TcpConfig] = None,
 ) -> TransferResult:
-    """One MPTCP bulk transfer at an emulated location."""
-    scenario = build_scenario(condition, seed=seed)
-    if options is None:
-        options = MptcpOptions(
-            primary=primary, congestion_control=congestion_control
-        )
-    connection = scenario.mptcp(nbytes, direction=direction, options=options,
-                                config=config)
-    return scenario.run_transfer(connection, deadline_s=deadline_s)
+    """One MPTCP transfer, returning the *live* result.
+
+    Prefer :func:`mptcp_spec` + :func:`run_spec`; this seam remains
+    for callers that need the live connection.
+    """
+    spec = mptcp_spec(condition, primary, congestion_control, nbytes,
+                      direction=direction, seed=seed, deadline_s=deadline_s,
+                      options=options, config=config)
+    scenario, connection = _SESSION.open(spec)
+    return scenario.run_transfer(connection, deadline_s=spec.deadline_s)
 
 
 def run_sweep(
@@ -154,44 +238,33 @@ def run_sweep(
 
 
 def tcp_task(
-    condition: LocationCondition,
+    condition: Union[LocationCondition, ConditionSpec],
     path: str,
     nbytes: int,
     key: Optional[str] = None,
     **kwargs,
 ) -> SimTask:
-    """Declarative spec of one :func:`run_tcp_at` call.
+    """Sweep task for one TCP :func:`tcp_spec` transfer.
 
-    The worker-side wrapper returns a picklable
-    :class:`~repro.parallel.tasks.TransferSummary`.
+    The worker executes the spec through a Session and returns the
+    picklable :class:`~repro.workload.TransferReport`.
     """
-    return SimTask(
-        fn="repro.parallel.tasks:tcp_transfer",
-        kwargs={"condition": condition, "path": path, "nbytes": nbytes,
-                **kwargs},
-        key=key or f"tcp.{condition.condition_id}.{path}.{nbytes}",
-    )
+    return _SESSION.task_for(tcp_spec(condition, path, nbytes, label=key,
+                                      **kwargs))
 
 
 def mptcp_task(
-    condition: LocationCondition,
+    condition: Union[LocationCondition, ConditionSpec],
     primary: str,
     congestion_control: str,
     nbytes: int,
     key: Optional[str] = None,
     **kwargs,
 ) -> SimTask:
-    """Declarative spec of one :func:`run_mptcp_at` call."""
-    return SimTask(
-        fn="repro.parallel.tasks:mptcp_transfer",
-        kwargs={"condition": condition, "primary": primary,
-                "congestion_control": congestion_control, "nbytes": nbytes,
-                **kwargs},
-        key=key or (
-            f"mptcp.{condition.condition_id}.{primary}."
-            f"{congestion_control}.{nbytes}"
-        ),
-    )
+    """Sweep task for one MPTCP :func:`mptcp_spec` transfer."""
+    return _SESSION.task_for(mptcp_spec(condition, primary,
+                                        congestion_control, nbytes,
+                                        label=key, **kwargs))
 
 
 def crowd_dataset(sites, seed: int = DEFAULT_SEED,

@@ -13,7 +13,12 @@ from repro.analysis.plotting import ascii_cdf
 from repro.core.rng import DEFAULT_SEED
 from repro.crowd.app import CellVsWifiApp
 from repro.crowd.world import TABLE1_SITES
-from repro.experiments.common import ExperimentResult, register, run_tcp_at
+from repro.experiments.common import (
+    ExperimentResult,
+    register,
+    run_spec,
+    tcp_spec,
+)
 from repro.linkem.conditions import make_conditions
 
 __all__ = ["run", "ks_distance"]
@@ -42,10 +47,12 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     for condition in conditions:
         for repeat in range(repeats):
             run_seed = seed + repeat * 9973
-            wifi_down = run_tcp_at(condition, "wifi", ONE_MBYTE, "down", seed=run_seed)
-            lte_down = run_tcp_at(condition, "lte", ONE_MBYTE, "down", seed=run_seed)
-            wifi_up = run_tcp_at(condition, "wifi", ONE_MBYTE, "up", seed=run_seed)
-            lte_up = run_tcp_at(condition, "lte", ONE_MBYTE, "up", seed=run_seed)
+            wifi_down, lte_down, wifi_up, lte_up = (
+                run_spec(tcp_spec(condition, path, ONE_MBYTE,
+                                  direction=direction, seed=run_seed))
+                for direction in ("down", "up")
+                for path in ("wifi", "lte")
+            )
             if wifi_down.completed and lte_down.completed:
                 down_diffs.append(
                     wifi_down.throughput_mbps - lte_down.throughput_mbps

@@ -20,7 +20,6 @@ from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import (
     ExperimentResult,
     MPTCP_VARIANTS,
-    WARM_FLOW_CONFIG,
     mptcp_task,
     register,
     run_sweep,

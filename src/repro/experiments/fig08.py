@@ -19,8 +19,9 @@ from repro.experiments.common import (
     WARM_FLOW_CONFIG,
     config_seed,
     flow_conditions,
+    mptcp_spec,
     register,
-    run_mptcp_at,
+    run_spec,
 )
 
 __all__ = ["run", "primary_relative_differences"]
@@ -40,15 +41,15 @@ def primary_relative_differences(
     for condition in conditions:
         for repeat in range(repeats):
             run_seed = seed + repeat * 7919
-            lte_run = run_mptcp_at(
-                condition, "lte", congestion_control, ONE_MBYTE,
-                seed=config_seed(run_seed, f"{condition.condition_id}.lte"),
-                config=WARM_FLOW_CONFIG,
-            )
-            wifi_run = run_mptcp_at(
-                condition, "wifi", congestion_control, ONE_MBYTE,
-                seed=config_seed(run_seed, f"{condition.condition_id}.wifi"),
-                config=WARM_FLOW_CONFIG,
+            lte_run, wifi_run = (
+                run_spec(mptcp_spec(
+                    condition, primary, congestion_control, ONE_MBYTE,
+                    seed=config_seed(
+                        run_seed, f"{condition.condition_id}.{primary}"
+                    ),
+                    config=WARM_FLOW_CONFIG,
+                ))
+                for primary in ("lte", "wifi")
             )
             for name, nbytes in FLOW_SIZES.items():
                 lte_tput = lte_run.throughput_at_bytes(nbytes)

@@ -15,12 +15,12 @@ from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import (
     ExperimentResult,
     WARM_FLOW_CONFIG,
+    mptcp_spec,
     register,
     run_sweep,
 )
-from repro.linkem.conditions import LocationCondition, build_scenario, make_conditions
-from repro.mptcp.connection import MptcpOptions
 from repro.parallel import SimTask
+from repro.workload import Session, TransferSpec
 
 __all__ = ["run", "throughput_evolution"]
 
@@ -28,16 +28,17 @@ ONE_MBYTE = 1_048_576
 
 
 def throughput_evolution(
-    condition: LocationCondition,
-    primary: str,
-    seed: int,
-    nbytes: int = 4 * ONE_MBYTE,
+    spec: TransferSpec,
     horizon_s: float = 2.0,
+    seed: Optional[int] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
-    """Average-throughput-vs-time series for MPTCP and its subflows."""
-    scenario = build_scenario(condition, seed=seed)
-    options = MptcpOptions(primary=primary, congestion_control="decoupled")
-    connection = scenario.mptcp(nbytes, options=options, config=WARM_FLOW_CONFIG)
+    """Average-throughput-vs-time series for MPTCP and its subflows.
+
+    Unlike a plain transfer this runs to a fixed time *horizon*, not
+    to completion, so it interprets the spec via :meth:`Session.open`
+    and drives the loop itself.
+    """
+    scenario, connection = Session().open(spec, seed=seed)
     connection.start()
     connection.close()
     scenario.run(until=horizon_s)
@@ -125,8 +126,10 @@ def run(seed: int = DEFAULT_SEED, fast: bool = False,
         [
             SimTask(
                 fn="repro.experiments.fig09_10:throughput_evolution",
-                kwargs={"condition": condition, "primary": primary,
-                        "seed": seed},
+                kwargs={"spec": mptcp_spec(
+                    condition, primary, "decoupled", 4 * ONE_MBYTE,
+                    seed=seed, config=WARM_FLOW_CONFIG,
+                ), "seed": seed},
                 key=f"{fig}.{primary}",
             )
             for fig, condition, _, primary in panel_specs

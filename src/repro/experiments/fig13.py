@@ -18,8 +18,9 @@ from repro.experiments.common import (
     WARM_FLOW_CONFIG,
     config_seed,
     flow_conditions,
+    mptcp_spec,
     register,
-    run_mptcp_at,
+    run_spec,
 )
 from repro.linkem.conditions import DUAL_CC_CONDITION_IDS
 
@@ -43,17 +44,14 @@ def cc_relative_differences(
             for repeat in range(runs_per_config):
                 run_seed = seed + repeat * 104729 + condition_id
                 for primary in ("lte", "wifi"):
-                    coupled = run_mptcp_at(
-                        condition, primary, "coupled", ONE_MBYTE,
-                        direction=direction,
-                        seed=config_seed(run_seed, f"{primary}.coupled"),
-                        config=WARM_FLOW_CONFIG,
-                    )
-                    decoupled = run_mptcp_at(
-                        condition, primary, "decoupled", ONE_MBYTE,
-                        direction=direction,
-                        seed=config_seed(run_seed, f"{primary}.decoupled"),
-                        config=WARM_FLOW_CONFIG,
+                    coupled, decoupled = (
+                        run_spec(mptcp_spec(
+                            condition, primary, cc, ONE_MBYTE,
+                            direction=direction,
+                            seed=config_seed(run_seed, f"{primary}.{cc}"),
+                            config=WARM_FLOW_CONFIG,
+                        ))
+                        for cc in ("coupled", "decoupled")
                     )
                     for name, nbytes in FLOW_SIZES.items():
                         coupled_t = coupled.throughput_at_bytes(nbytes)

@@ -20,8 +20,9 @@ from repro.experiments.common import (
     WARM_FLOW_CONFIG,
     config_seed,
     flow_conditions,
+    mptcp_spec,
     register,
-    run_mptcp_at,
+    run_spec,
 )
 from repro.linkem.conditions import DUAL_CC_CONDITION_IDS
 
@@ -54,12 +55,12 @@ def network_and_cc_differences(
                 tput: Dict[tuple, Dict[str, float]] = {}
                 for primary in ("lte", "wifi"):
                     for cc in ("coupled", "decoupled"):
-                        result = run_mptcp_at(
+                        result = run_spec(mptcp_spec(
                             condition, primary, cc, ONE_MBYTE,
                             direction=direction,
                             seed=config_seed(run_seed, f"{primary}.{cc}"),
                             config=WARM_FLOW_CONFIG,
-                        )
+                        ))
                         tput[(primary, cc)] = {
                             name: result.throughput_at_bytes(nbytes) or 0.0
                             for name, nbytes in FLOW_SIZES.items()

@@ -14,11 +14,7 @@ from repro.analysis.report import Table
 from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import ExperimentResult, register
 from repro.httpreplay.engine import ReplayEngine, STANDARD_CONFIGS
-from repro.httpreplay.oracles import (
-    BASELINE_CONFIG,
-    normalized_oracle_means,
-    oracle_response_times,
-)
+from repro.httpreplay.oracles import normalized_oracle_means
 from repro.httpreplay.patterns import cnn_launch
 from repro.httpreplay.session import AppSession
 from repro.linkem.conditions import make_conditions

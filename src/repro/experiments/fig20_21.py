@@ -7,7 +7,6 @@ while the single-path oracle manages 42 % — provided the right network
 feeds the primary subflow and the right congestion control is used.
 """
 
-from typing import Dict
 
 from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import ExperimentResult, register

@@ -5,12 +5,17 @@ Usage::
     repro-experiments --list
     repro-experiments fig03 fig08
     repro-experiments --all --fast --workers 4
+    repro-experiments run-spec workload.json --workers 4
 
 Sweep-based experiments shard their independent simulations across
 ``--workers`` processes (default: the ``REPRO_WORKERS`` environment
 variable, else 1) and reuse cached results from previous runs unless
 ``--no-cache`` is given.  Worker count never changes the outputs —
 only the wall-clock.
+
+The ``run-spec`` subcommand executes a declarative
+:class:`~repro.workload.WorkloadSpec` JSON file through the same
+engine (see ``examples/workload.json`` for the format).
 """
 
 import argparse
@@ -27,7 +32,8 @@ from repro.experiments.common import EXPERIMENTS
 from repro.parallel import resolve_workers, set_default_workers
 from repro.parallel.cache import CACHE_TOGGLE_ENV
 
-__all__ = ["main", "load_all_experiments", "EXPERIMENT_MODULES"]
+__all__ = ["main", "run_spec_main", "load_all_experiments",
+           "EXPERIMENT_MODULES"]
 
 #: Every experiment module, in paper order.
 EXPERIMENT_MODULES = [
@@ -63,7 +69,55 @@ def _run_kwargs(fn, workers: int) -> dict:
     return {}
 
 
+def run_spec_main(argv: Optional[List[str]] = None) -> int:
+    """``repro-experiments run-spec``: execute a workload JSON file."""
+    from repro.workload import Session, WorkloadSpec
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments run-spec",
+        description="Execute a declarative workload (WorkloadSpec JSON).",
+    )
+    parser.add_argument("workload", help="path to a workload JSON file")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes (default: $REPRO_WORKERS, "
+                             "else 1; results are identical for any value)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not populate the on-disk "
+                             "sweep result cache")
+    args = parser.parse_args(argv)
+
+    if args.no_cache:
+        os.environ[CACHE_TOGGLE_ENV] = "0"
+    try:
+        workers = resolve_workers(args.workers)
+        with open(args.workload, "r", encoding="utf-8") as handle:
+            workload = WorkloadSpec.from_json(handle.read())
+    except (OSError, ConfigurationError) as exc:
+        print(f"run-spec: {exc}", file=sys.stderr)
+        return 2
+
+    session = Session(seed=workload.seed)
+    reports = session.run_workload(workload, workers=workers)
+
+    failures = 0
+    for spec, report in zip(workload.transfers, reports):
+        if report.completed:
+            outcome = (f"{report.duration_s:8.3f} s  "
+                       f"{report.throughput_mbps:8.2f} Mbit/s")
+        else:
+            outcome = "did not complete before the deadline"
+            failures += 1
+        print(f"  {spec.key():44s} {outcome}")
+    stats = session.last_stats
+    if stats is not None:
+        print(f"[{workload.name}: {stats.summary()}]")
+    return 1 if failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "run-spec":
+        return run_spec_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of Deng et al., IMC'14.",

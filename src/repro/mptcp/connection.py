@@ -17,14 +17,22 @@ Semantics follow the Linux MPTCP v0.88 stack the paper used:
   until the active one dies, costing extra round trips on failover.
 """
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.core.events import EventLoop
 from repro.net.fabric import AttachedPath
 from repro.net.path import Path
-from repro.tcp.cc import Cubic, LiaCoupling, LiaSubflowCc, OliaCoupling, OliaSubflowCc, Reno
+from repro.tcp.cc import (
+    Cubic,
+    LiaCoupling,
+    LiaSubflowCc,
+    OliaCoupling,
+    OliaSubflowCc,
+    Reno,
+    validate_cc,
+)
 from repro.tcp.config import TcpConfig
 from repro.tcp.connection import ConnectionBase
 from repro.tcp.source import Chunk
@@ -93,10 +101,9 @@ class MptcpOptions:
     subflows_per_path: int = 1
 
     def __post_init__(self) -> None:
-        if self.congestion_control not in (COUPLED, DECOUPLED, OLIA, "cubic"):
-            raise ConfigurationError(
-                f"unknown congestion control: {self.congestion_control!r}"
-            )
+        # Canonicalize through the unified registry ("lia" -> "coupled")
+        # so every layer shares one name set and one error message.
+        self.congestion_control = validate_cc(self.congestion_control, "mptcp")
         if self.mode not in (FULL_MPTCP, BACKUP_MODE, SINGLE_PATH_MODE):
             raise ConfigurationError(f"unknown MPTCP mode: {self.mode!r}")
         if self.join_delay_s < 0:

@@ -51,12 +51,19 @@ def cache_enabled_by_env() -> bool:
 def canonical_spec(obj: Any) -> Any:
     """Reduce ``obj`` to a canonical JSON-serialisable structure.
 
-    Dataclasses become tagged dicts (so two specs differing only in
-    dataclass type hash differently); dict keys are sorted by
-    ``json.dumps``; tuples and lists coincide (both are JSON arrays).
-    Anything else that JSON cannot express raises ``TypeError`` — task
-    kwargs must stay declarative and picklable anyway.
+    Objects exposing a ``canonical_dict()`` (the workload spec types)
+    are asked for their own canonical form, tagged with their type so
+    two spec kinds can never collide.  Other dataclasses become tagged
+    dicts (so two specs differing only in dataclass type hash
+    differently); dict keys are sorted by ``json.dumps``; tuples and
+    lists coincide (both are JSON arrays).  Anything else that JSON
+    cannot express raises ``TypeError`` — task kwargs must stay
+    declarative and picklable anyway.
     """
+    if not isinstance(obj, type) and hasattr(obj, "canonical_dict"):
+        spec = canonical_spec(obj.canonical_dict())
+        spec["__spec__"] = f"{type(obj).__module__}.{type(obj).__qualname__}"
+        return spec
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         spec = {
             field.name: canonical_spec(getattr(obj, field.name))

@@ -1,95 +1,52 @@
-"""Picklable task callables and result summaries for sweeps.
+"""Worker-side task callables for sweeps.
 
-:class:`~repro.scenario.TransferResult` holds a live connection object
-(callbacks, event-loop references) and cannot cross a process
-boundary.  The wrappers here run the same simulations but return
-:class:`TransferSummary`, a plain-data snapshot exposing the metrics
-the experiment layer actually consumes (duration, throughput, the
-throughput-at-flow-size curve, subflow delivery logs).
+The one real entry point is :func:`run_transfer_spec`: workers receive
+a declarative :class:`~repro.workload.spec.TransferSpec` and interpret
+it through a :class:`~repro.workload.session.Session`, returning the
+picklable :class:`~repro.workload.report.TransferReport`.
+
+``TransferSummary`` and the argument-tuple wrappers ``tcp_transfer`` /
+``mptcp_transfer`` are thin deprecation aliases kept for one PR; new
+code should build specs and go through the Session (or
+:func:`repro.experiments.common.tcp_task` / ``mptcp_task``, which do).
 """
 
-import bisect
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.core.rng import DEFAULT_SEED
 from repro.linkem.conditions import LocationCondition
-from repro.scenario import TransferResult
 from repro.tcp.config import TcpConfig
+from repro.workload.report import TransferReport
+from repro.workload.session import Session
+from repro.workload.spec import ConditionSpec, TransferSpec, config_overrides
 
 __all__ = [
     "TransferSummary",
     "collect_site_runs",
     "mptcp_transfer",
+    "run_transfer_spec",
     "summarize",
     "tcp_transfer",
 ]
 
+#: Deprecated alias: the canonical snapshot type now lives in
+#: :mod:`repro.workload.report`; kept for one PR.
+TransferSummary = TransferReport
 
-@dataclass
-class TransferSummary:
-    """Plain-data outcome of one bulk transfer (picklable/cacheable)."""
-
-    total_bytes: int
-    started_at: Optional[float]
-    completed_at: Optional[float]
-    delivery_log: List[Tuple[float, int]] = field(default_factory=list)
-    subflow_delivery_logs: Dict[str, List[Tuple[float, int]]] = field(
-        default_factory=dict
-    )
-
-    @property
-    def completed(self) -> bool:
-        return self.completed_at is not None
-
-    @property
-    def duration_s(self) -> Optional[float]:
-        if self.started_at is None or self.completed_at is None:
-            return None
-        return self.completed_at - self.started_at
-
-    @property
-    def throughput_mbps(self) -> Optional[float]:
-        duration = self.duration_s
-        if not duration:
-            return None
-        return self.total_bytes * 8.0 / duration / 1e6
-
-    def time_to_bytes(self, nbytes: int) -> Optional[float]:
-        """Seconds from start until ``nbytes`` were delivered in order.
-
-        Mirrors :meth:`repro.tcp.connection.ConnectionBase.time_to_bytes`
-        exactly, bisecting the recorded delivery log.
-        """
-        if self.started_at is None or nbytes <= 0:
-            return None
-        cums = [c for _, c in self.delivery_log]
-        index = bisect.bisect_left(cums, nbytes)
-        if index >= len(cums):
-            return None
-        return self.delivery_log[index][0] - self.started_at
-
-    def throughput_at_bytes(self, nbytes: int) -> Optional[float]:
-        """Average throughput (Mbit/s) over the first ``nbytes``."""
-        elapsed = self.time_to_bytes(nbytes)
-        if elapsed is None or elapsed <= 0:
-            return None
-        return nbytes * 8.0 / elapsed / 1e6
+#: Deprecated alias of :meth:`TransferReport.from_result`; kept for one PR.
+summarize = TransferReport.from_result
 
 
-def summarize(result: TransferResult) -> TransferSummary:
-    """Snapshot a :class:`TransferResult` into plain data."""
-    connection = result.connection
-    subflow_logs: Dict[str, List[Tuple[float, int]]] = {}
-    for name, log in getattr(connection, "subflow_delivery_logs", {}).items():
-        subflow_logs[name] = list(log)
-    return TransferSummary(
-        total_bytes=result.total_bytes,
-        started_at=result.started_at,
-        completed_at=result.completed_at,
-        delivery_log=list(result.delivery_log),
-        subflow_delivery_logs=subflow_logs,
-    )
+def run_transfer_spec(
+    spec: TransferSpec, seed: Optional[int] = None
+) -> TransferReport:
+    """Worker entry point: interpret one transfer spec.
+
+    ``seed`` is the sweep engine's derived fallback for specs that
+    carry none (injected by :meth:`~repro.parallel.runner.SimTask.seeded`);
+    an explicit ``spec.seed`` always wins.
+    """
+    return Session().run(spec, seed=seed)
 
 
 def tcp_transfer(
@@ -101,13 +58,18 @@ def tcp_transfer(
     seed: int = DEFAULT_SEED,
     deadline_s: float = 240.0,
     config: Optional[TcpConfig] = None,
-) -> TransferSummary:
-    """Worker-side single-path TCP transfer (see ``run_tcp_at``)."""
-    from repro.experiments.common import run_tcp_at
-
-    return summarize(run_tcp_at(
-        condition, path, nbytes, direction=direction, cc=cc, seed=seed,
-        deadline_s=deadline_s, config=config,
+) -> TransferReport:
+    """Deprecated: build a :class:`TransferSpec` instead (kept one PR)."""
+    return run_transfer_spec(TransferSpec(
+        kind="tcp",
+        condition=ConditionSpec.from_condition(condition),
+        nbytes=nbytes,
+        direction=direction,
+        cc=cc,
+        path=path,
+        seed=seed,
+        deadline_s=deadline_s,
+        config=config_overrides(config),
     ))
 
 
@@ -120,13 +82,18 @@ def mptcp_transfer(
     seed: int = DEFAULT_SEED,
     deadline_s: float = 240.0,
     config: Optional[TcpConfig] = None,
-) -> TransferSummary:
-    """Worker-side MPTCP transfer (see ``run_mptcp_at``)."""
-    from repro.experiments.common import run_mptcp_at
-
-    return summarize(run_mptcp_at(
-        condition, primary, congestion_control, nbytes, direction=direction,
-        seed=seed, deadline_s=deadline_s, config=config,
+) -> TransferReport:
+    """Deprecated: build a :class:`TransferSpec` instead (kept one PR)."""
+    return run_transfer_spec(TransferSpec(
+        kind="mptcp",
+        condition=ConditionSpec.from_condition(condition),
+        nbytes=nbytes,
+        direction=direction,
+        cc=congestion_control,
+        primary=primary,
+        seed=seed,
+        deadline_s=deadline_s,
+        config=config_overrides(config),
     ))
 
 

@@ -6,7 +6,7 @@ a fresh probe dominates, and confidence fades as a sample ages.
 """
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.policy.probes import ProbeReport

@@ -15,6 +15,16 @@ from repro.tcp.cc.reno import Reno
 from repro.tcp.cc.cubic import Cubic
 from repro.tcp.cc.lia import LiaCoupling, LiaSubflowCc
 from repro.tcp.cc.olia import OliaCoupling, OliaSubflowCc
+from repro.tcp.cc.registry import (
+    CC_REGISTRY,
+    CcEntry,
+    cc_entry,
+    cc_names,
+    register_cc,
+    single_path_factory,
+    unknown_cc_error,
+    validate_cc,
+)
 
 __all__ = [
     "CongestionControl",
@@ -24,4 +34,12 @@ __all__ = [
     "LiaSubflowCc",
     "OliaCoupling",
     "OliaSubflowCc",
+    "CC_REGISTRY",
+    "CcEntry",
+    "cc_entry",
+    "cc_names",
+    "register_cc",
+    "single_path_factory",
+    "unknown_cc_error",
+    "validate_cc",
 ]

@@ -5,7 +5,6 @@ the last congestion event, with a TCP-friendly lower bound.  The sender
 sets :attr:`now_getter` so the controller can read simulated time.
 """
 
-import math
 
 from repro.tcp.cc.base import CongestionControl
 from repro.tcp.config import TcpConfig

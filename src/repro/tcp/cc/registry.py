@@ -1,0 +1,122 @@
+"""The single congestion-control registry.
+
+Historically single-path TCP resolved its algorithm through
+``repro.scenario.CC_FACTORIES`` (``reno``/``cubic``) while the MPTCP
+variants (``coupled``/LIA, ``olia``, per-subflow ``decoupled`` Reno)
+routed through string checks inside :class:`repro.mptcp.connection.
+MptcpOptions` — two registries, two error messages, and no single
+place for spec validation to ask "is this a known algorithm?".
+
+This module is that place.  Every algorithm is a :class:`CcEntry`
+declaring the scopes it is valid in:
+
+``single``
+    Usable by a single-path TCP connection; ``factory`` builds the
+    per-connection controller.
+``mptcp``
+    Usable as an MPTCP connection-level congestion-control mode
+    (coupled LIA/OLIA or a per-subflow decoupled algorithm).
+
+Unknown names raise :class:`~repro.core.errors.ConfigurationError`
+with one uniform message via :func:`unknown_cc_error`, used by
+``Scenario.tcp``, ``MptcpOptions`` and the workload spec validators.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.tcp.cc.base import CongestionControl
+from repro.tcp.cc.cubic import Cubic
+from repro.tcp.cc.reno import Reno
+from repro.tcp.config import TcpConfig
+
+__all__ = [
+    "CC_REGISTRY",
+    "CcEntry",
+    "cc_entry",
+    "cc_names",
+    "register_cc",
+    "single_path_factory",
+    "unknown_cc_error",
+    "validate_cc",
+]
+
+CcFactory = Callable[[TcpConfig], CongestionControl]
+
+
+@dataclass(frozen=True)
+class CcEntry:
+    """One registered congestion-control algorithm."""
+
+    name: str
+    #: Scopes the name is valid in ("single", "mptcp").
+    scopes: Tuple[str, ...]
+    #: Per-connection controller factory (single-path scope only).
+    factory: Optional[CcFactory] = None
+    #: Alternative spellings resolving to this entry (e.g. ``lia`` for
+    #: the paper's "coupled" congestion control).
+    aliases: Tuple[str, ...] = field(default=())
+
+
+CC_REGISTRY: Dict[str, CcEntry] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_cc(entry: CcEntry) -> CcEntry:
+    """Add ``entry`` (and its aliases) to the registry."""
+    if entry.name in CC_REGISTRY:
+        raise ConfigurationError(
+            f"congestion control {entry.name!r} already registered"
+        )
+    CC_REGISTRY[entry.name] = entry
+    for alias in entry.aliases:
+        _ALIASES[alias] = entry.name
+    return entry
+
+
+register_cc(CcEntry(name="reno", scopes=("single",), factory=Reno))
+register_cc(CcEntry(name="cubic", scopes=("single", "mptcp"), factory=Cubic))
+#: Coupled LIA (RFC 6356) — the paper's "coupled" MPTCP mode.
+register_cc(CcEntry(name="coupled", scopes=("mptcp",), aliases=("lia",)))
+#: Per-subflow Reno (paper footnote 5) — the "decoupled" MPTCP mode.
+register_cc(CcEntry(name="decoupled", scopes=("mptcp",)))
+#: Opportunistic LIA (Khalili et al., CoNEXT'12).
+register_cc(CcEntry(name="olia", scopes=("mptcp",)))
+
+
+def cc_names(scope: Optional[str] = None) -> Tuple[str, ...]:
+    """Registered canonical names, optionally restricted to a scope."""
+    names = [
+        name for name, entry in CC_REGISTRY.items()
+        if scope is None or scope in entry.scopes
+    ]
+    return tuple(sorted(names))
+
+
+def unknown_cc_error(name: object, scope: Optional[str] = None) -> ConfigurationError:
+    """The one "unknown cc" error every layer raises."""
+    return ConfigurationError(
+        f"unknown congestion control {name!r}; have {list(cc_names(scope))}"
+    )
+
+
+def cc_entry(name: str, scope: Optional[str] = None) -> CcEntry:
+    """Resolve a (possibly aliased) name; raise :func:`unknown_cc_error`."""
+    canonical = _ALIASES.get(name, name)
+    entry = CC_REGISTRY.get(canonical)
+    if entry is None or (scope is not None and scope not in entry.scopes):
+        raise unknown_cc_error(name, scope)
+    return entry
+
+
+def validate_cc(name: str, scope: str) -> str:
+    """Return the canonical name for ``name`` in ``scope`` or raise."""
+    return cc_entry(name, scope).name
+
+
+def single_path_factory(name: str) -> CcFactory:
+    """The controller factory for a single-path TCP algorithm."""
+    entry = cc_entry(name, "single")
+    assert entry.factory is not None
+    return entry.factory

@@ -8,11 +8,11 @@ single-path :class:`TcpConnection` is the one-subflow specialization;
 :class:`repro.mptcp.connection.MptcpConnection` is the multi-subflow one.
 """
 
-import bisect
 import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro.analysis import throughput as metrics
 from repro.core.errors import ConfigurationError
 from repro.core.events import EventLoop
 from repro.core.intervals import IntervalSet
@@ -118,21 +118,13 @@ class ConnectionBase:
         This is the paper's flow-size metric ("flow size is measured
         using the cumulative number of bytes acknowledged").
         """
-        if self.started_at is None or nbytes <= 0:
-            return None
-        times = [t for t, _ in self.delivery_log]
-        cums = [c for _, c in self.delivery_log]
-        index = bisect.bisect_left(cums, nbytes)
-        if index >= len(cums):
-            return None
-        return times[index] - self.started_at
+        return metrics.time_to_bytes(self.delivery_log, self.started_at, nbytes)
 
     def throughput_at_bytes(self, nbytes: int) -> Optional[float]:
         """Average throughput (Mbit/s) over the first ``nbytes`` delivered."""
-        elapsed = self.time_to_bytes(nbytes)
-        if elapsed is None or elapsed <= 0:
-            return None
-        return throughput_mbps(nbytes, elapsed)
+        return metrics.throughput_at_bytes(
+            self.delivery_log, self.started_at, nbytes
+        )
 
     def notify_at_bytes(self, threshold: int, callback: Callable[[], None]) -> None:
         """Run ``callback`` once ``threshold`` in-order bytes are delivered."""

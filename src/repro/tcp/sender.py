@@ -12,7 +12,7 @@ clean even during recovery.  Window growth is delegated to a pluggable
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List
 
 from repro.core.events import EventLoop, Timer
 from repro.core.packet import Packet, PacketFlags

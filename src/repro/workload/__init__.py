@@ -1,0 +1,42 @@
+"""Declarative workloads and the Session interpreter.
+
+The workload layer separates *what to measure* from *how it runs*:
+
+* :mod:`repro.workload.spec` — frozen, validated, JSON-round-trippable
+  descriptions of paths, conditions, transfers, and named batches;
+* :mod:`repro.workload.report` — :class:`TransferReport`, the single
+  picklable outcome type shared by the Session, the sweep engine, and
+  the result cache;
+* :mod:`repro.workload.session` — :class:`Session`, the one
+  interpreter that turns a spec into a scenario, drives the transfer,
+  and returns the report.
+
+>>> from repro.workload import Session, TransferSpec, ConditionSpec
+>>> from repro.linkem.conditions import make_conditions
+>>> cond = ConditionSpec.from_condition(make_conditions()[0])
+>>> spec = TransferSpec(kind="tcp", condition=cond, nbytes=100_000,
+...                     path="wifi", seed=7)
+>>> report = Session().run(spec)
+>>> report.completed
+True
+"""
+
+from repro.workload.report import TransferReport
+from repro.workload.session import Session
+from repro.workload.spec import (
+    ConditionSpec,
+    PathSpec,
+    TransferSpec,
+    WorkloadSpec,
+    config_overrides,
+)
+
+__all__ = [
+    "ConditionSpec",
+    "PathSpec",
+    "Session",
+    "TransferReport",
+    "TransferSpec",
+    "WorkloadSpec",
+    "config_overrides",
+]

@@ -1,0 +1,90 @@
+"""The canonical plain-data outcome of one executed transfer.
+
+:class:`~repro.scenario.TransferResult` holds a live connection object
+(callbacks, event-loop references) and cannot cross a process
+boundary.  :class:`TransferReport` is the single picklable snapshot
+type: the :class:`~repro.workload.session.Session` returns it, sweep
+workers ship it back over pipes, and the result cache stores it.  It
+replaces both the ad-hoc ``TransferResult`` snapshotting and the old
+``repro.parallel.tasks.TransferSummary`` (kept as a deprecation alias
+for one PR).
+
+Every derived metric delegates to the shared helpers in
+:mod:`repro.analysis.throughput`, so the live connection, the report,
+and the figures all compute durations and flow-size throughputs the
+same way.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.analysis import throughput as metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.scenario import TransferResult
+
+__all__ = ["TransferReport"]
+
+
+@dataclass
+class TransferReport:
+    """Plain-data outcome of one bulk transfer (picklable/cacheable)."""
+
+    total_bytes: int
+    started_at: Optional[float]
+    completed_at: Optional[float]
+    delivery_log: List[Tuple[float, int]] = field(default_factory=list)
+    subflow_delivery_logs: Dict[str, List[Tuple[float, int]]] = field(
+        default_factory=dict
+    )
+    retransmits: int = 0
+    timeouts: int = 0
+    label: Optional[str] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        return metrics.transfer_duration_s(self.started_at, self.completed_at)
+
+    @property
+    def throughput_mbps(self) -> Optional[float]:
+        return metrics.mean_throughput_mbps(
+            self.total_bytes, self.started_at, self.completed_at
+        )
+
+    def time_to_bytes(self, nbytes: int) -> Optional[float]:
+        """Seconds from start until ``nbytes`` were delivered in order."""
+        return metrics.time_to_bytes(self.delivery_log, self.started_at, nbytes)
+
+    def throughput_at_bytes(self, nbytes: int) -> Optional[float]:
+        """Average throughput (Mbit/s) over the first ``nbytes``."""
+        return metrics.throughput_at_bytes(
+            self.delivery_log, self.started_at, nbytes
+        )
+
+    @classmethod
+    def from_result(
+        cls, result: "TransferResult", label: Optional[str] = None
+    ) -> "TransferReport":
+        """Snapshot a live :class:`~repro.scenario.TransferResult`."""
+        connection = result.connection
+        subflow_logs = {
+            name: list(log)
+            for name, log in getattr(
+                connection, "subflow_delivery_logs", {}
+            ).items()
+        }
+        stats = connection.stats()
+        return cls(
+            total_bytes=result.total_bytes,
+            started_at=result.started_at,
+            completed_at=result.completed_at,
+            delivery_log=list(result.delivery_log),
+            subflow_delivery_logs=subflow_logs,
+            retransmits=stats.retransmits,
+            timeouts=stats.timeouts,
+            label=label,
+        )

@@ -1,0 +1,163 @@
+"""The Session: one interpreter from specs to reports.
+
+A :class:`Session` is the single place where a declarative
+:class:`~repro.workload.spec.TransferSpec` becomes a live simulation:
+build the :class:`~repro.scenario.Scenario` from the spec's condition,
+open the TCP or MPTCP connection it describes, drive the transfer to
+completion, and snapshot the outcome as a canonical
+:class:`~repro.workload.report.TransferReport`.
+
+Batches go through the same interpreter: :meth:`Session.run_many`
+turns each spec into a :class:`~repro.parallel.SimTask` executing
+:func:`repro.parallel.tasks.run_transfer_spec` (i.e. ``Session.run``
+in a worker process), so workloads inherit the sweep engine's result
+cache and its bit-identical ``workers=N`` determinism.
+
+Reproducibility contract: for a spec with an explicit ``seed``,
+``Session.run`` performs exactly the scenario construction and
+transfer drive of the pre-spec helpers (``build_scenario`` →
+``scenario.tcp``/``scenario.mptcp`` → ``run_transfer``), so rendered
+figures are byte-identical to the argument-tuple era.  Specs without
+a seed get one derived from the sweep master seed and the spec's
+:meth:`~repro.workload.spec.TransferSpec.key`.
+"""
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.rng import DEFAULT_SEED
+from repro.parallel.cache import ResultCache
+from repro.parallel.runner import SimTask, SweepRunner, SweepStats
+from repro.scenario import Scenario
+from repro.tcp.connection import ConnectionBase
+from repro.workload.report import TransferReport
+from repro.workload.spec import TransferSpec, WorkloadSpec
+
+__all__ = ["Session"]
+
+#: ``"module:callable"`` reference executed by sweep workers.
+RUN_SPEC_FN = "repro.parallel.tasks:run_transfer_spec"
+
+
+class Session:
+    """Interprets transfer specs against fresh scenarios.
+
+    Parameters
+    ----------
+    seed:
+        Fallback seed for specs that carry none (``Session.run`` only;
+        batch entry points derive per-spec seeds from the sweep master
+        seed instead, exactly like any other sweep task).
+    """
+
+    def __init__(self, seed: int = DEFAULT_SEED) -> None:
+        self.seed = seed
+        #: Engine bookkeeping from the last batch entry point.
+        self.last_stats: Optional[SweepStats] = None
+
+    # ------------------------------------------------------------------
+    # Single spec
+    # ------------------------------------------------------------------
+    def scenario_for(
+        self, spec: TransferSpec, seed: Optional[int] = None
+    ) -> Scenario:
+        """A fresh scenario with the spec's condition paths attached.
+
+        Path order follows the spec; every RNG stream (loss, jitter,
+        trace synthesis) is keyed by path *name*, so this reproduces
+        ``build_scenario`` bit-for-bit for the paper's wifi+lte shape.
+        """
+        scenario = Scenario(seed=self._seed_for(spec, seed))
+        for path_spec in spec.condition.paths:
+            scenario.add_path(
+                path_spec.to_link_spec().to_path_config(
+                    path_spec.name, scenario.rng
+                )
+            )
+        return scenario
+
+    def open(
+        self, spec: TransferSpec, seed: Optional[int] = None
+    ) -> Tuple[Scenario, ConnectionBase]:
+        """Build the scenario and create (but not start) the transfer.
+
+        The seam for callers that need the live objects — to attach
+        monitors, inject link events mid-transfer, or drive the loop
+        themselves — while still describing the workload as data.
+        """
+        scenario = self.scenario_for(spec, seed=seed)
+        if spec.kind == "tcp":
+            connection: ConnectionBase = scenario.tcp(
+                spec.path, spec.nbytes, direction=spec.direction,
+                cc=spec.cc, config=spec.tcp_config(),
+            )
+        else:
+            connection = scenario.mptcp(
+                spec.nbytes, direction=spec.direction,
+                options=spec.mptcp_options(), config=spec.tcp_config(),
+            )
+        return scenario, connection
+
+    def run(
+        self, spec: TransferSpec, seed: Optional[int] = None
+    ) -> TransferReport:
+        """Execute one spec to completion (or deadline)."""
+        scenario, connection = self.open(spec, seed=seed)
+        result = scenario.run_transfer(connection, deadline_s=spec.deadline_s)
+        return TransferReport.from_result(result, label=spec.key())
+
+    def _seed_for(self, spec: TransferSpec, seed: Optional[int]) -> int:
+        if spec.seed is not None:
+            return spec.seed
+        if seed is not None:
+            return seed
+        return self.seed
+
+    # ------------------------------------------------------------------
+    # Batches
+    # ------------------------------------------------------------------
+    def task_for(self, spec: TransferSpec) -> SimTask:
+        """The sweep task executing ``spec`` in a worker process.
+
+        A spec with an explicit seed pins the ``seed`` kwarg so its
+        cache key is independent of the sweep master seed; otherwise
+        the engine injects a seed derived from the spec's key (see
+        :meth:`~repro.parallel.runner.SimTask.seeded`).
+        """
+        kwargs = {"spec": spec}
+        if spec.seed is not None:
+            kwargs["seed"] = spec.seed
+        return SimTask(fn=RUN_SPEC_FN, kwargs=kwargs, key=spec.key())
+
+    def run_many(
+        self,
+        specs: Sequence[TransferSpec],
+        workers: Optional[int] = None,
+        cache: Union[ResultCache, bool, None] = None,
+        seed: Optional[int] = None,
+    ) -> List[TransferReport]:
+        """Execute a batch through the sweep engine (cache + workers).
+
+        Results come back in spec order, bit-identical for any worker
+        count.  Specs without an explicit seed get one derived from
+        the master ``seed`` (default: this session's seed) and their
+        :meth:`~repro.workload.spec.TransferSpec.key`.
+        """
+        runner = SweepRunner(
+            workers=workers, cache=cache,
+            seed=seed if seed is not None else self.seed,
+        )
+        reports = runner.run([self.task_for(spec) for spec in specs])
+        self.last_stats = runner.last_stats
+        return reports
+
+    def run_workload(
+        self,
+        workload: WorkloadSpec,
+        workers: Optional[int] = None,
+        cache: Union[ResultCache, bool, None] = None,
+    ) -> List[TransferReport]:
+        """Execute a named workload batch (master seed from the spec)."""
+        return self.run_many(
+            workload.transfers, workers=workers, cache=cache,
+            seed=workload.seed,
+        )

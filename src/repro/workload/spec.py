@@ -1,0 +1,460 @@
+"""Declarative workload specifications.
+
+The paper's apparatus is a pile of concrete configurations — 20
+Table-2 locations × {TCP, MPTCP variants} × flow sizes × directions.
+This module describes such configurations as *data*: frozen, validated
+dataclasses that round-trip through JSON, so a measurement campaign
+can live in a ``workload.json`` file, key a result cache canonically,
+and cross process boundaries without pickling live objects.
+
+The vocabulary:
+
+* :class:`PathSpec` — one emulated interface (a named
+  :class:`~repro.linkem.shells.LinkSpec`);
+* :class:`ConditionSpec` — one emulated measurement location (the
+  serialized form of :class:`~repro.linkem.conditions.LocationCondition`);
+* :class:`TransferSpec` — one bulk transfer at a condition (TCP or
+  MPTCP, flow size, direction, congestion control, seed, deadline,
+  :class:`~repro.tcp.config.TcpConfig` overrides);
+* :class:`WorkloadSpec` — a named batch of transfers.
+
+Every validation failure raises
+:class:`~repro.core.errors.ConfigurationError` naming the offending
+field (``"TransferSpec.direction: ..."``), and congestion-control
+names are checked against the single registry in
+:mod:`repro.tcp.cc.registry`.
+"""
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import DEFAULT_SEED
+from repro.linkem.conditions import LocationCondition
+from repro.linkem.shells import LinkSpec
+from repro.mptcp.connection import MptcpOptions
+from repro.tcp.cc.registry import validate_cc
+from repro.tcp.config import TcpConfig
+
+__all__ = [
+    "ConditionSpec",
+    "PathSpec",
+    "TransferSpec",
+    "WorkloadSpec",
+    "config_overrides",
+    "mptcp_option_overrides",
+]
+
+DIRECTIONS = ("down", "up")
+
+KIND_TCP = "tcp"
+KIND_MPTCP = "mptcp"
+
+#: MptcpOptions fields a spec may override (primary and
+#: congestion_control are first-class TransferSpec fields).
+_MPTCP_OPTION_FIELDS = tuple(
+    f.name for f in dataclasses.fields(MptcpOptions)
+    if f.name not in ("primary", "congestion_control")
+)
+
+_TCP_CONFIG_FIELDS = tuple(f.name for f in dataclasses.fields(TcpConfig))
+
+
+def _require(condition: bool, where: str, message: str) -> None:
+    if not condition:
+        raise ConfigurationError(f"{where}: {message}")
+
+
+def config_overrides(config: Optional[TcpConfig]) -> Optional[Dict[str, Any]]:
+    """The non-default fields of ``config`` as a plain overrides dict.
+
+    The declarative inverse of ``TcpConfig(**overrides)``; ``None``
+    (or an all-defaults config) maps to ``None``.
+    """
+    if config is None:
+        return None
+    defaults = TcpConfig()
+    overrides = {
+        f.name: getattr(config, f.name)
+        for f in dataclasses.fields(TcpConfig)
+        if getattr(config, f.name) != getattr(defaults, f.name)
+    }
+    return overrides or None
+
+
+def mptcp_option_overrides(options: MptcpOptions) -> Optional[Dict[str, Any]]:
+    """The non-default extras of ``options`` as a plain overrides dict.
+
+    ``primary`` and ``congestion_control`` are first-class
+    :class:`TransferSpec` fields, so they are excluded here; this is
+    the declarative inverse of :meth:`TransferSpec.mptcp_options`.
+    """
+    defaults = MptcpOptions()
+    overrides = {
+        name: getattr(options, name)
+        for name in _MPTCP_OPTION_FIELDS
+        if getattr(options, name) != getattr(defaults, name)
+    }
+    return overrides or None
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """One emulated interface: a named, serializable link description."""
+
+    name: str
+    technology: str
+    down_mbps: float
+    up_mbps: float
+    rtt_ms: float
+    loss_rate: float = 0.0
+    queue_packets: int = 250
+    trace_driven: bool = False
+    temporal_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name) and isinstance(self.name, str),
+                 "PathSpec.name", f"must be a non-empty string, got {self.name!r}")
+        _require(self.technology in ("wifi", "lte"), "PathSpec.technology",
+                 f"must be 'wifi' or 'lte', got {self.technology!r}")
+        _require(self.down_mbps > 0, "PathSpec.down_mbps",
+                 f"must be positive, got {self.down_mbps!r}")
+        _require(self.up_mbps > 0, "PathSpec.up_mbps",
+                 f"must be positive, got {self.up_mbps!r}")
+        _require(self.rtt_ms > 0, "PathSpec.rtt_ms",
+                 f"must be positive, got {self.rtt_ms!r}")
+        _require(0.0 <= self.loss_rate < 1.0, "PathSpec.loss_rate",
+                 f"must be in [0, 1), got {self.loss_rate!r}")
+        _require(self.queue_packets >= 1, "PathSpec.queue_packets",
+                 f"must be >= 1, got {self.queue_packets!r}")
+        _require(self.temporal_sigma >= 0, "PathSpec.temporal_sigma",
+                 f"must be >= 0, got {self.temporal_sigma!r}")
+
+    # -- conversions ----------------------------------------------------
+    def to_link_spec(self) -> LinkSpec:
+        return LinkSpec(
+            technology=self.technology,
+            down_mbps=self.down_mbps,
+            up_mbps=self.up_mbps,
+            rtt_ms=self.rtt_ms,
+            loss_rate=self.loss_rate,
+            queue_packets=self.queue_packets,
+            trace_driven=self.trace_driven,
+            temporal_sigma=self.temporal_sigma,
+        )
+
+    @classmethod
+    def from_link_spec(cls, name: str, link: LinkSpec) -> "PathSpec":
+        return cls(
+            name=name,
+            technology=link.technology,
+            down_mbps=link.down_mbps,
+            up_mbps=link.up_mbps,
+            rtt_ms=link.rtt_ms,
+            loss_rate=link.loss_rate,
+            queue_packets=link.queue_packets,
+            trace_driven=link.trace_driven,
+            temporal_sigma=link.temporal_sigma,
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PathSpec":
+        return cls(**_checked_kwargs(cls, data, "PathSpec"))
+
+
+@dataclass(frozen=True)
+class ConditionSpec:
+    """One emulated measurement location (paper Table 2 row)."""
+
+    condition_id: int
+    paths: Tuple[PathSpec, ...]
+    city: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        paths = tuple(
+            PathSpec.from_dict(p) if isinstance(p, Mapping) else p
+            for p in self.paths
+        )
+        object.__setattr__(self, "paths", paths)
+        _require(len(paths) >= 1, "ConditionSpec.paths",
+                 "must declare at least one path")
+        names = [p.name for p in paths]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        _require(not duplicates, "ConditionSpec.paths",
+                 f"duplicate path names: {duplicates}")
+
+    @property
+    def path_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.paths)
+
+    # -- conversions ----------------------------------------------------
+    @classmethod
+    def from_condition(cls, condition: LocationCondition) -> "ConditionSpec":
+        """Serialize a live :class:`LocationCondition` (wifi then lte)."""
+        return cls(
+            condition_id=condition.condition_id,
+            city=condition.city,
+            description=condition.description,
+            paths=(
+                PathSpec.from_link_spec("wifi", condition.wifi),
+                PathSpec.from_link_spec("lte", condition.lte),
+            ),
+        )
+
+    def to_condition(self) -> LocationCondition:
+        """Rebuild the live :class:`LocationCondition`.
+
+        Only possible for the paper's two-interface shape (one ``wifi``
+        and one ``lte`` path); generic path sets are built directly by
+        the :class:`~repro.workload.session.Session`.
+        """
+        by_name = {p.name: p for p in self.paths}
+        _require(set(by_name) == {"wifi", "lte"}, "ConditionSpec.paths",
+                 "to_condition() needs exactly a 'wifi' and an 'lte' path, "
+                 f"got {sorted(by_name)}")
+        return LocationCondition(
+            condition_id=self.condition_id,
+            city=self.city,
+            description=self.description,
+            wifi=by_name["wifi"].to_link_spec(),
+            lte=by_name["lte"].to_link_spec(),
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "condition_id": self.condition_id,
+            "city": self.city,
+            "description": self.description,
+            "paths": [p.to_dict() for p in self.paths],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConditionSpec":
+        kwargs = _checked_kwargs(cls, data, "ConditionSpec")
+        kwargs["paths"] = tuple(
+            PathSpec.from_dict(p) for p in kwargs.get("paths", ())
+        )
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class TransferSpec:
+    """One bulk transfer at an emulated location, as data.
+
+    ``kind`` selects single-path TCP (``"tcp"``, over ``path``) or
+    MPTCP (``"mptcp"``, primary subflow on ``primary``).  ``cc`` is
+    validated against the unified congestion-control registry; omitted
+    it defaults to ``cubic`` for TCP (Linux's default) and ``coupled``
+    (LIA) for MPTCP.  ``config`` holds :class:`TcpConfig` field
+    overrides and ``options`` extra :class:`MptcpOptions` fields —
+    both as plain dicts so the spec stays JSON-shaped.
+    """
+
+    kind: str
+    condition: ConditionSpec
+    nbytes: int
+    direction: str = "down"
+    cc: Optional[str] = None
+    path: Optional[str] = None
+    primary: Optional[str] = None
+    seed: Optional[int] = None
+    deadline_s: float = 240.0
+    config: Optional[Dict[str, Any]] = None
+    options: Optional[Dict[str, Any]] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.condition, Mapping):
+            object.__setattr__(
+                self, "condition", ConditionSpec.from_dict(self.condition)
+            )
+        _require(self.kind in (KIND_TCP, KIND_MPTCP), "TransferSpec.kind",
+                 f"must be 'tcp' or 'mptcp', got {self.kind!r}")
+        _require(isinstance(self.nbytes, int) and self.nbytes > 0,
+                 "TransferSpec.nbytes",
+                 f"must be a positive integer, got {self.nbytes!r}")
+        _require(self.direction in DIRECTIONS, "TransferSpec.direction",
+                 f"must be one of {list(DIRECTIONS)}, got {self.direction!r}")
+        _require(self.deadline_s > 0, "TransferSpec.deadline_s",
+                 f"must be positive, got {self.deadline_s!r}")
+        _require(self.seed is None or isinstance(self.seed, int),
+                 "TransferSpec.seed",
+                 f"must be an integer or null, got {self.seed!r}")
+
+        names = self.condition.path_names
+        if self.kind == KIND_TCP:
+            _require(self.primary is None, "TransferSpec.primary",
+                     "only valid for kind='mptcp'")
+            _require(self.path in names, "TransferSpec.path",
+                     f"must name a condition path {list(names)}, "
+                     f"got {self.path!r}")
+            _require(self.options is None, "TransferSpec.options",
+                     "only valid for kind='mptcp'")
+            cc = self.cc if self.cc is not None else "cubic"
+            scope = "single"
+        else:
+            _require(self.path is None, "TransferSpec.path",
+                     "only valid for kind='tcp' (use 'primary')")
+            _require(self.primary in names, "TransferSpec.primary",
+                     f"must name a condition path {list(names)}, "
+                     f"got {self.primary!r}")
+            cc = self.cc if self.cc is not None else "coupled"
+            scope = "mptcp"
+        try:
+            object.__setattr__(self, "cc", validate_cc(cc, scope))
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"TransferSpec.cc: {exc}") from None
+
+        if self.config is not None:
+            unknown = sorted(set(self.config) - set(_TCP_CONFIG_FIELDS))
+            _require(not unknown, "TransferSpec.config",
+                     f"unknown TcpConfig fields: {unknown}")
+            self.tcp_config()  # value validation via TcpConfig.__post_init__
+        if self.options is not None:
+            unknown = sorted(set(self.options) - set(_MPTCP_OPTION_FIELDS))
+            _require(not unknown, "TransferSpec.options",
+                     f"unknown MptcpOptions fields: {unknown}")
+
+    # -- interpretation -------------------------------------------------
+    def key(self) -> str:
+        """Stable human-readable identity (seed derivation, display)."""
+        if self.label is not None:
+            return self.label
+        who = self.path if self.kind == KIND_TCP else f"{self.primary}.{self.cc}"
+        return f"{self.kind}.{self.condition.condition_id}.{who}.{self.nbytes}"
+
+    def tcp_config(self) -> Optional[TcpConfig]:
+        """Materialize the :class:`TcpConfig` overrides (or ``None``)."""
+        if self.config is None:
+            return None
+        return TcpConfig(**self.config)
+
+    def mptcp_options(self) -> MptcpOptions:
+        """Materialize the :class:`MptcpOptions` for an MPTCP spec."""
+        _require(self.kind == KIND_MPTCP, "TransferSpec.kind",
+                 "mptcp_options() is only valid for kind='mptcp'")
+        extras = dict(self.options or {})
+        if isinstance(extras.get("backup_paths"), list):
+            extras["backup_paths"] = list(extras["backup_paths"])
+        return MptcpOptions(
+            primary=self.primary, congestion_control=self.cc, **extras
+        )
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "condition": self.condition.to_dict(),
+            "nbytes": self.nbytes,
+            "direction": self.direction,
+            "cc": self.cc,
+            "deadline_s": self.deadline_s,
+        }
+        for name in ("path", "primary", "seed", "config", "options", "label"):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TransferSpec":
+        return cls(**_checked_kwargs(cls, data, "TransferSpec"))
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The content-address form used by the result cache."""
+        return self.to_dict()
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    # -- derivation helpers ---------------------------------------------
+    def with_seed(self, seed: Optional[int]) -> "TransferSpec":
+        """A copy with ``seed`` filled in (no-op when already set)."""
+        if self.seed is not None or seed is None:
+            return self
+        return dataclasses.replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named batch of transfers — a measurement campaign as data."""
+
+    name: str
+    transfers: Tuple[TransferSpec, ...]
+    seed: int = DEFAULT_SEED
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name) and isinstance(self.name, str),
+                 "WorkloadSpec.name",
+                 f"must be a non-empty string, got {self.name!r}")
+        transfers = tuple(
+            TransferSpec.from_dict(t) if isinstance(t, Mapping) else t
+            for t in self.transfers
+        )
+        object.__setattr__(self, "transfers", transfers)
+        _require(len(transfers) >= 1, "WorkloadSpec.transfers",
+                 "must declare at least one transfer")
+        _require(isinstance(self.seed, int), "WorkloadSpec.seed",
+                 f"must be an integer, got {self.seed!r}")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "seed": self.seed,
+            "transfers": [t.to_dict() for t in self.transfers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        kwargs = _checked_kwargs(cls, data, "WorkloadSpec")
+        kwargs["transfers"] = tuple(
+            TransferSpec.from_dict(t) for t in kwargs.get("transfers", ())
+        )
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadSpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"workload file is not valid JSON: {exc}")
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"workload file must hold a JSON object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        return self.to_dict()
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def _checked_kwargs(cls, data: Mapping[str, Any], where: str) -> Dict[str, Any]:
+    """``data`` as constructor kwargs, rejecting unknown fields by name."""
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"{where}: expected a JSON object, got {type(data).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ConfigurationError(f"{where}: unknown fields {unknown}")
+    return dict(data)

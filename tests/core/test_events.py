@@ -189,6 +189,35 @@ class TestEventLoop:
         loop.run(max_events=10)  # only the 10 live events count
         assert loop.pending() == 0
 
+    def test_stop_returns_after_current_callback(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: (fired.append(1.0), loop.stop()))
+        loop.call_at(2.0, lambda: fired.append(2.0))
+        loop.run(until=10.0)
+        assert fired == [1.0]
+        # The clock stays at the stopping event, not the run deadline.
+        assert loop.now == 1.0
+        assert loop.pending() == 1
+
+    def test_stopped_loop_can_resume(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: (fired.append(1.0), loop.stop()))
+        loop.call_at(2.0, lambda: fired.append(2.0))
+        loop.run(until=10.0)
+        loop.run(until=10.0)  # the stop flag does not stick
+        assert fired == [1.0, 2.0]
+        assert loop.now == 10.0
+
+    def test_stop_outside_run_is_cleared_on_next_run(self):
+        loop = EventLoop()
+        loop.stop()
+        fired = []
+        loop.call_at(1.0, lambda: fired.append(1.0))
+        loop.run()
+        assert fired == [1.0]
+
 
 class TestTimer:
     def test_fires_after_delay(self):

@@ -109,9 +109,12 @@ class TestThroughputEvolution:
             throughput_evolution,
         )
 
+        from repro.experiments.common import mptcp_spec
+
         lte_better, _ = _illustrative_conditions()
-        series = throughput_evolution(lte_better, "lte", DEFAULT_SEED,
-                                      nbytes=512 * 1024, horizon_s=1.0)
+        spec = mptcp_spec(lte_better, "lte", "decoupled", 512 * 1024,
+                          seed=DEFAULT_SEED)
+        series = throughput_evolution(spec, horizon_s=1.0)
         assert set(series) == {"MPTCP", "WiFi", "LTE"}
         assert series["MPTCP"][-1][0] == pytest.approx(1.0, abs=0.06)
 

@@ -1,6 +1,5 @@
 """Tests for the CLI runner."""
 
-import pytest
 
 from repro.experiments.runner import EXPERIMENT_MODULES, main
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import ReplayError
-from repro.httpreplay.message import HttpRequest, HttpResponse
+from repro.httpreplay.message import HttpRequest
 from repro.httpreplay.patterns import cnn_launch
 from repro.httpreplay.recorder import RecordShell
 from repro.httpreplay.replayer import ReplayShell

@@ -1,6 +1,5 @@
 """Tests for upload-transaction support in the replay engine."""
 
-import pytest
 
 from repro.httpreplay.engine import ReplayEngine, STANDARD_CONFIGS
 from repro.httpreplay.patterns import dropbox_upload

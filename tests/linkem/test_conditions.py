@@ -1,6 +1,5 @@
 """Tests for the 20-location condition registry."""
 
-import pytest
 
 from repro.linkem.conditions import (
     DUAL_CC_CONDITION_IDS,

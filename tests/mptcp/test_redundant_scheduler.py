@@ -1,6 +1,5 @@
 """Tests for the redundant scheduler extension."""
 
-import pytest
 
 from repro import MptcpOptions, PathConfig, Scenario
 from repro.mptcp.events import schedule_unplug

@@ -1,7 +1,6 @@
 """Tests for the tcpdump-analog packet capture."""
 
 from repro import MptcpOptions, PathConfig, Scenario
-from repro.core.packet import PacketFlags
 from repro.net.capture import PacketCapture
 
 

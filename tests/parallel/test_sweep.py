@@ -113,8 +113,8 @@ class TestParallelSerialDeterminism:
     def test_results_come_back_in_task_order(self):
         tasks = _small_tasks()
         results = SweepRunner(workers=3, cache=False).run(tasks)
-        for task, summary in zip(tasks, results):
-            assert summary.total_bytes == task.kwargs["nbytes"]
+        for task, report in zip(tasks, results):
+            assert report.total_bytes == task.kwargs["spec"].nbytes
 
     def test_crowd_dataset_matches_collect_all(self):
         from repro.crowd.app import CellVsWifiApp
@@ -211,3 +211,13 @@ class TestExperimentLevelParity:
         parallel = fig04.run(fast=True, workers=2)
         assert serial.metrics == parallel.metrics
         assert serial.body == parallel.body
+
+    def test_fig09_10_spec_sweep_body_identical_across_worker_counts(self):
+        # Spec-driven sweep: the rendered figure body must be
+        # byte-identical for --workers 1 vs 4.
+        from repro.experiments import fig09_10
+
+        serial = fig09_10.run(fast=True, workers=1)
+        parallel = fig09_10.run(fast=True, workers=4)
+        assert serial.body == parallel.body
+        assert serial.metrics == parallel.metrics

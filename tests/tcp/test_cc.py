@@ -1,6 +1,5 @@
 """Tests for the congestion-control algorithms."""
 
-import math
 
 import pytest
 

@@ -7,7 +7,6 @@ library tests behind them).
 
 import importlib.util
 import os
-import sys
 
 import pytest
 

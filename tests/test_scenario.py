@@ -61,6 +61,30 @@ class TestRunTransfer:
         assert first.completed and second.completed
         assert second.started_at > first.started_at
 
+    def test_completion_time_unaffected_by_loop_stop(self):
+        """Stopping the loop at completion must not change the result.
+
+        Reference: drive an identical scenario manually (no stop
+        mechanism, no polling) and compare the full delivery timeline.
+        """
+        result = None
+        for _ in range(1):
+            scenario = Scenario(seed=3)
+            scenario.add_path(_config())
+            result = scenario.run_transfer(scenario.tcp("wifi", 200_000))
+
+        reference = Scenario(seed=3)
+        reference.add_path(_config())
+        connection = reference.tcp("wifi", 200_000)
+        connection.start()
+        connection.close()
+        reference.loop.run(until=600.0)
+        assert result.completed_at == connection.completed_at
+        assert result.delivery_log == list(connection.delivery_log)
+        # run_transfer returns at completion (plus at most the 1 s
+        # teardown drain), never at the full deadline.
+        assert scenario.loop.now <= result.completed_at + 1.0
+
 
 class TestBackgroundFlows:
     def test_background_flow_reduces_measured_throughput(self):
