@@ -1,0 +1,134 @@
+"""Guard the cost of the observability layer.
+
+Two questions, answered into ``BENCH_obs.json`` at the repo root:
+
+1. **Disabled-tracing overhead** — every hot path gained an
+   ``if obs is not None`` guard this layer; the cold-serial
+   ``fig09_10 --fast`` wall-clock (best of 3) must stay within 3% of
+   the pre-obs baseline recorded in ``BENCH_parallel.json``
+   (``serial_s``).  Over budget → exit 1.
+2. **Enabled-tracing cost** (informational) — the same fig06-shaped
+   transfer with and without a recorder attached, so the price of a
+   full trace is known, not guessed.
+
+Run it standalone (not part of CI timing)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_obs.py --budget 1.05
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_obs.json")
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_parallel.json")
+
+#: Allowed cold-serial regression vs the recorded baseline.
+DEFAULT_BUDGET = 1.03
+
+
+def _sweep_run_s() -> float:
+    """One cold-serial ``fig09_10 --fast`` wall-clock."""
+    from repro.experiments import fig09_10
+
+    started = time.perf_counter()
+    fig09_10.run(fast=True, workers=1)
+    return time.perf_counter() - started
+
+
+def _fig06_transfer_s(traced: bool) -> float:
+    """One fig06-shaped bulk download, optionally under a recorder."""
+    from repro.linkem.conditions import make_conditions
+    from repro.obs.trace import TraceRecorder
+    from repro.workload.session import Session
+    from repro.workload.spec import ConditionSpec, TransferSpec
+
+    condition = ConditionSpec.from_condition(make_conditions(seed=1)[0])
+    spec = TransferSpec(kind="tcp", condition=condition, path="wifi",
+                        nbytes=1024 * 1024, seed=20141105)
+    recorder = TraceRecorder() if traced else None
+    started = time.perf_counter()
+    Session().run(spec, recorder=recorder)
+    return time.perf_counter() - started
+
+
+def _best_of(n: int, fn) -> float:
+    return min(fn() for _ in range(n))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure disabled- and enabled-tracing overhead."
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="BENCH_parallel.json holding the pre-obs "
+                             "cold-serial time")
+    parser.add_argument("--budget", type=float, default=DEFAULT_BUDGET,
+                        help="max allowed serial_s ratio vs the baseline "
+                             f"(default {DEFAULT_BUDGET})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N repetitions per leg (default 3)")
+    args = parser.parse_args(argv)
+
+    from repro.parallel.cache import CACHE_TOGGLE_ENV
+    from repro.obs.trace import TRACE_DIR_ENV
+
+    os.environ[CACHE_TOGGLE_ENV] = "0"
+    os.environ.pop(TRACE_DIR_ENV, None)
+
+    with open(args.baseline) as handle:
+        baseline_s = float(json.load(handle)["serial_s"])
+
+    print(f"cold serial fig09_10 --fast, best of {args.repeats} ...",
+          flush=True)
+    serial_s = round(_best_of(args.repeats, _sweep_run_s), 3)
+    ratio = round(serial_s / baseline_s, 3)
+    print(f"  {serial_s:.3f}s  (baseline {baseline_s:.3f}s, "
+          f"ratio {ratio:.3f})")
+
+    print("fig06 transfer, tracing disabled ...", flush=True)
+    untraced_s = round(
+        _best_of(args.repeats, lambda: _fig06_transfer_s(False)), 4
+    )
+    print(f"  {untraced_s:.4f}s")
+    print("fig06 transfer, tracing enabled ...", flush=True)
+    traced_s = round(
+        _best_of(args.repeats, lambda: _fig06_transfer_s(True)), 4
+    )
+    traced_ratio = round(traced_s / max(untraced_s, 1e-9), 3)
+    print(f"  {traced_s:.4f}s  (enabled/disabled ratio {traced_ratio:.3f})")
+
+    within = ratio <= args.budget
+    results = {
+        "experiment": "fig09_10 --fast (serial, cold)",
+        "baseline_serial_s": baseline_s,
+        "serial_s": serial_s,
+        "serial_ratio": ratio,
+        "budget": args.budget,
+        "within_budget": within,
+        "fig06_untraced_s": untraced_s,
+        "fig06_traced_s": traced_s,
+        "fig06_traced_ratio": traced_ratio,
+        "repeats": args.repeats,
+        "cpu_count": os.cpu_count(),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(results, indent=2, sort_keys=True))
+    if not within:
+        print(f"FAIL: disabled-tracing overhead {ratio:.3f} exceeds "
+              f"budget {args.budget:.2f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

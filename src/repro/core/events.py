@@ -28,7 +28,7 @@ from typing import Callable, List, Optional
 
 from repro.core.errors import SimulationError
 
-__all__ = ["Event", "EventLoop", "Timer"]
+__all__ = ["Event", "EventLoop", "Timer", "Periodic"]
 
 #: Below this heap size compaction is pointless bookkeeping.
 _COMPACT_MIN_HEAP = 64
@@ -227,3 +227,55 @@ class Timer:
     def _fire(self) -> None:
         self._event = None
         self._callback()
+
+
+class Periodic:
+    """A repeating callback on a fixed period (e.g. telemetry sampling).
+
+    Unlike hand-rolled self-rescheduling callbacks, :meth:`stop`
+    *cancels* the pending event rather than merely flagging it, so a
+    stopped periodic contributes nothing to :meth:`EventLoop.pending`
+    and cannot keep a drain phase alive (the ``run(until=...)`` window
+    after an ``EventLoop.stop()``-terminated transfer).
+    """
+
+    __slots__ = ("_loop", "_period", "_callback", "_event", "_stopped")
+
+    def __init__(self, loop: EventLoop, period_s: float,
+                 callback: Callable[[], None]):
+        if period_s <= 0:
+            raise SimulationError(f"period must be positive: {period_s}")
+        self._loop = loop
+        self._period = period_s
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self, immediate: bool = True) -> None:
+        """Begin firing; with ``immediate`` the first call happens now."""
+        if not self._stopped:
+            return
+        self._stopped = False
+        if immediate:
+            self._callback()
+            if self._stopped:
+                # The callback itself stopped us.
+                return
+        self._event = self._loop.call_later(self._period, self._fire)
+
+    def stop(self) -> None:
+        """Stop firing and cancel the pending event."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+        if not self._stopped:
+            self._event = self._loop.call_later(self._period, self._fire)

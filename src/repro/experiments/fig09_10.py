@@ -36,12 +36,27 @@ def throughput_evolution(
 
     Unlike a plain transfer this runs to a fixed time *horizon*, not
     to completion, so it interprets the spec via :meth:`Session.open`
-    and drives the loop itself.
+    and drives the loop itself — including honoring ``REPRO_TRACE_DIR``
+    (``Session.run`` does this for ordinary transfers).
     """
-    scenario, connection = Session().open(spec, seed=seed)
+    import os
+
+    from repro.obs.trace import (
+        TraceRecorder, active_trace_dir, trace_filename,
+    )
+
+    trace_dir = active_trace_dir()
+    recorder = TraceRecorder() if trace_dir is not None else None
+    session = Session()
+    scenario, connection = session.open(spec, seed=seed, recorder=recorder)
     connection.start()
     connection.close()
     scenario.run(until=horizon_s)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+        recorder.save(os.path.join(
+            trace_dir, trace_filename(spec.key(), spec.seed or seed),
+        ))
 
     series = {
         "MPTCP": average_throughput_series(

@@ -29,6 +29,8 @@ from typing import List, Optional
 from repro.core.errors import ConfigurationError
 from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import EXPERIMENTS
+from repro.obs.progress import PROGRESS_ENV
+from repro.obs.trace import TRACE_DIR_ENV
 from repro.parallel import resolve_workers, set_default_workers
 from repro.parallel.cache import CACHE_TOGGLE_ENV
 
@@ -69,6 +71,30 @@ def _run_kwargs(fn, workers: int) -> dict:
     return {}
 
 
+def _apply_obs_flags(trace_dir: Optional[str], progress: bool) -> None:
+    """Export observability flags via env so worker processes inherit.
+
+    ``--trace DIR`` enables full JSONL tracing for every transfer in
+    the run (cache bypassed so traces are actually produced);
+    ``--progress`` turns on the sweep progress/ETA line.
+    """
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        os.environ[TRACE_DIR_ENV] = trace_dir
+    if progress:
+        os.environ[PROGRESS_ENV] = "1"
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="DIR", default=None,
+                        help="write JSONL transport traces and run "
+                             "manifests into DIR (sets REPRO_TRACE_DIR; "
+                             "bypasses the result cache)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live sweep progress/ETA on stderr "
+                             "(sets REPRO_PROGRESS=1)")
+
+
 def run_spec_main(argv: Optional[List[str]] = None) -> int:
     """``repro-experiments run-spec``: execute a workload JSON file."""
     from repro.workload import Session, WorkloadSpec
@@ -84,10 +110,12 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not populate the on-disk "
                              "sweep result cache")
+    _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.no_cache:
         os.environ[CACHE_TOGGLE_ENV] = "0"
+    _apply_obs_flags(args.trace, args.progress)
     try:
         workers = resolve_workers(args.workers)
         with open(args.workload, "r", encoding="utf-8") as handle:
@@ -111,6 +139,14 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
     stats = session.last_stats
     if stats is not None:
         print(f"[{workload.name}: {stats.summary()}]")
+    if args.trace and session.last_manifests:
+        from repro.obs.manifest import write_manifests
+
+        manifest_path = os.path.join(
+            args.trace, f"{workload.name}.manifests.json"
+        )
+        write_manifests(session.last_manifests, manifest_path)
+        print(f"[manifests: {manifest_path}]", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -138,6 +174,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not populate the on-disk "
                              "sweep result cache")
+    _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
@@ -147,6 +184,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     set_default_workers(workers)
     if args.no_cache:
         os.environ[CACHE_TOGGLE_ENV] = "0"
+    _apply_obs_flags(args.trace, args.progress)
 
     load_all_experiments()
     if args.list:
@@ -169,8 +207,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         result = fn(seed=args.seed, fast=args.fast,
                     **_run_kwargs(fn, workers))
         print(result.render())
-        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+        elapsed = time.time() - started
+        print(f"[{name} finished in {elapsed:.1f}s]\n")
+        if args.trace:
+            _write_experiment_manifest(
+                args.trace, name, args, workers, elapsed
+            )
     return 0
+
+
+def _write_experiment_manifest(trace_dir: str, name: str,
+                               args: argparse.Namespace, workers: int,
+                               elapsed_s: float) -> None:
+    """Stamp a provenance sidecar next to the figure's traces.
+
+    A sidecar file — never part of ``ExperimentResult.render()`` — so
+    rendered figure text stays byte-identical with tracing on or off.
+    """
+    from repro import __version__
+    from repro.obs.manifest import RunManifest
+    from repro.parallel.cache import spec_key
+
+    RunManifest(
+        key=name,
+        spec_hash=spec_key(
+            f"repro.experiments.{name}:run",
+            {"seed": args.seed, "fast": args.fast},
+            fingerprint="",
+        ),
+        seed=args.seed,
+        cache_hit=False,
+        wall_time_s=elapsed_s,
+        worker_pid=os.getpid(),
+        workers=workers,
+        package_version=__version__,
+    ).write(os.path.join(trace_dir, f"{name}.manifest.json"))
 
 
 if __name__ == "__main__":

@@ -213,7 +213,35 @@ class MptcpConnection(ConnectionBase):
         subflow.on_rto = self._on_subflow_rto
         self._subflows.append(subflow)
         self.subflow_delivery_logs.setdefault(attached.name, [])
+        if self.obs is not None:
+            # Covers subflows created after attachment too, e.g. the
+            # deferred fallbacks of Single-Path mode.
+            subflow.attach_recorder(self.obs)
+            self._emit_subflow_add(subflow)
         return subflow
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_recorder(self, recorder) -> None:
+        super().attach_recorder(recorder)
+        for subflow in self._subflows:
+            self._emit_subflow_add(subflow)
+
+    def _emit_subflow_add(self, subflow: Subflow) -> None:
+        self.obs.emit(
+            "subflow_add", self.loop.now, path=subflow.name,
+            flow_id=self.flow_id, subflow_id=subflow.subflow_id,
+            primary=subflow.is_primary, backup=subflow.backup,
+        )
+
+    def _failure_reason(self, subflow: Subflow) -> str:
+        path = subflow.path
+        if not path.admin_up:
+            return "admin_down"
+        if path.unplugged:
+            return "blackhole"
+        return "retries_exhausted"
 
     # ------------------------------------------------------------------
     # Public API
@@ -304,6 +332,15 @@ class MptcpConnection(ConnectionBase):
         self._pump()
 
     def _fail_over(self, subflow: Subflow) -> None:
+        if self.obs is not None:
+            # Every failure mode funnels through here via on_dead:
+            # administrative removal, SYN-retry exhaustion, data-retry
+            # exhaustion on a blackholed path.
+            self.obs.emit(
+                "subflow_fail", self.loop.now, path=subflow.name,
+                flow_id=self.flow_id, subflow_id=subflow.subflow_id,
+                reason=self._failure_reason(subflow),
+            )
         chunks = subflow.sender.fail()
         self._reinject(chunks)
         self._detach_cc(subflow)
@@ -364,6 +401,16 @@ class MptcpConnection(ConnectionBase):
             chunk = self.source.next_chunk(self.config.mss_bytes)
             if chunk is None:
                 break
+            if self.obs is not None:
+                self.obs.emit(
+                    "sched", self.loop.now, path=subflow.name,
+                    flow_id=self.flow_id, subflow_id=subflow.subflow_id,
+                    data_seq=chunk[0], length=chunk[1],
+                    srtt={
+                        f"{sf.name}/{sf.subflow_id}": sf.srtt
+                        for sf in eligible
+                    },
+                )
             subflow.send_chunk(chunk)
         self._maybe_close_subflows()
 
@@ -373,7 +420,8 @@ class MptcpConnection(ConnectionBase):
         Each subflow keeps its own cursor over the connection's byte
         space and transmits independently at its own window's pace; the
         connection-level interval set keeps whichever copy of each
-        range lands first.
+        range lands first.  No ``sched`` trace events: there is no
+        decision to record — every subflow carries everything.
         """
         total = self.total_bytes
         for subflow in self._subflows:

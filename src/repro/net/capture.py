@@ -31,7 +31,12 @@ class CapturedPacket:
     flags: PacketFlags
 
     def flag_string(self) -> str:
-        """tcpdump-style flag letters (S, F, R, ., W for window update)."""
+        """tcpdump-style flag letters (S, F, R, ., W for window update).
+
+        ACK renders as a trailing ``.`` even in combination, matching
+        tcpdump's compound forms: ``S.`` for SYN|ACK, ``F.`` for
+        FIN|ACK, a bare ``.`` for a pure ACK.
+        """
         letters = ""
         if self.flags & PacketFlags.SYN:
             letters += "S"
@@ -41,8 +46,8 @@ class CapturedPacket:
             letters += "R"
         if self.flags & PacketFlags.WINDOW_UPDATE:
             letters += "W"
-        if self.flags & PacketFlags.ACK and not letters:
-            letters = "."
+        if self.flags & PacketFlags.ACK:
+            letters += "."
         return letters or "-"
 
     def format(self) -> str:
@@ -59,11 +64,19 @@ class CapturedPacket:
 
 
 class PacketCapture:
-    """Captures every packet crossing a path, as seen from the client."""
+    """Captures every packet crossing a path, as seen from the client.
 
-    def __init__(self, path: Path, flow_filter: Optional[int] = None):
+    A :mod:`repro.obs` sink: pass a
+    :class:`~repro.obs.trace.TraceRecorder` and every captured packet
+    is also emitted as a ``packet`` trace event, so tcpdump-style
+    captures land in the same unified stream as transport events.
+    """
+
+    def __init__(self, path: Path, flow_filter: Optional[int] = None,
+                 recorder=None):
         self.interface = path.name
         self.flow_filter = flow_filter
+        self.recorder = recorder
         self.packets: List[CapturedPacket] = []
         path.uplink.on_transmit.append(self._capture("out"))
         path.downlink.on_deliver.append(self._capture("in"))
@@ -73,7 +86,7 @@ class PacketCapture:
             if (self.flow_filter is not None
                     and packet.flow_id != self.flow_filter):
                 return
-            self.packets.append(CapturedPacket(
+            captured = CapturedPacket(
                 time=when,
                 direction=direction,
                 interface=self.interface,
@@ -83,7 +96,16 @@ class PacketCapture:
                 ack=packet.ack,
                 payload_bytes=packet.payload_bytes,
                 flags=packet.flags,
-            ))
+            )
+            self.packets.append(captured)
+            if self.recorder is not None:
+                self.recorder.emit(
+                    "packet", when, path=self.interface,
+                    flow_id=packet.flow_id, subflow_id=packet.subflow_id,
+                    dir=direction, flags=captured.flag_string(),
+                    seq=packet.seq, ack=packet.ack,
+                    length=packet.payload_bytes,
+                )
 
         return hook
 

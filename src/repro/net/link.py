@@ -62,6 +62,8 @@ class Link(ABC):
         self.on_transmit: List[PacketObserver] = []
         #: Called with (packet, time) when a packet reaches the sink.
         self.on_deliver: List[PacketObserver] = []
+        #: Called with (packet, time) when the queue tail-drops a packet.
+        self.on_drop: List[PacketObserver] = []
 
     def connect(self, sink: PacketSink) -> None:
         """Attach the receiving endpoint."""
@@ -82,6 +84,10 @@ class Link(ABC):
             packet.sent_at = self.loop.now
         if self.queue.offer(packet):
             self._on_enqueue()
+        elif self.on_drop:
+            now = self.loop.now
+            for observer in self.on_drop:
+                observer(packet, now)
 
     def _emit_transmit(self, packet: Packet) -> None:
         now = self.loop.now

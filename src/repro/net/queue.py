@@ -20,6 +20,7 @@ class QueueStats:
     bytes_enqueued: int = 0
     bytes_dropped: int = 0
     max_depth_packets: int = field(default=0)
+    max_depth_bytes: int = field(default=0)
 
     @property
     def drop_rate(self) -> float:
@@ -90,6 +91,8 @@ class DropTailQueue:
         depth = len(queue)
         if depth > stats.max_depth_packets:
             stats.max_depth_packets = depth
+        if self._bytes > stats.max_depth_bytes:
+            stats.max_depth_bytes = self._bytes
         return True
 
     def peek(self) -> Optional[Packet]:

@@ -4,12 +4,16 @@ Bufferbloat — the deep LTE queues whose self-inflicted delay shapes
 several of the paper's findings — is easiest to see as a queue-depth
 timeline.  :class:`QueueDepthTracker` samples a link's queue on a fixed
 period and exposes the series plus summary statistics.
+
+The tracker is a :mod:`repro.obs` sink: pass a
+:class:`~repro.obs.trace.TraceRecorder` and every sample is also
+emitted as a ``queue_sample`` trace event.
 """
 
 from typing import List, Tuple
 
 from repro.core.errors import ConfigurationError
-from repro.core.events import EventLoop
+from repro.core.events import EventLoop, Periodic
 from repro.net.link import Link
 
 __all__ = ["QueueDepthTracker"]
@@ -20,30 +24,42 @@ class QueueDepthTracker:
 
     Sampling starts immediately and continues until ``stop()`` or the
     simulation ends; each sample is ``(time, packets, bytes)``.
+    ``stop()`` cancels the pending tick (via
+    :class:`~repro.core.events.Periodic`), so a stopped tracker never
+    keeps scheduling into a FIN drain window after the transfer's
+    ``EventLoop.stop()``-based termination.
     """
 
     def __init__(self, loop: EventLoop, link: Link,
-                 period_s: float = 0.01) -> None:
+                 period_s: float = 0.01, recorder=None) -> None:
         if period_s <= 0:
             raise ConfigurationError(f"period_s must be positive: {period_s}")
         self.loop = loop
         self.link = link
         self.period_s = period_s
+        self.recorder = recorder
         self.samples: List[Tuple[float, int, int]] = []
-        self._running = True
-        self._tick()
+        self._ticker = Periodic(loop, period_s, self._sample)
+        self._ticker.start(immediate=True)
 
-    def _tick(self) -> None:
-        if not self._running:
-            return
-        self.samples.append(
-            (self.loop.now, len(self.link.queue), self.link.queue.bytes_queued)
-        )
-        self.loop.call_later(self.period_s, self._tick)
+    def _sample(self) -> None:
+        now = self.loop.now
+        packets = len(self.link.queue)
+        nbytes = self.link.queue.bytes_queued
+        self.samples.append((now, packets, nbytes))
+        if self.recorder is not None:
+            self.recorder.emit(
+                "queue_sample", now, path=self.link.name,
+                packets=packets, bytes=nbytes,
+            )
+
+    @property
+    def running(self) -> bool:
+        return self._ticker.running
 
     def stop(self) -> None:
-        """Stop sampling (pending tick becomes a no-op)."""
-        self._running = False
+        """Stop sampling and cancel the pending tick."""
+        self._ticker.stop()
 
     # -- summaries -------------------------------------------------------
     @property

@@ -1,0 +1,80 @@
+"""repro.obs — the unified observability layer.
+
+One instrumentation pathway for the whole simulator:
+
+* :mod:`repro.obs.trace` — typed, timestamped transport event traces
+  (:class:`TraceRecorder`), exported as JSONL.
+* :mod:`repro.obs.metrics` — counters/gauges/histograms
+  (:class:`MetricsRegistry`) snapshotted onto ``TransferReport``.
+* :mod:`repro.obs.manifest` — per-task provenance
+  (:class:`RunManifest`) stamped by the sweep engine.
+* :mod:`repro.obs.progress` — live sweep progress/ETA
+  (:class:`SweepProgress`).
+* :mod:`repro.obs.summary` — offline trace digests backing the
+  ``python -m repro.obs`` CLI.
+
+The legacy probes — :class:`~repro.net.capture.PacketCapture` and
+:class:`~repro.net.telemetry.QueueDepthTracker` — are sinks of this
+layer: both accept a ``recorder=`` and feed the same event stream
+(re-exported here for discoverability).
+"""
+
+from repro.net.capture import PacketCapture
+from repro.net.telemetry import QueueDepthTracker
+from repro.obs.manifest import RunManifest, diff_manifests, render_diff
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_transfer_metrics,
+    reconcile,
+)
+from repro.obs.progress import (
+    PROGRESS_ENV,
+    SweepProgress,
+    progress_enabled_by_env,
+)
+from repro.obs.summary import (
+    SubflowSummary,
+    TraceSummary,
+    render_summary,
+    summarize_events,
+)
+from repro.obs.trace import (
+    EVENT_KINDS,
+    TRACE_DIR_ENV,
+    TraceEvent,
+    TraceRecorder,
+    active_trace_dir,
+    load_events,
+    trace_filename,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "PROGRESS_ENV",
+    "TRACE_DIR_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PacketCapture",
+    "QueueDepthTracker",
+    "RunManifest",
+    "SubflowSummary",
+    "SweepProgress",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceSummary",
+    "active_trace_dir",
+    "collect_transfer_metrics",
+    "diff_manifests",
+    "load_events",
+    "progress_enabled_by_env",
+    "reconcile",
+    "render_diff",
+    "render_summary",
+    "summarize_events",
+    "trace_filename",
+]

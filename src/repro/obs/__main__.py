@@ -1,0 +1,68 @@
+"""CLI for trace and manifest analysis.
+
+Usage::
+
+    python -m repro.obs summarize TRACE.jsonl
+    python -m repro.obs diff A.manifest.json B.manifest.json
+"""
+
+import argparse
+import sys
+
+from repro.obs.manifest import RunManifest, render_diff
+from repro.obs.summary import render_summary, summarize_events
+from repro.obs.trace import load_events
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    events = load_events(args.trace)
+    summary = summarize_events(events)
+    print(render_summary(summary, timeline_points=args.timeline_points))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    a = RunManifest.read(args.a)
+    b = RunManifest.read(args.b)
+    rendered = render_diff(a, b)
+    print(rendered)
+    return 0 if rendered == "manifests identical" else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize simulator traces and diff run manifests.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize",
+        help="digest a JSONL trace: cwnd timeline, retransmit "
+             "breakdown, per-subflow byte split",
+    )
+    summarize.add_argument("trace", help="path to a .jsonl trace file")
+    summarize.add_argument(
+        "--timeline-points", type=int, default=8,
+        help="max cwnd timeline points to print per subflow",
+    )
+    summarize.set_defaults(fn=_cmd_summarize)
+
+    diff = sub.add_parser(
+        "diff",
+        help="field-by-field diff of two run manifests "
+             "(exit 1 when they differ)",
+    )
+    diff.add_argument("a", help="first manifest JSON file")
+    diff.add_argument("b", help="second manifest JSON file")
+    diff.set_defaults(fn=_cmd_diff)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""Run manifests: provenance for every sweep task and rendered figure.
+
+A :class:`RunManifest` records where a result came from — the spec
+hash that addresses it, the derived seed, whether it was replayed from
+the cache, how long it took and in which worker process — so a figure
+built from thousands of cached and freshly-executed tasks stays
+attributable.  ``python -m repro.obs diff`` compares two manifests
+(e.g. the same task across two checkouts) field by field.
+"""
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["RunManifest", "diff_manifests", "render_diff"]
+
+
+@dataclass(slots=True)
+class RunManifest:
+    """Provenance record for one executed (or cache-replayed) task."""
+
+    key: str                    # the task's sweep key (human-oriented)
+    spec_hash: str              # content hash of fn + canonical kwargs
+    seed: Optional[int]         # seed the task actually ran with
+    cache_hit: bool             # replayed from the result cache?
+    wall_time_s: float          # execution wall time (0.0 on cache hit)
+    worker_pid: int             # OS pid of the executing process
+    workers: int                # sweep-level worker count
+    package_version: str        # repro.__version__ at run time
+    code_fingerprint: str = ""  # cache fingerprint, "" when cache off
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        try:
+            return cls(
+                key=str(data["key"]),
+                spec_hash=str(data["spec_hash"]),
+                seed=data.get("seed"),
+                cache_hit=bool(data["cache_hit"]),
+                wall_time_s=float(data["wall_time_s"]),
+                worker_pid=int(data["worker_pid"]),
+                workers=int(data["workers"]),
+                package_version=str(data["package_version"]),
+                code_fingerprint=str(data.get("code_fingerprint", "")),
+                extra=dict(data.get("extra", {})),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"manifest missing field: {exc}")
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def read(cls, path: str) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def write_manifests(manifests: List[RunManifest], path: str) -> None:
+    """Write a list of manifests as one JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([m.to_dict() for m in manifests], handle,
+                  sort_keys=True, indent=2)
+        handle.write("\n")
+
+
+def read_manifests(path: str) -> List[RunManifest]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = [data]
+    return [RunManifest.from_dict(item) for item in data]
+
+
+def diff_manifests(
+    a: RunManifest, b: RunManifest
+) -> Dict[str, Tuple[Any, Any]]:
+    """Fields whose values differ between two manifests."""
+    da, db = a.to_dict(), b.to_dict()
+    return {
+        name: (da[name], db[name])
+        for name in da
+        if da[name] != db[name]
+    }
+
+
+def render_diff(a: RunManifest, b: RunManifest) -> str:
+    """Human-readable two-column diff of two manifests."""
+    delta = diff_manifests(a, b)
+    if not delta:
+        return "manifests identical"
+    width = max(len(name) for name in delta)
+    lines = [f"{len(delta)} field(s) differ:"]
+    for name, (left, right) in sorted(delta.items()):
+        lines.append(f"  {name:<{width}}  {left!r}  ->  {right!r}")
+    return "\n".join(lines)

@@ -1,0 +1,250 @@
+"""Metrics registry: counters, gauges, and histograms for a run.
+
+Where the trace (:mod:`repro.obs.trace`) answers "what happened and
+when", metrics answer "how much, in total".  A
+:class:`MetricsRegistry` holds labeled instruments and snapshots them
+into a flat ``{name{label=value,...}: number}`` dict — the shape that
+rides on :class:`~repro.workload.report.TransferReport.metrics` and
+that `python -m repro.obs summarize` reconciles traces against.
+
+The registry is populated *after* a run from counters the simulator
+already keeps (``SenderStats``, ``QueueStats``, link totals), so it
+adds nothing to the simulation hot path.
+"""
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "collect_transfer_metrics",
+]
+
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, str]) -> Labels:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(labels: Labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter increment negative: {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in either direction (e.g. queue depth)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Summary statistics over observed samples (count/sum/min/max)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Labeled get-or-create store of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, Labels], Counter] = {}
+        self._gauges: Dict[Tuple[str, Labels], Gauge] = {}
+        self._histograms: Dict[Tuple[str, Labels], Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _labels_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _labels_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = (name, _labels_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram()
+        return instrument
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every instrument into ``{name{labels}: value}``.
+
+        Histograms expand into ``_count``/``_sum``/``_min``/``_max``
+        series.  The result is plain floats, picklable, and stable
+        under dict-comparison — it is what lands on
+        ``TransferReport.metrics``.
+        """
+        out: Dict[str, float] = {}
+        for (name, labels), counter in self._counters.items():
+            out[name + _render_labels(labels)] = counter.value
+        for (name, labels), gauge in self._gauges.items():
+            out[name + _render_labels(labels)] = gauge.value
+        for (name, labels), histogram in self._histograms.items():
+            rendered = _render_labels(labels)
+            out[f"{name}_count{rendered}"] = float(histogram.count)
+            out[f"{name}_sum{rendered}"] = histogram.total
+            if histogram.count:
+                out[f"{name}_min{rendered}"] = histogram.minimum
+                out[f"{name}_max{rendered}"] = histogram.maximum
+        return dict(sorted(out.items()))
+
+
+def collect_transfer_metrics(connection, paths: Iterable) -> Dict[str, float]:
+    """Aggregate one finished transfer into a flat metrics snapshot.
+
+    ``connection`` is any :class:`~repro.tcp.connection.ConnectionBase`;
+    ``paths`` the :class:`~repro.net.path.Path` objects it ran over.
+    Pulls from counters the stack already maintains (``SenderStats``,
+    ``QueueStats``, link delivery totals) — a pure read, safe to call
+    on live or completed connections.
+    """
+    registry = MetricsRegistry()
+    for subflow in connection.subflows:
+        labels = {"path": subflow.name, "subflow": str(subflow.subflow_id)}
+        stats = subflow.sender.stats
+        registry.counter("segments_sent", **labels).inc(stats.segments_sent)
+        registry.counter("bytes_sent", **labels).inc(stats.bytes_sent)
+        registry.counter("retransmits", **labels).inc(stats.retransmits)
+        registry.counter("fast_retransmits", **labels).inc(
+            stats.fast_retransmits
+        )
+        registry.counter("timeouts", **labels).inc(stats.timeouts)
+        if subflow.handshake_rtt is not None:
+            registry.histogram("handshake_rtt_s", path=subflow.name).observe(
+                subflow.handshake_rtt
+            )
+    for path in paths:
+        for direction, link in (("up", path.uplink), ("down", path.downlink)):
+            labels = {"path": path.name, "dir": direction}
+            qstats = link.queue.stats
+            registry.counter("queue_drops", **labels).inc(qstats.dropped)
+            registry.gauge("queue_max_depth_packets", **labels).set(
+                qstats.max_depth_packets
+            )
+            registry.gauge("queue_max_depth_bytes", **labels).set(
+                qstats.max_depth_bytes
+            )
+            registry.counter("link_delivered_bytes", **labels).inc(
+                link.delivered_bytes
+            )
+            registry.counter("link_channel_drops", **labels).inc(
+                link.channel_drops
+            )
+    return registry.snapshot()
+
+
+def metrics_for_subflow(
+    metrics: Dict[str, float], path: str, subflow_id: int
+) -> Dict[str, float]:
+    """Extract one subflow's series from a flat snapshot (label-matched)."""
+    needle = _render_labels(
+        _labels_key({"path": path, "subflow": str(subflow_id)})
+    )
+    out: Dict[str, float] = {}
+    for key, value in metrics.items():
+        if key.endswith(needle):
+            out[key[: -len(needle)]] = value
+    return out
+
+
+def subflow_label_pairs(
+    metrics: Dict[str, float],
+) -> List[Tuple[str, int]]:
+    """The (path, subflow_id) pairs present in a snapshot."""
+    pairs = set()
+    for key in metrics:
+        if "{" not in key:
+            continue
+        name, _, rendered = key.partition("{")
+        rendered = rendered.rstrip("}")
+        labels = dict(
+            part.split("=", 1) for part in rendered.split(",") if "=" in part
+        )
+        if "path" in labels and "subflow" in labels:
+            pairs.add((labels["path"], int(labels["subflow"])))
+    return sorted(pairs)
+
+
+def reconcile(
+    metrics: Dict[str, float],
+    summary_counts: Dict[Tuple[str, int], Dict[str, float]],
+    fields: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Compare a trace summary against a report's metrics snapshot.
+
+    Returns human-readable mismatch descriptions (empty = reconciled).
+    ``summary_counts`` maps (path, subflow_id) to per-field counts as
+    produced by :func:`repro.obs.summary.summarize_events`.
+    """
+    checked = tuple(
+        fields
+        if fields is not None
+        else ("segments_sent", "bytes_sent", "retransmits",
+              "fast_retransmits", "timeouts")
+    )
+    problems: List[str] = []
+    for (path, subflow_id), counts in sorted(summary_counts.items()):
+        observed = metrics_for_subflow(metrics, path, subflow_id)
+        for field in checked:
+            want = observed.get(field)
+            got = counts.get(field)
+            if want is None or got is None:
+                continue
+            if want != got:
+                problems.append(
+                    f"{path}/{subflow_id} {field}: trace={got} "
+                    f"metrics={want}"
+                )
+    return problems

@@ -1,0 +1,107 @@
+"""Live progress/ETA reporting for sweeps.
+
+Thousands-of-runs sweeps are opaque without feedback; a
+:class:`SweepProgress` prints a single updating status line to stderr
+(never stdout — figure text goes there) with completed/total counts,
+cache hits, throughput, and an ETA extrapolated from wall time so far.
+
+Enabled per-run via ``SweepRunner(progress=True)`` or globally with
+``REPRO_PROGRESS=1`` (the ``--progress`` CLI flag sets the latter so
+forked workers inherit it).  Progress is presentation only: it never
+influences sharding, seeding, or results.
+"""
+
+import os
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["PROGRESS_ENV", "SweepProgress", "progress_enabled_by_env"]
+
+#: Environment toggle: "1"/"true"/"yes" (case-insensitive) enables.
+PROGRESS_ENV = "REPRO_PROGRESS"
+
+
+def progress_enabled_by_env() -> bool:
+    return os.environ.get(PROGRESS_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds < 0:
+        return "?"
+    seconds = int(round(seconds))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class SweepProgress:
+    """One updating ``label: done/total`` status line with an ETA."""
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "sweep",
+        stream: Optional[TextIO] = None,
+        min_interval_s: float = 0.1,
+    ) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_s = min_interval_s
+        self.done = 0
+        self.cached = 0
+        self._started_at: Optional[float] = None
+        self._last_render = 0.0
+
+    def start(self) -> None:
+        self._started_at = time.monotonic()
+        self._render(force=True)
+
+    def note_cached(self, count: int) -> None:
+        """Record tasks satisfied from the cache (they count as done)."""
+        self.cached += count
+        self.done += count
+        self._render()
+
+    def advance(self, count: int = 1) -> None:
+        self.done += count
+        self._render()
+
+    def finish(self) -> None:
+        self._render(force=True)
+        self.stream.write("\n")
+        self.stream.flush()
+
+    # -- rendering -------------------------------------------------------
+    def _eta_s(self) -> float:
+        if self._started_at is None:
+            return -1.0
+        executed = self.done - self.cached
+        if executed <= 0:
+            return -1.0
+        elapsed = time.monotonic() - self._started_at
+        remaining = self.total - self.done
+        return elapsed / executed * remaining
+
+    def _render(self, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_render < self.min_interval_s:
+            return
+        self._last_render = now
+        parts = [f"{self.label}: {self.done}/{self.total}"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        if 0 < self.done < self.total:
+            eta = self._eta_s()
+            if eta >= 0:
+                parts.append(f"eta {_format_eta(eta)}")
+        line = "  ".join(parts)
+        self.stream.write("\r" + line.ljust(60))
+        self.stream.flush()

@@ -1,0 +1,208 @@
+"""Trace summarization: cwnd timelines, retransmit breakdowns, byte splits.
+
+Turns a JSONL trace (see :mod:`repro.obs.trace`) into the per-subflow
+digest the paper's own analysis pipeline produced from tcpdump: how
+many segments and bytes each subflow carried, how losses were
+recovered (fast retransmit vs RTO), and how the congestion window
+evolved.  Counts are derived only from "send"/"rto"/"fast_retransmit"
+events, which transports emit adjacent to the corresponding
+``SenderStats`` increments — so a summary reconciles *exactly* with
+the run's ``TransferReport.metrics`` (checked by
+:func:`repro.obs.metrics.reconcile` and the obs test suite).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import TraceEvent
+
+__all__ = ["SubflowSummary", "TraceSummary", "summarize_events",
+           "render_summary"]
+
+SubflowKey = Tuple[str, int]
+
+
+@dataclass
+class SubflowSummary:
+    """Digest of one subflow's trace events."""
+
+    path: str
+    subflow_id: int
+    segments_sent: int = 0
+    bytes_sent: int = 0
+    retransmits: int = 0
+    retransmit_bytes: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    dupacks: int = 0
+    sched_picks: int = 0
+    queue_drops: int = 0
+    handshake_rtt_s: Optional[float] = None
+    established_at: Optional[float] = None
+    failed_reason: Optional[str] = None
+    #: (time, cwnd_segments) points, one per cwnd-change event.
+    cwnd_timeline: List[Tuple[float, float]] = field(default_factory=list)
+
+    def counts(self) -> Dict[str, float]:
+        """The fields reconciled against ``TransferReport.metrics``."""
+        return {
+            "segments_sent": float(self.segments_sent),
+            "bytes_sent": float(self.bytes_sent),
+            "retransmits": float(self.retransmits),
+            "fast_retransmits": float(self.fast_retransmits),
+            "timeouts": float(self.timeouts),
+        }
+
+
+@dataclass
+class TraceSummary:
+    """Whole-trace digest, keyed by (path, subflow_id)."""
+
+    subflows: Dict[SubflowKey, SubflowSummary] = field(default_factory=dict)
+    total_events: int = 0
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(sf.bytes_sent for sf in self.subflows.values())
+
+    def byte_split(self) -> Dict[SubflowKey, float]:
+        """Fraction of all sent bytes each subflow carried."""
+        total = self.total_bytes_sent
+        if total == 0:
+            return {key: 0.0 for key in self.subflows}
+        return {
+            key: sf.bytes_sent / total
+            for key, sf in self.subflows.items()
+        }
+
+    def counts_by_subflow(self) -> Dict[SubflowKey, Dict[str, float]]:
+        return {key: sf.counts() for key, sf in self.subflows.items()}
+
+
+def summarize_events(events: List[TraceEvent]) -> TraceSummary:
+    """Fold a trace into a :class:`TraceSummary`."""
+    summary = TraceSummary(total_events=len(events))
+    if events:
+        summary.duration_s = max(e.time for e in events) - min(
+            e.time for e in events
+        )
+
+    def subflow(event: TraceEvent) -> SubflowSummary:
+        key = (event.path, event.subflow_id)
+        existing = summary.subflows.get(key)
+        if existing is None:
+            existing = summary.subflows[key] = SubflowSummary(
+                path=event.path, subflow_id=event.subflow_id
+            )
+        return existing
+
+    for event in events:
+        summary.kind_counts[event.kind] = (
+            summary.kind_counts.get(event.kind, 0) + 1
+        )
+        kind = event.kind
+        if kind == "send":
+            sf = subflow(event)
+            length = int(event.fields.get("length", 0))
+            sf.segments_sent += 1
+            sf.bytes_sent += length
+            if event.fields.get("rxt"):
+                sf.retransmits += 1
+                sf.retransmit_bytes += length
+        elif kind == "cwnd":
+            subflow(event).cwnd_timeline.append(
+                (event.time, float(event.fields.get("cwnd", 0.0)))
+            )
+        elif kind == "rto":
+            subflow(event).timeouts += 1
+        elif kind == "fast_retransmit":
+            subflow(event).fast_retransmits += 1
+        elif kind == "dupack":
+            subflow(event).dupacks += 1
+        elif kind == "handshake":
+            sf = subflow(event)
+            sf.handshake_rtt_s = event.fields.get("rtt_s")
+            sf.established_at = event.time
+        elif kind == "sched":
+            subflow(event).sched_picks += 1
+        elif kind == "subflow_fail":
+            subflow(event).failed_reason = event.fields.get("reason")
+        elif kind == "queue_drop":
+            # Envelope path is the *link* name ("wifi.up") here;
+            # attribute the drop to the owning subflow when the packet
+            # identifies one.
+            if event.subflow_id >= 0:
+                key = (event.path.rsplit(".", 1)[0], event.subflow_id)
+                target = summary.subflows.get(key)
+                if target is not None:
+                    target.queue_drops += 1
+    return summary
+
+
+def _sample_timeline(
+    timeline: List[Tuple[float, float]], points: int
+) -> List[Tuple[float, float]]:
+    if len(timeline) <= points:
+        return timeline
+    step = (len(timeline) - 1) / (points - 1)
+    return [timeline[round(i * step)] for i in range(points)]
+
+
+def render_summary(summary: TraceSummary, timeline_points: int = 8) -> str:
+    """ASCII rendering for ``python -m repro.obs summarize``."""
+    lines: List[str] = []
+    lines.append(
+        f"trace: {summary.total_events} events over "
+        f"{summary.duration_s:.3f}s"
+    )
+    kinds = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(summary.kind_counts.items())
+    )
+    if kinds:
+        lines.append(f"  kinds: {kinds}")
+
+    split = summary.byte_split()
+    lines.append("")
+    lines.append("per-subflow byte split:")
+    for key in sorted(summary.subflows):
+        sf = summary.subflows[key]
+        lines.append(
+            f"  {sf.path}/{sf.subflow_id}: {sf.bytes_sent} B "
+            f"({split[key] * 100:.1f}%)"
+        )
+
+    for key in sorted(summary.subflows):
+        sf = summary.subflows[key]
+        lines.append("")
+        lines.append(f"subflow {sf.path}/{sf.subflow_id}:")
+        if sf.handshake_rtt_s is not None:
+            lines.append(
+                f"  handshake: {sf.handshake_rtt_s * 1000:.1f} ms "
+                f"(established t={sf.established_at:.3f}s)"
+            )
+        lines.append(
+            f"  sent: {sf.segments_sent} segments, {sf.bytes_sent} bytes"
+        )
+        lines.append(
+            f"  retransmits: {sf.retransmits} "
+            f"({sf.retransmit_bytes} B) — "
+            f"fast_retransmits={sf.fast_retransmits}, "
+            f"timeouts={sf.timeouts}, dupacks={sf.dupacks}"
+        )
+        if sf.queue_drops:
+            lines.append(f"  queue drops: {sf.queue_drops}")
+        if sf.failed_reason:
+            lines.append(f"  failed: {sf.failed_reason}")
+        if sf.cwnd_timeline:
+            sampled = _sample_timeline(sf.cwnd_timeline, timeline_points)
+            rendered = "  ".join(
+                f"{t:.3f}s:{cwnd:.1f}" for t, cwnd in sampled
+            )
+            lines.append(
+                f"  cwnd timeline ({len(sf.cwnd_timeline)} changes): "
+                f"{rendered}"
+            )
+    return "\n".join(lines)

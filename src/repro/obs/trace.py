@@ -1,0 +1,212 @@
+"""Typed transport event traces: the simulator's "why did it do that".
+
+The paper's methodology rests on tcpdump traces collected at the
+client; those explain *what* crossed the wire but not *why* the stack
+behaved the way it did.  A :class:`TraceRecorder` is the explanatory
+counterpart: transports, links, and schedulers emit typed, timestamped
+events into it — handshakes, cwnd moves with their reason, RTO fires,
+fast retransmits, scheduler decisions with per-subflow RTT snapshots,
+queue drops — and the whole trace exports as JSONL for offline
+analysis (``python -m repro.obs summarize``).
+
+Overhead model
+--------------
+Instrumented components hold a plain attribute that is ``None`` by
+default; every emission site is guarded by ``if obs is not None``.
+With no recorder attached the only cost is that pointer test, so the
+simulation's hot paths stay within the benchmark guard
+(``benchmarks/bench_obs.py``).  The recorder itself is strictly
+passive: it never schedules events, never consumes RNG, and never
+mutates the objects it observes, so a traced run is bit-identical to
+an untraced one.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "EVENT_KINDS",
+    "TRACE_DIR_ENV",
+    "TraceEvent",
+    "TraceRecorder",
+    "active_trace_dir",
+    "trace_filename",
+]
+
+#: Environment variable naming a directory to export JSONL traces to.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: The closed event taxonomy (see DESIGN.md §8).  A closed set keeps
+#: downstream tooling (summaries, diffs) total: an unknown kind is a
+#: programming error, not a silently ignored record.
+EVENT_KINDS = frozenset({
+    "syn",              # client sent a SYN (initial or retry)
+    "handshake",        # subflow established; carries the handshake RTT
+    "send",             # sender emitted a data segment (incl. rxt flag)
+    "cwnd",             # cwnd/ssthresh changed, with the reason
+    "dupack",           # duplicate ACK observed by the sender
+    "fast_retransmit",  # dupack threshold crossed; recovery entered
+    "rto",              # retransmission timer fired
+    "subflow_add",      # MPTCP attached a subflow to the connection
+    "subflow_fail",     # MPTCP lost a subflow (admin/blackhole/retries)
+    "sched",            # scheduler assigned a chunk; RTT snapshot
+    "queue_drop",       # a link queue tail-dropped a packet
+    "queue_sample",     # periodic queue-occupancy sample
+    "packet",           # packet-capture sink record (tcpdump analog)
+})
+
+
+def active_trace_dir() -> Optional[str]:
+    """The trace export directory, if tracing is enabled via env."""
+    configured = os.environ.get(TRACE_DIR_ENV, "").strip()
+    return configured or None
+
+
+def trace_filename(key: str, seed: Optional[int]) -> str:
+    """Deterministic JSONL file name for one run (key is sanitized)."""
+    safe = "".join(c if (c.isalnum() or c in "._-") else "_" for c in key)
+    suffix = f"-s{seed}" if seed is not None else ""
+    return f"{safe}{suffix}.jsonl"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One typed, timestamped observation.
+
+    ``fields`` carries the kind-specific payload (already
+    JSON-representable); the envelope — time, kind, path, flow and
+    subflow identity — is uniform across kinds so traces can be
+    filtered without knowing every schema.
+    """
+
+    time: float
+    kind: str
+    path: str = ""
+    flow_id: int = -1
+    subflow_id: int = -1
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "t": self.time, "kind": self.kind, "path": self.path,
+            "flow": self.flow_id, "subflow": self.subflow_id,
+        }
+        data.update(self.fields)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        payload = dict(data)
+        return cls(
+            time=float(payload.pop("t")),
+            kind=str(payload.pop("kind")),
+            path=str(payload.pop("path", "")),
+            flow_id=int(payload.pop("flow", -1)),
+            subflow_id=int(payload.pop("subflow", -1)),
+            fields=payload,
+        )
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records from an instrumented run.
+
+    One recorder observes one scenario (its paths, connections, and
+    any capture/telemetry sinks).  Attach it at construction time —
+    ``Scenario(seed, recorder=...)`` — or through
+    :meth:`~repro.scenario.Scenario.attach_recorder`.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(
+        self,
+        kind: str,
+        time: float,
+        path: str = "",
+        flow_id: int = -1,
+        subflow_id: int = -1,
+        **fields: Any,
+    ) -> None:
+        """Record one event (``fields`` must stay JSON-representable)."""
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown trace event kind: {kind!r}; "
+                f"known: {sorted(EVENT_KINDS)}"
+            )
+        self.events.append(
+            TraceEvent(time, kind, path, flow_id, subflow_id, fields)
+        )
+
+    # -- queries ---------------------------------------------------------
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """Events of one kind, in emission order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def kinds(self) -> Dict[str, int]:
+        """Event count per kind."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # -- sink wiring -----------------------------------------------------
+    def watch_path(self, path) -> None:
+        """Subscribe to a :class:`~repro.net.path.Path`'s queue drops."""
+        for link in (path.uplink, path.downlink):
+            link.on_drop.append(self._drop_hook(link.name))
+
+    def _drop_hook(self, link_name: str):
+        def hook(packet, when: float) -> None:
+            self.emit(
+                "queue_drop", when, path=link_name,
+                flow_id=packet.flow_id, subflow_id=packet.subflow_id,
+                seq=packet.seq, payload_bytes=packet.payload_bytes,
+            )
+        return hook
+
+    # -- serialization ---------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON Lines text."""
+        return "\n".join(
+            json.dumps(event.to_dict(), sort_keys=True,
+                       separators=(",", ":"))
+            for event in self.events
+        )
+
+    def save(self, path: str) -> None:
+        """Write the JSONL rendering to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+            if self.events:
+                handle.write("\n")
+
+
+def load_events(path: str) -> List[TraceEvent]:
+    """Parse a JSONL trace file back into typed events."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return list(iter_events(handle))
+
+
+def iter_events(lines: Iterable[str]) -> Iterator[TraceEvent]:
+    """Parse an iterable of JSONL lines into typed events."""
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"trace line {lineno} is not valid JSON: {exc}"
+            )
+        yield TraceEvent.from_dict(data)

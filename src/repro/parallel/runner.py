@@ -23,13 +23,16 @@ import importlib
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import ConfigurationError
 from repro.core.rng import DEFAULT_SEED, derive_seed
-from repro.parallel.cache import ResultCache, cache_enabled_by_env
+from repro.obs.manifest import RunManifest
+from repro.obs.progress import SweepProgress, progress_enabled_by_env
+from repro.obs.trace import active_trace_dir
+from repro.parallel.cache import ResultCache, cache_enabled_by_env, spec_key
 
 __all__ = [
     "SimTask",
@@ -136,9 +139,16 @@ def _run_task(task: SimTask) -> Any:
     return task.resolve()(**task.kwargs)
 
 
-def _run_shard(tasks: List[SimTask]) -> List[Any]:
+def _run_task_timed(task: SimTask) -> Tuple[Any, float, int]:
+    """Run a task, returning ``(value, wall_time_s, worker_pid)``."""
+    started = time.perf_counter()
+    value = task.resolve()(**task.kwargs)
+    return value, time.perf_counter() - started, os.getpid()
+
+
+def _run_shard(tasks: List[SimTask]) -> List[Tuple[Any, float, int]]:
     """Worker entry point: run one shard's tasks in order."""
-    return [_run_task(task) for task in tasks]
+    return [_run_task_timed(task) for task in tasks]
 
 
 @dataclass
@@ -175,6 +185,18 @@ class SweepRunner:
     seed:
         Master seed for :meth:`SimTask.seeded` derivation of tasks
         that do not carry an explicit ``seed`` kwarg.
+    progress:
+        Live progress/ETA on stderr: ``True``/``False``, a configured
+        :class:`~repro.obs.progress.SweepProgress`, or ``None`` to
+        consult the ``REPRO_PROGRESS`` env toggle.
+
+    When ``REPRO_TRACE_DIR`` is active, the cache is bypassed for the
+    run: a cache hit would skip the simulation and silently produce no
+    trace file.
+
+    After each :meth:`run`, ``last_manifests`` holds one
+    :class:`~repro.obs.manifest.RunManifest` per task (provenance:
+    spec hash, seed, cache hit/miss, wall time, worker pid).
     """
 
     def __init__(
@@ -182,6 +204,7 @@ class SweepRunner:
         workers: Optional[int] = None,
         cache: Union[ResultCache, bool, None] = None,
         seed: int = DEFAULT_SEED,
+        progress: Union[SweepProgress, bool, None] = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         if cache is None:
@@ -195,7 +218,9 @@ class SweepRunner:
         else:
             self.cache = cache
         self.seed = seed
+        self.progress = progress
         self.last_stats = SweepStats()
+        self.last_manifests: List[RunManifest] = []
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[SimTask]) -> List[Any]:
@@ -203,30 +228,48 @@ class SweepRunner:
         started = time.perf_counter()
         tasks = [task.seeded(self.seed) for task in tasks]
         results: List[Any] = [None] * len(tasks)
+        walls: List[float] = [0.0] * len(tasks)
+        pids: List[int] = [os.getpid()] * len(tasks)
+
+        # Tracing bypasses the cache: a hit would skip the simulation
+        # and silently produce no trace file for that task.
+        cache = None if active_trace_dir() is not None else self.cache
+        progress = self._resolve_progress(len(tasks))
+        if progress is not None:
+            progress.start()
 
         keys: List[Optional[str]] = [None] * len(tasks)
         misses: List[int] = []
         hits = 0
-        if self.cache is not None:
+        if cache is not None:
             for index, task in enumerate(tasks):
-                key = self.cache.key_for(task.fn, task.kwargs)
+                key = cache.key_for(task.fn, task.kwargs)
                 keys[index] = key
-                hit, value = self.cache.get(key)
+                hit, value = cache.get(key)
                 if hit:
                     results[index] = value
                     hits += 1
                 else:
                     misses.append(index)
+            if progress is not None and hits:
+                progress.note_cached(hits)
         else:
             misses = list(range(len(tasks)))
 
         if misses:
-            self._execute(tasks, misses, results)
-            if self.cache is not None:
+            self._execute(tasks, misses, results, walls, pids, progress)
+            if cache is not None:
                 for index in misses:
                     assert keys[index] is not None
-                    self.cache.put(keys[index], results[index])
+                    cache.put(keys[index], results[index])
 
+        if progress is not None:
+            progress.finish()
+
+        miss_set = set(misses)
+        self.last_manifests = self._build_manifests(
+            tasks, miss_set, walls, pids, cache
+        )
         self.last_stats = SweepStats(
             tasks=len(tasks),
             cache_hits=hits,
@@ -237,12 +280,63 @@ class SweepRunner:
         return results
 
     # ------------------------------------------------------------------
-    def _execute(self, tasks: List[SimTask], misses: List[int],
-                 results: List[Any]) -> None:
+    def _resolve_progress(self, total: int) -> Optional[SweepProgress]:
+        configured = self.progress
+        if isinstance(configured, SweepProgress):
+            return configured
+        if configured is None:
+            configured = progress_enabled_by_env()
+        return SweepProgress(total) if configured else None
+
+    def _build_manifests(
+        self,
+        tasks: List[SimTask],
+        miss_set: set,
+        walls: List[float],
+        pids: List[int],
+        cache: Optional[ResultCache],
+    ) -> List[RunManifest]:
+        from repro import __version__
+
+        # Pure spec identity (fingerprint=""): never force the
+        # all-files code_fingerprint() walk when the cache is off —
+        # that one-time cost would eat the disabled-tracing overhead
+        # budget.  With the cache on, reuse its already-computed one.
+        fingerprint = cache.fingerprint if cache is not None else ""
+        return [
+            RunManifest(
+                key=task.label(),
+                spec_hash=spec_key(task.fn, task.kwargs, fingerprint=""),
+                seed=task.kwargs.get("seed"),
+                cache_hit=index not in miss_set,
+                wall_time_s=walls[index],
+                worker_pid=pids[index],
+                workers=self.workers,
+                package_version=__version__,
+                code_fingerprint=fingerprint,
+            )
+            for index, task in enumerate(tasks)
+        ]
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        tasks: List[SimTask],
+        misses: List[int],
+        results: List[Any],
+        walls: List[float],
+        pids: List[int],
+        progress: Optional[SweepProgress],
+    ) -> None:
         nshards = min(self.workers, len(misses))
         if nshards <= 1:
             for index in misses:
-                results[index] = _run_task(tasks[index])
+                value, wall, pid = _run_task_timed(tasks[index])
+                results[index] = value
+                walls[index] = wall
+                pids[index] = pid
+                if progress is not None:
+                    progress.advance()
             return
         # Deterministic sharding: miss j -> shard j % nshards.  The
         # assignment depends only on task order and worker count, and
@@ -252,13 +346,21 @@ class SweepRunner:
         context = self._mp_context()
         with ProcessPoolExecutor(max_workers=nshards,
                                  mp_context=context) as pool:
-            futures = [
-                pool.submit(_run_shard, [tasks[index] for index in shard])
+            futures = {
+                pool.submit(_run_shard, [tasks[index] for index in shard]):
+                shard
                 for shard in shards
-            ]
-            for shard, future in zip(shards, futures):
-                for index, value in zip(shard, future.result()):
+            }
+            # Completion order only affects progress display; results
+            # are keyed back by original index.
+            for future in as_completed(futures):
+                shard = futures[future]
+                for index, (value, wall, pid) in zip(shard, future.result()):
                     results[index] = value
+                    walls[index] = wall
+                    pids[index] = pid
+                if progress is not None:
+                    progress.advance(len(shard))
 
     @staticmethod
     def _mp_context():

@@ -3,38 +3,22 @@
 The one real entry point is :func:`run_transfer_spec`: workers receive
 a declarative :class:`~repro.workload.spec.TransferSpec` and interpret
 it through a :class:`~repro.workload.session.Session`, returning the
-picklable :class:`~repro.workload.report.TransferReport`.
-
-``TransferSummary`` and the argument-tuple wrappers ``tcp_transfer`` /
-``mptcp_transfer`` are thin deprecation aliases kept for one PR; new
-code should build specs and go through the Session (or
+picklable :class:`~repro.workload.report.TransferReport`.  New code
+should build specs and go through the Session (or
 :func:`repro.experiments.common.tcp_task` / ``mptcp_task``, which do).
 """
 
 from typing import Optional
 
 from repro.core.rng import DEFAULT_SEED
-from repro.linkem.conditions import LocationCondition
-from repro.tcp.config import TcpConfig
 from repro.workload.report import TransferReport
 from repro.workload.session import Session
-from repro.workload.spec import ConditionSpec, TransferSpec, config_overrides
+from repro.workload.spec import TransferSpec
 
 __all__ = [
-    "TransferSummary",
     "collect_site_runs",
-    "mptcp_transfer",
     "run_transfer_spec",
-    "summarize",
-    "tcp_transfer",
 ]
-
-#: Deprecated alias: the canonical snapshot type now lives in
-#: :mod:`repro.workload.report`; kept for one PR.
-TransferSummary = TransferReport
-
-#: Deprecated alias of :meth:`TransferReport.from_result`; kept for one PR.
-summarize = TransferReport.from_result
 
 
 def run_transfer_spec(
@@ -47,54 +31,6 @@ def run_transfer_spec(
     an explicit ``spec.seed`` always wins.
     """
     return Session().run(spec, seed=seed)
-
-
-def tcp_transfer(
-    condition: LocationCondition,
-    path: str,
-    nbytes: int,
-    direction: str = "down",
-    cc: str = "cubic",
-    seed: int = DEFAULT_SEED,
-    deadline_s: float = 240.0,
-    config: Optional[TcpConfig] = None,
-) -> TransferReport:
-    """Deprecated: build a :class:`TransferSpec` instead (kept one PR)."""
-    return run_transfer_spec(TransferSpec(
-        kind="tcp",
-        condition=ConditionSpec.from_condition(condition),
-        nbytes=nbytes,
-        direction=direction,
-        cc=cc,
-        path=path,
-        seed=seed,
-        deadline_s=deadline_s,
-        config=config_overrides(config),
-    ))
-
-
-def mptcp_transfer(
-    condition: LocationCondition,
-    primary: str,
-    congestion_control: str,
-    nbytes: int,
-    direction: str = "down",
-    seed: int = DEFAULT_SEED,
-    deadline_s: float = 240.0,
-    config: Optional[TcpConfig] = None,
-) -> TransferReport:
-    """Deprecated: build a :class:`TransferSpec` instead (kept one PR)."""
-    return run_transfer_spec(TransferSpec(
-        kind="mptcp",
-        condition=ConditionSpec.from_condition(condition),
-        nbytes=nbytes,
-        direction=direction,
-        cc=congestion_control,
-        primary=primary,
-        seed=seed,
-        deadline_s=deadline_s,
-        config=config_overrides(config),
-    ))
 
 
 def collect_site_runs(site_name: str, seed: int = DEFAULT_SEED) -> list:

@@ -78,10 +78,13 @@ class TransferResult:
 class Scenario:
     """An event loop plus the client's attached paths."""
 
-    def __init__(self, seed: int = DEFAULT_SEED):
+    def __init__(self, seed: int = DEFAULT_SEED, recorder=None):
         self.loop = EventLoop()
         self.rng = RngStreams(seed)
         self._paths: Dict[str, AttachedPath] = {}
+        #: Optional :class:`~repro.obs.trace.TraceRecorder`.  When set,
+        #: every path added and every transfer created is wired into it.
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
     # Topology
@@ -96,6 +99,8 @@ class Scenario:
         )
         attached = AttachedPath(path)
         self._paths[config.name] = attached
+        if self.recorder is not None:
+            self.recorder.watch_path(path)
         return attached
 
     def attached(self, name: str) -> AttachedPath:
@@ -113,6 +118,11 @@ class Scenario:
     def path_names(self) -> List[str]:
         return list(self._paths)
 
+    @property
+    def paths(self) -> List[Path]:
+        """The underlying :class:`Path` objects, in insertion order."""
+        return [attached.path for attached in self._paths.values()]
+
     # ------------------------------------------------------------------
     # Transfers
     # ------------------------------------------------------------------
@@ -125,11 +135,14 @@ class Scenario:
         config: Optional[TcpConfig] = None,
     ) -> TcpConnection:
         """Create (but don't start) a single-path TCP transfer."""
-        return TcpConnection(
+        connection = TcpConnection(
             self.loop, self.attached(path_name), total_bytes,
             direction=direction, cc_factory=single_path_factory(cc),
             config=config,
         )
+        if self.recorder is not None:
+            connection.attach_recorder(self.recorder)
+        return connection
 
     def mptcp(
         self,
@@ -144,10 +157,13 @@ class Scenario:
         attached = [self.attached(name) for name in names]
         if len(attached) < 1:
             raise ConfigurationError("MPTCP needs at least one path")
-        return MptcpConnection(
+        connection = MptcpConnection(
             self.loop, attached, total_bytes,
             direction=direction, options=options, config=config,
         )
+        if self.recorder is not None:
+            connection.attach_recorder(self.recorder)
+        return connection
 
     def add_background_flow(
         self,

@@ -61,6 +61,7 @@ class ConnectionBase:
     def __init__(self, loop: EventLoop, total_bytes: int, config: TcpConfig):
         self.loop = loop
         self.config = config
+        self.obs = None  # optional TraceRecorder (attach_recorder)
         self.flow_id = next(_flow_ids)
         self.source = BulkSource(total_bytes)
         self.started_at: Optional[float] = None
@@ -80,6 +81,16 @@ class ConnectionBase:
 
     def _pump(self) -> None:
         raise NotImplementedError
+
+    def attach_recorder(self, recorder) -> None:
+        """Route this connection's transport events to ``recorder``.
+
+        Purely passive: the recorder never schedules events or consumes
+        RNG, so an observed run is bit-identical to an unobserved one.
+        """
+        self.obs = recorder
+        for subflow in self.subflows:
+            subflow.attach_recorder(recorder)
 
     # -- public queries -------------------------------------------------
     @property

@@ -10,6 +10,7 @@ clean even during recovery.  Window growth is delegated to a pluggable
 :class:`~repro.tcp.cc.base.CongestionControl`.
 """
 
+import math
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List
@@ -55,7 +56,7 @@ class SubflowSender:
         "_in_recovery", "_recovery_point", "_recovery_epoch",
         "_max_sacked_end", "_head_retries", "_dead", "peer_window_bytes",
         "stats", "_rto_timer", "on_data_acked", "on_window_open", "on_dead",
-        "on_rto_event",
+        "on_rto_event", "obs", "obs_path",
     )
 
     def __init__(
@@ -91,6 +92,10 @@ class SubflowSender:
         #: the sender's own configured window until the first ACK.
         self.peer_window_bytes = config.receive_window_bytes
         self.stats = SenderStats()
+        #: Optional :class:`~repro.obs.trace.TraceRecorder`; every hot
+        #: path only pays an is-None test when tracing is disabled.
+        self.obs = None
+        self.obs_path = ""
 
         self._rto_timer = Timer(loop, self._on_rto)
 
@@ -170,7 +175,27 @@ class SubflowSender:
         self.stats.bytes_sent += record.length
         if retransmission:
             self.stats.retransmits += 1
+        if self.obs is not None:
+            # Adjacent to the stats increments so trace-derived counts
+            # reconcile exactly with SenderStats (see repro.obs.summary).
+            self.obs.emit(
+                "send", self.loop.now, path=self.obs_path,
+                flow_id=self.flow_id, subflow_id=self.subflow_id,
+                seq=record.seq, length=record.length,
+                data_seq=record.data_seq, rxt=retransmission,
+            )
         self._transmit(packet)
+
+    def _emit_cwnd(self, reason: str) -> None:
+        """Trace a cwnd/ssthresh change (caller checked ``obs``)."""
+        ssthresh = self.cc.ssthresh
+        self.obs.emit(
+            "cwnd", self.loop.now, path=self.obs_path,
+            flow_id=self.flow_id, subflow_id=self.subflow_id,
+            cwnd=self.cc.cwnd,
+            ssthresh=None if ssthresh == math.inf else ssthresh,
+            reason=reason,
+        )
 
     # ------------------------------------------------------------------
     # ACK processing
@@ -238,6 +263,8 @@ class SubflowSender:
             if ack >= self._recovery_point:
                 self._in_recovery = False
                 self.cc.cwnd = max(self.cc.ssthresh, 2.0)
+                if self.obs is not None:
+                    self._emit_cwnd("recovery_exit")
             else:
                 # Partial ACK: the next hole is also lost (NewReno) —
                 # SACK-driven retransmission handles it when blocks are
@@ -246,6 +273,8 @@ class SubflowSender:
                 self._sack_retransmit()
         else:
             self.cc.on_ack(float(acked_segments))
+            if self.obs is not None:
+                self._emit_cwnd("ack")
             if self._outstanding and self._max_sacked_end > self.snd_una:
                 # Holes left behind by an RTO (we are no longer in fast
                 # recovery): keep repairing them, paced by the window.
@@ -263,6 +292,12 @@ class SubflowSender:
 
     def _on_dup_ack(self) -> None:
         self._dupacks += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "dupack", self.loop.now, path=self.obs_path,
+                flow_id=self.flow_id, subflow_id=self.subflow_id,
+                count=self._dupacks,
+            )
         if self._dupacks == self.config.dupack_threshold and not self._in_recovery:
             self._enter_recovery()
         elif self._in_recovery:
@@ -275,6 +310,13 @@ class SubflowSender:
         # RFC 5681 FlightSize counts SACKed-but-unacked data too.
         self.cc.on_enter_recovery(float(len(self._outstanding)))
         self.stats.fast_retransmits += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "fast_retransmit", self.loop.now, path=self.obs_path,
+                flow_id=self.flow_id, subflow_id=self.subflow_id,
+                recovery_point=self._recovery_point,
+            )
+            self._emit_cwnd("fast_retransmit")
         self._retransmit_head()
         self._sack_retransmit()
 
@@ -329,6 +371,14 @@ class SubflowSender:
             return
         self.stats.timeouts += 1
         self._head_retries += 1
+        if self.obs is not None:
+            # Before the retries-exhausted bail-out so every timeout
+            # counted in SenderStats also appears in the trace.
+            self.obs.emit(
+                "rto", self.loop.now, path=self.obs_path,
+                flow_id=self.flow_id, subflow_id=self.subflow_id,
+                retries=self._head_retries, rto_s=self.rtt.rto,
+            )
         if self._head_retries > self.config.max_data_retries:
             self._die()
             return
@@ -337,6 +387,8 @@ class SubflowSender:
         self._recovery_epoch += 1
         self.cc.on_timeout(float(len(self._outstanding)))
         self.rtt.back_off()
+        if self.obs is not None:
+            self._emit_cwnd("rto")
         self._retransmit_head()
         self.on_rto_event()
 

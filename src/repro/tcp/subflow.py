@@ -62,6 +62,7 @@ class Subflow:
         self.join = join
 
         self.state = SubflowState.CLOSED
+        self.obs = None  # optional TraceRecorder (attach_recorder)
         self.client_established = False
         self.server_established = False
         self.syn_sent_at: Optional[float] = None
@@ -118,6 +119,12 @@ class Subflow:
             flow_id, subflow_id, self._client_receive, self._server_receive
         )
 
+    def attach_recorder(self, recorder) -> None:
+        """Route this subflow's (and its sender's) events to ``recorder``."""
+        self.obs = recorder
+        self.sender.obs = recorder
+        self.sender.obs_path = self.name
+
     # ------------------------------------------------------------------
     # Convenience properties
     # ------------------------------------------------------------------
@@ -173,6 +180,13 @@ class Subflow:
         flags = PacketFlags.SYN
         if self.join:
             flags |= PacketFlags.MP_JOIN
+        if self.obs is not None:
+            self.obs.emit(
+                "syn", self.loop.now, path=self.name,
+                flow_id=self.flow_id, subflow_id=self.subflow_id,
+                retries=self._syn_retries, join=self.join,
+                backup=self.backup,
+            )
         self.attached.client_send(
             Packet(flow_id=self.flow_id, subflow_id=self.subflow_id, flags=flags)
         )
@@ -236,6 +250,13 @@ class Subflow:
                 self.handshake_rtt = self.loop.now - self.syn_sent_at
                 if self.direction == "up":
                     self.rtt.add_sample(self.handshake_rtt)
+            if self.obs is not None:
+                self.obs.emit(
+                    "handshake", self.loop.now, path=self.name,
+                    flow_id=self.flow_id, subflow_id=self.subflow_id,
+                    rtt_s=self.handshake_rtt, join=self.join,
+                    backup=self.backup,
+                )
             self.on_established(self)
         # Complete (or re-complete, if our ACK was lost) the handshake.
         self.attached.client_send(

@@ -4,10 +4,7 @@
 (callbacks, event-loop references) and cannot cross a process
 boundary.  :class:`TransferReport` is the single picklable snapshot
 type: the :class:`~repro.workload.session.Session` returns it, sweep
-workers ship it back over pipes, and the result cache stores it.  It
-replaces both the ad-hoc ``TransferResult`` snapshotting and the old
-``repro.parallel.tasks.TransferSummary`` (kept as a deprecation alias
-for one PR).
+workers ship it back over pipes, and the result cache stores it.
 
 Every derived metric delegates to the shared helpers in
 :mod:`repro.analysis.throughput`, so the live connection, the report,
@@ -40,6 +37,11 @@ class TransferReport:
     retransmits: int = 0
     timeouts: int = 0
     label: Optional[str] = None
+    #: Flat observability snapshot (see
+    #: :func:`repro.obs.metrics.collect_transfer_metrics`): per-subflow
+    #: send/retransmit counters, queue drops and depths, handshake
+    #: latency — keyed ``name{label=value,...}``.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def completed(self) -> bool:
@@ -67,7 +69,10 @@ class TransferReport:
 
     @classmethod
     def from_result(
-        cls, result: "TransferResult", label: Optional[str] = None
+        cls,
+        result: "TransferResult",
+        label: Optional[str] = None,
+        metrics_snapshot: Optional[Dict[str, float]] = None,
     ) -> "TransferReport":
         """Snapshot a live :class:`~repro.scenario.TransferResult`."""
         connection = result.connection
@@ -87,4 +92,5 @@ class TransferReport:
             retransmits=stats.retransmits,
             timeouts=stats.timeouts,
             label=label,
+            metrics=metrics_snapshot if metrics_snapshot is not None else {},
         )

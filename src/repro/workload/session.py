@@ -22,9 +22,13 @@ a seed get one derived from the sweep master seed and the spec's
 :meth:`~repro.workload.spec.TransferSpec.key`.
 """
 
+import os
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.rng import DEFAULT_SEED
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import collect_transfer_metrics
+from repro.obs.trace import TraceRecorder, active_trace_dir, trace_filename
 from repro.parallel.cache import ResultCache
 from repro.parallel.runner import SimTask, SweepRunner, SweepStats
 from repro.scenario import Scenario
@@ -53,12 +57,15 @@ class Session:
         self.seed = seed
         #: Engine bookkeeping from the last batch entry point.
         self.last_stats: Optional[SweepStats] = None
+        #: Per-task provenance from the last batch entry point.
+        self.last_manifests: List[RunManifest] = []
 
     # ------------------------------------------------------------------
     # Single spec
     # ------------------------------------------------------------------
     def scenario_for(
-        self, spec: TransferSpec, seed: Optional[int] = None
+        self, spec: TransferSpec, seed: Optional[int] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> Scenario:
         """A fresh scenario with the spec's condition paths attached.
 
@@ -66,7 +73,8 @@ class Session:
         trace synthesis) is keyed by path *name*, so this reproduces
         ``build_scenario`` bit-for-bit for the paper's wifi+lte shape.
         """
-        scenario = Scenario(seed=self._seed_for(spec, seed))
+        scenario = Scenario(seed=self._seed_for(spec, seed),
+                            recorder=recorder)
         for path_spec in spec.condition.paths:
             scenario.add_path(
                 path_spec.to_link_spec().to_path_config(
@@ -76,15 +84,18 @@ class Session:
         return scenario
 
     def open(
-        self, spec: TransferSpec, seed: Optional[int] = None
+        self, spec: TransferSpec, seed: Optional[int] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> Tuple[Scenario, ConnectionBase]:
         """Build the scenario and create (but not start) the transfer.
 
         The seam for callers that need the live objects — to attach
         monitors, inject link events mid-transfer, or drive the loop
         themselves — while still describing the workload as data.
+        Pass a :class:`~repro.obs.trace.TraceRecorder` to observe the
+        run.
         """
-        scenario = self.scenario_for(spec, seed=seed)
+        scenario = self.scenario_for(spec, seed=seed, recorder=recorder)
         if spec.kind == "tcp":
             connection: ConnectionBase = scenario.tcp(
                 spec.path, spec.nbytes, direction=spec.direction,
@@ -98,12 +109,36 @@ class Session:
         return scenario, connection
 
     def run(
-        self, spec: TransferSpec, seed: Optional[int] = None
+        self, spec: TransferSpec, seed: Optional[int] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> TransferReport:
-        """Execute one spec to completion (or deadline)."""
-        scenario, connection = self.open(spec, seed=seed)
+        """Execute one spec to completion (or deadline).
+
+        With ``REPRO_TRACE_DIR`` set (and no explicit ``recorder``), a
+        recorder is attached automatically and the trace saved as JSONL
+        under that directory.  Observation is passive: the report is
+        identical with tracing on or off.
+        """
+        trace_dir = None
+        if recorder is None:
+            trace_dir = active_trace_dir()
+            if trace_dir is not None:
+                recorder = TraceRecorder()
+        scenario, connection = self.open(spec, seed=seed, recorder=recorder)
         result = scenario.run_transfer(connection, deadline_s=spec.deadline_s)
-        return TransferReport.from_result(result, label=spec.key())
+        report = TransferReport.from_result(
+            result, label=spec.key(),
+            metrics_snapshot=collect_transfer_metrics(
+                connection, scenario.paths
+            ),
+        )
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            recorder.save(os.path.join(
+                trace_dir,
+                trace_filename(spec.key(), self._seed_for(spec, seed)),
+            ))
+        return report
 
     def _seed_for(self, spec: TransferSpec, seed: Optional[int]) -> int:
         if spec.seed is not None:
@@ -148,6 +183,7 @@ class Session:
         )
         reports = runner.run([self.task_for(spec) for spec in specs])
         self.last_stats = runner.last_stats
+        self.last_manifests = runner.last_manifests
         return reports
 
     def run_workload(

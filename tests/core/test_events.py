@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import SimulationError
-from repro.core.events import EventLoop, Timer
+from repro.core.events import EventLoop, Periodic, Timer
 
 
 class TestEventLoop:
@@ -266,3 +266,89 @@ class TestTimer:
         timer.start(1.0)
         loop.run()
         assert fired == [1.0, 2.0]
+
+
+class TestPeriodic:
+    def test_fires_on_period(self):
+        loop = EventLoop()
+        fired = []
+        ticker = Periodic(loop, 0.5, lambda: fired.append(loop.now))
+        ticker.start(immediate=True)
+        loop.run(until=1.6)
+        assert fired == [0.0, 0.5, 1.0, 1.5]
+
+    def test_non_immediate_start_waits_one_period(self):
+        loop = EventLoop()
+        fired = []
+        ticker = Periodic(loop, 0.5, lambda: fired.append(loop.now))
+        ticker.start(immediate=False)
+        loop.run(until=1.1)
+        assert fired == [0.5, 1.0]
+
+    def test_stop_cancels_pending_event(self):
+        loop = EventLoop()
+        ticker = Periodic(loop, 0.5, lambda: None)
+        ticker.start()
+        assert loop.pending() == 1
+        ticker.stop()
+        # Cancelled, not merely flagged: nothing left in the queue.
+        assert loop.pending() == 0
+        assert not ticker.running
+
+    def test_stopped_periodic_does_not_extend_a_drain_window(self):
+        loop = EventLoop()
+        fired = []
+        ticker = Periodic(loop, 0.1, lambda: fired.append(loop.now))
+        ticker.start()
+        loop.run(until=0.25)
+        ticker.stop()
+        count = len(fired)
+        loop.run(until=5.0)
+        assert len(fired) == count
+
+    def test_callback_may_stop_from_inside(self):
+        loop = EventLoop()
+        fired = []
+
+        def tick():
+            fired.append(loop.now)
+            if len(fired) == 2:
+                ticker.stop()
+
+        ticker = Periodic(loop, 1.0, tick)
+        ticker.start(immediate=False)
+        loop.run()
+        assert fired == [1.0, 2.0]
+        assert loop.pending() == 0
+
+    def test_immediate_callback_may_stop_before_scheduling(self):
+        loop = EventLoop()
+        ticker = Periodic(loop, 1.0, lambda: ticker.stop())
+        ticker.start(immediate=True)
+        assert loop.pending() == 0
+        assert not ticker.running
+
+    def test_restart_after_stop(self):
+        loop = EventLoop()
+        fired = []
+        ticker = Periodic(loop, 1.0, lambda: fired.append(loop.now))
+        ticker.start(immediate=False)
+        loop.run(until=1.5)
+        ticker.stop()
+        ticker.start(immediate=False)
+        loop.run(until=3.6)
+        assert fired == [1.0, 2.5, 3.5]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(SimulationError):
+            Periodic(EventLoop(), 0.0, lambda: None)
+
+    def test_start_is_idempotent_while_running(self):
+        loop = EventLoop()
+        fired = []
+        ticker = Periodic(loop, 1.0, lambda: fired.append(loop.now))
+        ticker.start(immediate=False)
+        ticker.start(immediate=False)
+        assert loop.pending() == 1
+        loop.run(until=1.1)
+        assert fired == [1.0]

@@ -1,7 +1,34 @@
 """Tests for the tcpdump-analog packet capture."""
 
 from repro import MptcpOptions, PathConfig, Scenario
-from repro.net.capture import PacketCapture
+from repro.core.packet import PacketFlags
+from repro.net.capture import CapturedPacket, PacketCapture
+from repro.obs.trace import TraceRecorder
+
+
+def _captured(flags: PacketFlags) -> CapturedPacket:
+    return CapturedPacket(time=0.0, direction="in", interface="wifi",
+                          flow_id=1, subflow_id=0, seq=0, ack=0,
+                          payload_bytes=0, flags=flags)
+
+
+class TestFlagString:
+    """tcpdump compound forms: ACK renders as a trailing ``.``."""
+
+    def test_syn_ack_is_compound(self):
+        assert _captured(PacketFlags.SYN | PacketFlags.ACK).flag_string() == "S."
+
+    def test_fin_ack_is_compound(self):
+        assert _captured(PacketFlags.FIN | PacketFlags.ACK).flag_string() == "F."
+
+    def test_pure_ack_is_dot(self):
+        assert _captured(PacketFlags.ACK).flag_string() == "."
+
+    def test_bare_syn(self):
+        assert _captured(PacketFlags.SYN).flag_string() == "S"
+
+    def test_no_flags_is_dash(self):
+        assert _captured(PacketFlags.NONE).flag_string() == "-"
 
 
 def _scenario():
@@ -75,6 +102,25 @@ class TestPacketCapture:
         out = str(tmp_path / "trace.txt")
         capture.save(out)
         assert len(open(out).read().splitlines()) == len(capture)
+
+    def test_syn_ack_rendered_compound_in_live_capture(self):
+        scenario = _scenario()
+        capture = PacketCapture(scenario.path("wifi"))
+        scenario.run_transfer(scenario.tcp("wifi", 10 * 1024))
+        flags = [p.flag_string() for p in capture.packets]
+        # The server's SYN-ACK arrives as the compound "S." form.
+        assert "S." in flags
+
+    def test_recorder_sink_mirrors_capture(self):
+        recorder = TraceRecorder()
+        scenario = _scenario()
+        capture = PacketCapture(scenario.path("wifi"), recorder=recorder)
+        scenario.run_transfer(scenario.tcp("wifi", 10 * 1024))
+        events = recorder.of_kind("packet")
+        assert len(events) == len(capture.packets)
+        assert [e.fields["flags"] for e in events] == [
+            p.flag_string() for p in capture.packets
+        ]
 
     def test_window_update_flagged(self):
         from repro.mptcp.events import schedule_unplug

@@ -53,6 +53,39 @@ class TestQueueDepthTracker:
         scenario.run(until=1.5)
         assert len(tracker.samples) == count
 
+    def test_stop_cancels_pending_event(self):
+        # stop() must cancel the scheduled tick, not just flag it:
+        # a stopped tracker contributes nothing to loop.pending().
+        scenario = Scenario()
+        scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,
+                                     rtt_ms=40))
+        baseline = scenario.loop.pending()
+        tracker = QueueDepthTracker(scenario.loop,
+                                    scenario.path("wifi").downlink)
+        assert scenario.loop.pending() == baseline + 1
+        assert tracker.running
+        tracker.stop()
+        assert scenario.loop.pending() == baseline
+        assert not tracker.running
+
+    def test_recorder_sink_emits_queue_samples(self):
+        from repro.obs.trace import TraceRecorder
+
+        recorder = TraceRecorder()
+        scenario = Scenario()
+        scenario.add_path(PathConfig(name="lte", down_mbps=4, up_mbps=2,
+                                     rtt_ms=60, queue_packets=800))
+        tracker = QueueDepthTracker(scenario.loop,
+                                    scenario.path("lte").downlink,
+                                    recorder=recorder)
+        scenario.run_transfer(scenario.tcp("lte", 256 * 1024))
+        tracker.stop()
+        samples = recorder.of_kind("queue_sample")
+        assert len(samples) == len(tracker.samples)
+        assert all(e.path == "lte.down" for e in samples)
+        assert [(e.time, e.fields["packets"], e.fields["bytes"])
+                for e in samples] == tracker.samples
+
     def test_invalid_period_rejected(self):
         scenario = Scenario()
         scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,

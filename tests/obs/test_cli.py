@@ -1,0 +1,70 @@
+"""Tests for the ``python -m repro.obs`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.manifest import RunManifest
+from repro.obs.trace import TraceRecorder
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    recorder = TraceRecorder()
+    recorder.emit("handshake", 0.03, path="wifi", subflow_id=0, rtt_s=0.03)
+    recorder.emit("send", 0.05, path="wifi", subflow_id=0,
+                  seq=1, length=1448, rxt=False)
+    recorder.emit("cwnd", 0.06, path="wifi", subflow_id=0,
+                  cwnd=11.0, ssthresh=None, reason="ack")
+    target = tmp_path / "run.jsonl"
+    recorder.save(str(target))
+    return str(target)
+
+
+def _manifest_file(tmp_path, name, **overrides):
+    data = dict(
+        key="tcp.1.wifi", spec_hash="aa", seed=7, cache_hit=False,
+        wall_time_s=0.5, worker_pid=1, workers=1, package_version="1.0.0",
+    )
+    data.update(overrides)
+    target = tmp_path / name
+    target.write_text(json.dumps(data))
+    return str(target)
+
+
+class TestSummarizeCommand:
+    def test_summarize_prints_digest(self, trace_file, capsys):
+        assert main(["summarize", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "trace: 3 events" in out
+        assert "subflow wifi/0:" in out
+        assert "1448 bytes" in out
+
+    def test_timeline_points_flag(self, trace_file, capsys):
+        assert main(["summarize", trace_file, "--timeline-points", "2"]) == 0
+        assert "cwnd timeline" in capsys.readouterr().out
+
+
+class TestDiffCommand:
+    def test_identical_manifests_exit_zero(self, tmp_path, capsys):
+        a = _manifest_file(tmp_path, "a.json")
+        b = _manifest_file(tmp_path, "b.json")
+        assert main(["diff", a, b]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_differing_manifests_exit_one(self, tmp_path, capsys):
+        a = _manifest_file(tmp_path, "a.json")
+        b = _manifest_file(tmp_path, "b.json", seed=9)
+        assert main(["diff", a, b]) == 1
+        assert "seed" in capsys.readouterr().out
+
+    def test_diff_round_trips_written_manifest(self, tmp_path):
+        manifest = RunManifest(
+            key="k", spec_hash="h", seed=None, cache_hit=True,
+            wall_time_s=0.0, worker_pid=2, workers=2,
+            package_version="1.0.0",
+        )
+        path = tmp_path / "m.json"
+        manifest.write(str(path))
+        assert main(["diff", str(path), str(path)]) == 0

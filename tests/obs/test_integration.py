@@ -1,0 +1,169 @@
+"""End-to-end observability guarantees.
+
+The load-bearing contracts of ``repro.obs``:
+
+* observation is passive — a traced run's :class:`TransferReport`
+  equals the untraced run's, bit for bit;
+* metrics ride on every report and are identical for any worker count;
+* a traced run's summary reconciles *exactly* with the report metrics;
+* ``REPRO_TRACE_DIR`` makes Session/SweepRunner export traces and
+  bypass the result cache;
+* every sweep yields one :class:`RunManifest` per task.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.metrics import reconcile
+from repro.obs.summary import summarize_events
+from repro.obs.trace import TraceRecorder, load_events
+from repro.parallel import ResultCache, SweepRunner
+from repro.workload.session import Session
+from repro.workload.spec import ConditionSpec, PathSpec, TransferSpec
+
+FLOW_BYTES = 96 * 1024
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_obs(monkeypatch):
+    monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+    monkeypatch.setenv("REPRO_CACHE", "0")
+
+
+def _condition(loss_rate=0.0):
+    return ConditionSpec(
+        condition_id=99,
+        paths=(
+            PathSpec(name="wifi", technology="wifi", down_mbps=8,
+                     up_mbps=4, rtt_ms=30, loss_rate=loss_rate),
+            PathSpec(name="lte", technology="lte", down_mbps=6,
+                     up_mbps=3, rtt_ms=60, loss_rate=loss_rate),
+        ),
+    )
+
+
+def _tcp_spec(loss_rate=0.0, seed=7):
+    return TransferSpec(kind="tcp", condition=_condition(loss_rate),
+                        path="wifi", nbytes=FLOW_BYTES, seed=seed)
+
+
+def _mptcp_spec(loss_rate=0.0, seed=7):
+    return TransferSpec(kind="mptcp", condition=_condition(loss_rate),
+                        primary="wifi", nbytes=FLOW_BYTES, seed=seed)
+
+
+class TestPassiveObservation:
+    @pytest.mark.parametrize("make_spec", [_tcp_spec, _mptcp_spec])
+    def test_report_identical_tracing_on_vs_off(self, make_spec):
+        spec = make_spec(loss_rate=0.02)
+        plain = Session().run(spec)
+        traced = Session().run(spec, recorder=TraceRecorder())
+        assert traced == plain  # includes the metrics snapshot
+
+    def test_recorder_collects_transport_events(self):
+        recorder = TraceRecorder()
+        Session().run(_mptcp_spec(), recorder=recorder)
+        kinds = recorder.kinds()
+        for kind in ("syn", "handshake", "send", "cwnd", "sched",
+                     "subflow_add"):
+            assert kinds.get(kind, 0) > 0, kind
+
+    def test_lossy_run_records_recovery_events(self):
+        recorder = TraceRecorder()
+        Session().run(_tcp_spec(loss_rate=0.05), recorder=recorder)
+        kinds = recorder.kinds()
+        assert kinds.get("dupack", 0) > 0
+        retransmits = [e for e in recorder.of_kind("send")
+                       if e.fields.get("rxt")]
+        assert retransmits
+        assert kinds.get("fast_retransmit", 0) + kinds.get("rto", 0) > 0
+
+
+class TestTraceReconciliation:
+    @pytest.mark.parametrize("loss_rate", [0.0, 0.05])
+    def test_summary_reconciles_exactly_with_report_metrics(self, loss_rate):
+        recorder = TraceRecorder()
+        report = Session().run(_mptcp_spec(loss_rate=loss_rate),
+                               recorder=recorder)
+        summary = summarize_events(recorder.events)
+        mismatches = reconcile(report.metrics, summary.counts_by_subflow())
+        assert mismatches == []
+        # Non-trivial reconciliation: the trace actually carried data.
+        assert summary.total_bytes_sent >= FLOW_BYTES
+
+
+class TestWorkerCountStability:
+    def test_metrics_identical_workers_1_vs_4(self):
+        specs = [_tcp_spec(seed=7), _mptcp_spec(seed=7),
+                 _tcp_spec(loss_rate=0.02, seed=11)]
+        serial = Session().run_many(specs, workers=1, cache=False)
+        parallel = Session().run_many(specs, workers=4, cache=False)
+        assert serial == parallel
+        for left, right in zip(serial, parallel):
+            assert left.metrics == right.metrics
+            assert left.metrics  # snapshot is never empty
+
+
+class TestTraceDirIntegration:
+    def test_session_run_exports_jsonl(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        spec = _tcp_spec()
+        Session().run(spec)
+        traces = [name for name in os.listdir(tmp_path)
+                  if name.endswith(".jsonl")]
+        assert len(traces) == 1
+        events = load_events(str(tmp_path / traces[0]))
+        assert any(event.kind == "send" for event in events)
+
+    def test_tracing_bypasses_result_cache(self, tmp_path, monkeypatch):
+        cache_root = tmp_path / "cache"
+        trace_root = tmp_path / "traces"
+        spec = _tcp_spec()
+        session = Session()
+        # Warm the cache without tracing.
+        session.run_many([spec], workers=1,
+                         cache=ResultCache(root=str(cache_root)))
+
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(trace_root))
+        warm = Session()
+        warm.run_many([spec], workers=1,
+                      cache=ResultCache(root=str(cache_root)))
+        # The hit was ignored: the task executed and exported a trace.
+        assert warm.last_stats.cache_hits == 0
+        assert warm.last_stats.executed == 1
+        assert any(name.endswith(".jsonl")
+                   for name in os.listdir(trace_root))
+
+
+class TestSweepManifests:
+    def test_one_manifest_per_task_with_hit_flags(self, tmp_path):
+        session = Session()
+        specs = [_tcp_spec(seed=7), _mptcp_spec(seed=7)]
+        cache = ResultCache(root=str(tmp_path))
+        session.run_many(specs, workers=1, cache=cache)
+        cold = session.last_manifests
+        assert [m.key for m in cold] == [spec.key() for spec in specs]
+        assert all(not m.cache_hit for m in cold)
+        assert all(m.wall_time_s > 0 for m in cold)
+        assert all(m.seed == 7 for m in cold)
+
+        session.run_many(specs, workers=1,
+                         cache=ResultCache(root=str(tmp_path)))
+        warm = session.last_manifests
+        assert all(m.cache_hit for m in warm)
+        assert [m.spec_hash for m in warm] == [m.spec_hash for m in cold]
+
+    def test_manifests_stable_across_worker_counts(self):
+        specs = [_tcp_spec(seed=7), _mptcp_spec(seed=7)]
+        runs = []
+        for workers in (1, 2):
+            session = Session()
+            session.run_many(specs, workers=workers, cache=False)
+            runs.append(session.last_manifests)
+        serial, parallel = runs
+        for left, right in zip(serial, parallel):
+            assert left.key == right.key
+            assert left.spec_hash == right.spec_hash
+            assert left.seed == right.seed

@@ -1,0 +1,88 @@
+"""Tests for run manifests: round trips, batches, and diffing."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs.manifest import (
+    RunManifest,
+    diff_manifests,
+    read_manifests,
+    render_diff,
+    write_manifests,
+)
+
+
+def _manifest(**overrides) -> RunManifest:
+    base = dict(
+        key="tcp.1.wifi.1048576",
+        spec_hash="ab" * 32,
+        seed=7,
+        cache_hit=False,
+        wall_time_s=0.125,
+        worker_pid=1234,
+        workers=4,
+        package_version="1.0.0",
+    )
+    base.update(overrides)
+    return RunManifest(**base)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        manifest = _manifest(code_fingerprint="deadbeef",
+                             extra={"note": "warm"})
+        assert RunManifest.from_json(manifest.to_json()) == manifest
+
+    def test_file_round_trip(self, tmp_path):
+        manifest = _manifest()
+        target = tmp_path / "run.manifest.json"
+        manifest.write(str(target))
+        assert RunManifest.read(str(target)) == manifest
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="spec_hash"):
+            RunManifest.from_dict({"key": "x"})
+
+    def test_optional_fields_default(self):
+        data = _manifest().to_dict()
+        del data["code_fingerprint"]
+        del data["extra"]
+        manifest = RunManifest.from_dict(data)
+        assert manifest.code_fingerprint == ""
+        assert manifest.extra == {}
+
+    def test_seed_may_be_none(self):
+        manifest = _manifest(seed=None)
+        assert RunManifest.from_json(manifest.to_json()).seed is None
+
+
+class TestBatches:
+    def test_write_read_list(self, tmp_path):
+        manifests = [_manifest(key="a"), _manifest(key="b", cache_hit=True)]
+        target = tmp_path / "sweep.manifests.json"
+        write_manifests(manifests, str(target))
+        assert read_manifests(str(target)) == manifests
+
+    def test_single_document_tolerated(self, tmp_path):
+        manifest = _manifest()
+        target = tmp_path / "one.json"
+        manifest.write(str(target))
+        assert read_manifests(str(target)) == [manifest]
+
+
+class TestDiff:
+    def test_identical(self):
+        assert diff_manifests(_manifest(), _manifest()) == {}
+        assert render_diff(_manifest(), _manifest()) == "manifests identical"
+
+    def test_differing_fields_enumerated(self):
+        a = _manifest()
+        b = _manifest(seed=9, cache_hit=True)
+        delta = diff_manifests(a, b)
+        assert set(delta) == {"seed", "cache_hit"}
+        assert delta["seed"] == (7, 9)
+
+    def test_render_lists_each_field(self):
+        rendered = render_diff(_manifest(), _manifest(workers=1))
+        assert "1 field(s) differ" in rendered
+        assert "workers" in rendered

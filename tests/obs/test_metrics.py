@@ -1,0 +1,136 @@
+"""Tests for the metrics registry and transfer-metrics collection."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    collect_transfer_metrics,
+    metrics_for_subflow,
+    reconcile,
+    subflow_label_pairs,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("segments").inc()
+        registry.counter("segments").inc(4)
+        assert registry.snapshot() == {"segments": 5.0}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(10)
+        gauge.set(3)
+        assert registry.snapshot() == {"depth": 3.0}
+
+    def test_histogram_summary_stats(self):
+        histogram = Histogram()
+        for value in (0.030, 0.050, 0.040):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(0.040)
+        assert histogram.minimum == 0.030
+        assert histogram.maximum == 0.050
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistrySnapshot:
+    def test_labels_render_sorted_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("sent", subflow="0", path="wifi").inc(7)
+        snap = registry.snapshot()
+        assert snap == {"sent{path=wifi,subflow=0}": 7.0}
+        # Same labels in any keyword order address the same instrument.
+        registry.counter("sent", path="wifi", subflow="0").inc(1)
+        assert registry.snapshot()["sent{path=wifi,subflow=0}"] == 8.0
+
+    def test_histogram_expands_to_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("rtt_s", path="lte").observe(0.05)
+        snap = registry.snapshot()
+        assert snap == {
+            "rtt_s_count{path=lte}": 1.0,
+            "rtt_s_sum{path=lte}": 0.05,
+            "rtt_s_min{path=lte}": 0.05,
+            "rtt_s_max{path=lte}": 0.05,
+        }
+
+    def test_empty_histogram_omits_min_max(self):
+        registry = MetricsRegistry()
+        registry.histogram("rtt_s")
+        snap = registry.snapshot()
+        assert snap == {"rtt_s_count": 0.0, "rtt_s_sum": 0.0}
+
+    def test_snapshot_keys_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zz").inc()
+        registry.counter("aa").inc()
+        assert list(registry.snapshot()) == ["aa", "zz"]
+
+
+class TestCollectTransferMetrics:
+    def _run(self):
+        from repro import PathConfig, Scenario
+
+        scenario = Scenario(seed=5)
+        scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,
+                                     rtt_ms=30))
+        connection = scenario.tcp("wifi", 64 * 1024)
+        scenario.run_transfer(connection)
+        return connection, scenario.paths
+
+    def test_sender_counters_surface(self):
+        connection, paths = self._run()
+        metrics = collect_transfer_metrics(connection, paths)
+        stats = connection.subflows[0].sender.stats
+        assert metrics["segments_sent{path=wifi,subflow=0}"] == float(
+            stats.segments_sent
+        )
+        assert metrics["bytes_sent{path=wifi,subflow=0}"] == float(
+            stats.bytes_sent
+        )
+        assert metrics["handshake_rtt_s_count{path=wifi}"] == 1.0
+
+    def test_link_series_per_direction(self):
+        connection, paths = self._run()
+        metrics = collect_transfer_metrics(connection, paths)
+        assert metrics["link_delivered_bytes{dir=down,path=wifi}"] > 0
+        assert "queue_drops{dir=up,path=wifi}" in metrics
+        assert "queue_max_depth_bytes{dir=down,path=wifi}" in metrics
+
+    def test_subflow_helpers(self):
+        connection, paths = self._run()
+        metrics = collect_transfer_metrics(connection, paths)
+        assert subflow_label_pairs(metrics) == [("wifi", 0)]
+        series = metrics_for_subflow(metrics, "wifi", 0)
+        assert series["segments_sent"] == metrics[
+            "segments_sent{path=wifi,subflow=0}"
+        ]
+
+
+class TestReconcile:
+    def test_exact_match_is_empty(self):
+        metrics = {
+            "segments_sent{path=wifi,subflow=0}": 10.0,
+            "bytes_sent{path=wifi,subflow=0}": 14480.0,
+        }
+        counts = {("wifi", 0): {"segments_sent": 10.0,
+                                "bytes_sent": 14480.0}}
+        assert reconcile(metrics, counts) == []
+
+    def test_mismatch_reported_per_field(self):
+        metrics = {"segments_sent{path=wifi,subflow=0}": 10.0}
+        counts = {("wifi", 0): {"segments_sent": 9.0}}
+        problems = reconcile(metrics, counts)
+        assert len(problems) == 1
+        assert "wifi/0 segments_sent" in problems[0]

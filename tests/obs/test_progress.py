@@ -1,0 +1,85 @@
+"""Tests for the sweep progress line (presentation only)."""
+
+import io
+
+from repro.obs.progress import (
+    SweepProgress,
+    _format_eta,
+    progress_enabled_by_env,
+)
+
+
+class TestEnvToggle:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        assert not progress_enabled_by_env()
+
+    def test_truthy_values(self, monkeypatch):
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv("REPRO_PROGRESS", value)
+            assert progress_enabled_by_env()
+
+    def test_falsy_values(self, monkeypatch):
+        for value in ("0", "false", "", "off"):
+            monkeypatch.setenv("REPRO_PROGRESS", value)
+            assert not progress_enabled_by_env()
+
+
+class TestFormatEta:
+    def test_bands(self):
+        assert _format_eta(5) == "5s"
+        assert _format_eta(75) == "1m15s"
+        assert _format_eta(3700) == "1h01m"
+        assert _format_eta(-1) == "?"
+
+
+class TestSweepProgress:
+    def _progress(self, total=10):
+        stream = io.StringIO()
+        progress = SweepProgress(total, stream=stream, min_interval_s=0.0)
+        return progress, stream
+
+    def test_line_shows_done_over_total(self):
+        progress, stream = self._progress()
+        progress.start()
+        progress.advance(3)
+        assert "sweep: 3/10" in stream.getvalue()
+
+    def test_cached_tasks_count_as_done(self):
+        progress, stream = self._progress()
+        progress.start()
+        progress.note_cached(4)
+        text = stream.getvalue()
+        assert "sweep: 4/10" in text
+        assert "4 cached" in text
+
+    def test_eta_appears_once_executing(self):
+        progress, stream = self._progress()
+        progress.start()
+        progress.advance(5)
+        assert "eta" in stream.getvalue()
+
+    def test_cached_only_progress_shows_no_eta(self):
+        # ETA extrapolates from *executed* tasks; cache hits are
+        # instant and would otherwise forecast zero.
+        progress, stream = self._progress()
+        progress.start()
+        progress.note_cached(5)
+        assert "eta" not in stream.getvalue()
+
+    def test_finish_terminates_line(self):
+        progress, stream = self._progress(total=1)
+        progress.start()
+        progress.advance()
+        progress.finish()
+        assert stream.getvalue().endswith("\n")
+
+    def test_render_throttled_by_interval(self):
+        stream = io.StringIO()
+        progress = SweepProgress(100, stream=stream, min_interval_s=3600.0)
+        progress.start()
+        baseline = stream.getvalue()
+        for _ in range(50):
+            progress.advance()
+        # All 50 renders inside the interval are suppressed.
+        assert stream.getvalue() == baseline

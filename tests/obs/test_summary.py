@@ -1,0 +1,109 @@
+"""Tests for trace summarization and its ASCII rendering."""
+
+from repro.obs.summary import render_summary, summarize_events
+from repro.obs.trace import TraceEvent
+
+
+def _event(kind, t, path="wifi", subflow=0, **fields):
+    return TraceEvent(time=t, kind=kind, path=path, flow_id=1,
+                      subflow_id=subflow, fields=fields)
+
+
+def _sample_trace():
+    return [
+        _event("syn", 0.0, retries=0),
+        _event("handshake", 0.03, rtt_s=0.03),
+        _event("send", 0.04, seq=1, length=1448, rxt=False),
+        _event("cwnd", 0.07, cwnd=11.0, ssthresh=None, reason="ack"),
+        _event("send", 0.08, seq=1449, length=1448, rxt=False),
+        _event("dupack", 0.09, count=1),
+        _event("send", 0.10, seq=1, length=1448, rxt=True),
+        _event("fast_retransmit", 0.10, recovery_point=2896),
+        _event("rto", 0.50, retries=0, rto_s=0.4),
+        _event("send", 0.51, seq=1449, length=1448, rxt=True),
+        _event("sched", 0.52, data_seq=0, length=1448,
+               srtt={"wifi/0": 0.03}),
+        _event("queue_drop", 0.53, path="wifi.up", seq=77,
+               payload_bytes=1448),
+    ]
+
+
+class TestSummarizeEvents:
+    def test_send_accounting(self):
+        summary = summarize_events(_sample_trace())
+        sf = summary.subflows[("wifi", 0)]
+        assert sf.segments_sent == 4
+        assert sf.bytes_sent == 4 * 1448
+        assert sf.retransmits == 2
+        assert sf.retransmit_bytes == 2 * 1448
+
+    def test_recovery_and_handshake(self):
+        summary = summarize_events(_sample_trace())
+        sf = summary.subflows[("wifi", 0)]
+        assert sf.fast_retransmits == 1
+        assert sf.timeouts == 1
+        assert sf.dupacks == 1
+        assert sf.sched_picks == 1
+        assert sf.handshake_rtt_s == 0.03
+        assert sf.established_at == 0.03
+
+    def test_queue_drop_attributed_to_owning_subflow(self):
+        summary = summarize_events(_sample_trace())
+        # Envelope path is the link name "wifi.up"; the drop lands on
+        # the ("wifi", 0) subflow entry.
+        assert summary.subflows[("wifi", 0)].queue_drops == 1
+        assert ("wifi.up", 0) not in summary.subflows
+
+    def test_cwnd_timeline_collected(self):
+        summary = summarize_events(_sample_trace())
+        assert summary.subflows[("wifi", 0)].cwnd_timeline == [(0.07, 11.0)]
+
+    def test_duration_and_kind_counts(self):
+        summary = summarize_events(_sample_trace())
+        assert summary.total_events == 12
+        assert summary.duration_s == 0.53
+        assert summary.kind_counts["send"] == 3 + 1
+
+    def test_byte_split_fractions(self):
+        events = [
+            _event("send", 0.1, path="wifi", subflow=0, length=3000),
+            _event("send", 0.2, path="lte", subflow=1, length=1000),
+        ]
+        split = summarize_events(events).byte_split()
+        assert split[("wifi", 0)] == 0.75
+        assert split[("lte", 1)] == 0.25
+
+    def test_empty_trace(self):
+        summary = summarize_events([])
+        assert summary.total_events == 0
+        assert summary.duration_s == 0.0
+        assert summary.byte_split() == {}
+
+    def test_counts_match_reconcile_shape(self):
+        counts = summarize_events(_sample_trace()).counts_by_subflow()
+        assert counts[("wifi", 0)]["segments_sent"] == 4.0
+        assert counts[("wifi", 0)]["timeouts"] == 1.0
+
+
+class TestRenderSummary:
+    def test_render_sections_present(self):
+        text = render_summary(summarize_events(_sample_trace()))
+        assert "per-subflow byte split:" in text
+        assert "subflow wifi/0:" in text
+        assert "fast_retransmits=1" in text
+        assert "cwnd timeline" in text
+        assert "queue drops: 1" in text
+
+    def test_timeline_sampling_caps_points(self):
+        events = [
+            _event("cwnd", 0.01 * i, cwnd=float(i)) for i in range(100)
+        ]
+        text = render_summary(summarize_events(events), timeline_points=4)
+        line = next(ln for ln in text.splitlines() if "cwnd timeline" in ln)
+        assert "(100 changes)" in line
+        assert line.count(":") == 1 + 4  # header colon + one per point
+
+    def test_failed_subflow_reported(self):
+        events = [_event("subflow_fail", 1.0, reason="blackhole")]
+        text = render_summary(summarize_events(events))
+        assert "failed: blackhole" in text

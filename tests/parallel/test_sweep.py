@@ -49,7 +49,7 @@ def _small_tasks(seed: int = 7):
 
 class TestSimTask:
     def test_resolves_module_callable(self):
-        task = SimTask(fn="repro.parallel.tasks:tcp_transfer")
+        task = SimTask(fn="repro.parallel.tasks:run_transfer_spec")
         assert callable(task.resolve())
 
     def test_rejects_malformed_path(self):
@@ -107,7 +107,7 @@ class TestParallelSerialDeterminism:
         tasks = _small_tasks()
         serial = SweepRunner(workers=1, cache=False).run(tasks)
         parallel = SweepRunner(workers=4, cache=False).run(tasks)
-        assert serial == parallel  # TransferSummary dataclass equality
+        assert serial == parallel  # TransferReport dataclass equality
         assert all(summary.completed for summary in serial)
 
     def test_results_come_back_in_task_order(self):
