@@ -19,6 +19,62 @@ class SimulationError(ReproError):
     """The simulation reached an inconsistent or impossible state."""
 
 
+class EventBudgetExceeded(SimulationError):
+    """The event-loop watchdog tripped (max events or max sim time).
+
+    Carries a diagnostic dump of the loop state at the moment the
+    budget ran out — the clock, the live-event count, and the next few
+    scheduled callbacks — so a runaway simulation identifies its own
+    hot spinner instead of stalling CI.
+    """
+
+    def __init__(self, message: str, diagnostics: str = "") -> None:
+        super().__init__(f"{message}\n{diagnostics}" if diagnostics else message)
+        self.diagnostics = diagnostics
+
+
+class TransferDeadlineExceeded(SimulationError):
+    """A transfer missed its simulated deadline.
+
+    Raised by :meth:`repro.scenario.Scenario.run_transfer` unless the
+    caller opts into partial results (``partial_ok=True``).  Carries
+    the bytes-acked progress and the partial
+    :class:`~repro.scenario.TransferResult` so callers can still
+    inspect how far the transfer got.
+    """
+
+    def __init__(self, deadline_s: float, bytes_acked: int,
+                 total_bytes: int, result=None) -> None:
+        super().__init__(
+            f"transfer missed its {deadline_s:g}s deadline with "
+            f"{bytes_acked}/{total_bytes} bytes acked"
+        )
+        self.deadline_s = deadline_s
+        self.bytes_acked = bytes_acked
+        self.total_bytes = total_bytes
+        #: The partial :class:`~repro.scenario.TransferResult`.
+        self.result = result
+
+
+class SweepTaskError(ReproError):
+    """One or more sweep tasks failed permanently (retry budget spent).
+
+    Carries the per-task failure records and the partial results list
+    (failed slots hold ``None``), so a caller can salvage the healthy
+    portion of a sweep that contained a poison task.
+    """
+
+    def __init__(self, failures, results=None) -> None:
+        detail = "; ".join(
+            f"{f.key} ({f.error}, {f.attempts} attempts)" for f in failures
+        )
+        super().__init__(
+            f"{len(failures)} sweep task(s) failed permanently: {detail}"
+        )
+        self.failures = list(failures)
+        self.results = results
+
+
 class TraceFormatError(ReproError):
     """A delivery-opportunity trace file could not be parsed."""
 

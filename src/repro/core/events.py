@@ -26,7 +26,7 @@ Example
 import heapq
 from typing import Callable, List, Optional
 
-from repro.core.errors import SimulationError
+from repro.core.errors import EventBudgetExceeded, SimulationError
 
 __all__ = ["Event", "EventLoop", "Timer", "Periodic"]
 
@@ -135,7 +135,27 @@ class EventLoop:
             heapq.heapify(heap)
             self._cancelled = 0
 
-    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> None:
+    def diagnostics(self, limit: int = 8) -> str:
+        """A human-readable dump of the loop state (watchdog reports).
+
+        Shows the clock, live/heaped/cancelled counts, and the next
+        ``limit`` scheduled callbacks, so an exhausted event budget
+        points at the code that keeps rescheduling itself.
+        """
+        live = [event for event in self._heap if not event.cancelled]
+        lines = [
+            f"loop: t={self._now:.6f}s, {len(live)} live events "
+            f"({len(self._heap)} heaped, {self._cancelled} cancelled)"
+        ]
+        for event in heapq.nsmallest(limit, live):
+            callback = event.callback
+            name = getattr(callback, "__qualname__", None) or repr(callback)
+            lines.append(f"  next: t={event.time:.6f}s seq={event.seq} -> {name}")
+        return "\n".join(lines)
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 50_000_000,
+            max_sim_time: Optional[float] = None) -> None:
         """Run events in order until the queue empties.
 
         Parameters
@@ -144,7 +164,16 @@ class EventLoop:
             If given, stop once the next event would fire after this
             time; the clock is then advanced to exactly ``until``.
         max_events:
-            Safety valve against runaway simulations.
+            Watchdog against runaway simulations: exceeding it raises
+            :class:`~repro.core.errors.EventBudgetExceeded` with a
+            diagnostic dump instead of spinning forever.
+        max_sim_time:
+            Watchdog on the *clock*: an event scheduled past this
+            absolute simulated time raises
+            :class:`~repro.core.errors.EventBudgetExceeded`.  Unlike
+            ``until`` (a normal stopping condition) this is an error —
+            use it to catch simulations that drift far past any sane
+            deadline, e.g. a timer that re-arms with a growing backoff.
         """
         self._running = True
         self._stop_requested = False
@@ -161,6 +190,13 @@ class EventLoop:
                 event_time = event.time
                 if until is not None and event_time > until:
                     break
+                if max_sim_time is not None and event_time > max_sim_time:
+                    raise EventBudgetExceeded(
+                        f"simulated-time budget exhausted: next event at "
+                        f"{event_time:.6f}s is past max_sim_time="
+                        f"{max_sim_time:.6f}s",
+                        self.diagnostics(),
+                    )
                 pop(heap)
                 # Detach so a late cancel() of a fired event cannot
                 # skew the live-event counter.
@@ -173,8 +209,9 @@ class EventLoop:
                     # its timestamp instead of advancing to ``until``.
                     return
                 if processed > max_events:
-                    raise SimulationError(
-                        f"event budget exhausted after {max_events} events"
+                    raise EventBudgetExceeded(
+                        f"event budget exhausted after {max_events} events",
+                        self.diagnostics(),
                     )
         finally:
             self._running = False

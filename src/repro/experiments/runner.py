@@ -26,7 +26,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SweepTaskError
 from repro.core.rng import DEFAULT_SEED
 from repro.experiments.common import EXPERIMENTS
 from repro.obs.progress import PROGRESS_ENV
@@ -51,6 +51,7 @@ EXPERIMENT_MODULES = [
     "fig13",
     "fig14",
     "fig15",
+    "failover",
     "fig16",
     "fig17",
     "fig18_19",
@@ -95,6 +96,24 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
                              "(sets REPRO_PROGRESS=1)")
 
 
+def _workload_with_faults(workload, path: str):
+    """Attach a file's :class:`FaultSpec` to every fault-free transfer.
+
+    Per-transfer schedules embedded in the workload win; transfers
+    whose conditions lack the schedule's paths are a configuration
+    error (surfaced by ``TransferSpec`` validation).
+    """
+    import dataclasses
+
+    from repro.faults.spec import FaultSpec
+
+    faults = FaultSpec.from_file(path)
+    return dataclasses.replace(
+        workload,
+        transfers=tuple(t.with_faults(faults) for t in workload.transfers),
+    )
+
+
 def run_spec_main(argv: Optional[List[str]] = None) -> int:
     """``repro-experiments run-spec``: execute a workload JSON file."""
     from repro.workload import Session, WorkloadSpec
@@ -110,6 +129,10 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not populate the on-disk "
                              "sweep result cache")
+    parser.add_argument("--faults", metavar="FILE", default=None,
+                        help="apply a FaultSpec JSON schedule (see "
+                             "examples/faults.json) to every transfer "
+                             "that does not already carry one")
     _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -120,12 +143,20 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
         workers = resolve_workers(args.workers)
         with open(args.workload, "r", encoding="utf-8") as handle:
             workload = WorkloadSpec.from_json(handle.read())
+        if args.faults:
+            workload = _workload_with_faults(workload, args.faults)
     except (OSError, ConfigurationError) as exc:
         print(f"run-spec: {exc}", file=sys.stderr)
         return 2
 
     session = Session(seed=workload.seed)
-    reports = session.run_workload(workload, workers=workers)
+    try:
+        reports = session.run_workload(workload, workers=workers)
+    except SweepTaskError as exc:
+        # Healthy transfers already ran (and were cached); report the
+        # permanently-failed ones and exit non-zero.
+        print(f"run-spec: {exc}", file=sys.stderr)
+        return 3
 
     failures = 0
     for spec, report in zip(workload.transfers, reports):

@@ -1,0 +1,218 @@
+"""Interpret a :class:`~repro.faults.spec.FaultSpec` against live paths.
+
+The injector is the bridge between the declarative schedule and the
+world model: it arms one event-loop callback per inject/clear edge and
+drives the :class:`~repro.net.link.Link` failure knobs
+(``set_down``/``set_up``/``set_blackhole``, rate and delay mutation)
+and the :class:`~repro.net.path.Path` admin machinery that MPTCP's
+subflow-failure path already listens to.
+
+Every fired edge is appended to :attr:`FaultInjector.applied` (plain
+data, chronological) and — when a recorder is attached — emitted as a
+typed ``fault_inject``/``fault_clear`` trace event, so outage
+timelines land in the same stream as cwnd moves and queue drops.
+
+The injector itself is deterministic: it never consults wall-clock or
+process identity, and the only randomness (Gilbert–Elliott episodes)
+draws from named RNG streams keyed by event index and link name.
+"""
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.core.events import EventLoop
+from repro.core.rng import RngStreams
+from repro.faults.spec import FaultEvent, FaultSpec
+from repro.net.link import FixedRateLink
+from repro.net.loss import GilbertElliottLoss
+from repro.net.path import Path
+
+__all__ = ["AppliedFault", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class AppliedFault:
+    """One fired fault edge (plain data, report-friendly)."""
+
+    time: float
+    edge: str  # "inject" or "clear"
+    index: int  # position of the event in the schedule
+    kind: str
+    path: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "t": self.time, "edge": self.edge, "index": self.index,
+            "kind": self.kind, "path": self.path,
+        }
+
+
+class FaultInjector:
+    """Arms a fault schedule on a scenario's event loop.
+
+    Parameters
+    ----------
+    spec:
+        The declarative schedule.  Every event's ``path`` must name a
+        key of ``paths``; ``rate_collapse`` events additionally require
+        fixed-rate links (trace-driven links have no single rate to
+        scale).
+    loop, paths:
+        The scenario's event loop and its named :class:`Path` objects.
+    rng:
+        Named RNG streams for burst-loss episodes; without one,
+        ``burst_loss`` events are rejected at construction.
+    recorder:
+        Optional :class:`~repro.obs.trace.TraceRecorder` receiving the
+        typed ``fault_inject``/``fault_clear`` events.
+    """
+
+    def __init__(
+        self,
+        spec: FaultSpec,
+        loop: EventLoop,
+        paths: Mapping[str, Path],
+        rng: Optional[RngStreams] = None,
+        recorder=None,
+    ) -> None:
+        self.spec = spec
+        self.loop = loop
+        self.paths = dict(paths)
+        self.rng = rng
+        self.recorder = recorder
+        #: Chronological log of fired edges (see :class:`AppliedFault`).
+        self.applied: List[AppliedFault] = []
+        self._armed = False
+        # Saved state for clear edges, keyed by event index.
+        self._saved_loss: Dict[int, Dict[str, Any]] = {}
+
+        unknown = sorted(set(spec.path_names) - set(self.paths))
+        if unknown:
+            raise ConfigurationError(
+                f"FaultSpec names unknown paths {unknown}; "
+                f"scenario has {sorted(self.paths)}"
+            )
+        for index, event in enumerate(spec.events):
+            if event.kind == "rate_collapse":
+                path = self.paths[event.path]
+                for link in (path.uplink, path.downlink):
+                    if not isinstance(link, FixedRateLink):
+                        raise ConfigurationError(
+                            f"FaultSpec.events[{index}]: rate_collapse "
+                            f"needs fixed-rate links, but {link.name} is "
+                            f"{type(link).__name__}"
+                        )
+            if event.kind == "burst_loss" and rng is None:
+                raise ConfigurationError(
+                    f"FaultSpec.events[{index}]: burst_loss needs an "
+                    f"RngStreams (none provided)"
+                )
+
+    # ------------------------------------------------------------------
+    def arm(self) -> "FaultInjector":
+        """Schedule every inject/clear edge on the loop (idempotent)."""
+        if self._armed:
+            return self
+        self._armed = True
+        for index, event in enumerate(self.spec.events):
+            self.loop.call_at(
+                event.at_s, self._edge_callback(index, event, "inject")
+            )
+            clears_at = event.clears_at
+            if clears_at is not None:
+                self.loop.call_at(
+                    clears_at, self._edge_callback(index, event, "clear")
+                )
+        return self
+
+    def _edge_callback(self, index: int, event: FaultEvent, edge: str):
+        def fire() -> None:
+            if edge == "inject":
+                self._inject(index, event)
+            else:
+                self._clear(index, event)
+            now = self.loop.now
+            self.applied.append(
+                AppliedFault(now, edge, index, event.kind, event.path)
+            )
+            if self.recorder is not None:
+                fields: Dict[str, Any] = {"fault": event.kind, "index": index}
+                if edge == "inject":
+                    if event.duration_s is not None:
+                        fields["duration_s"] = event.duration_s
+                    if event.factor is not None:
+                        fields["factor"] = event.factor
+                    if event.extra_delay_s is not None:
+                        fields["extra_delay_s"] = event.extra_delay_s
+                    if event.detected:
+                        fields["detected"] = True
+                self.recorder.emit(
+                    f"fault_{edge}", now, path=event.path, **fields
+                )
+        return fire
+
+    # ------------------------------------------------------------------
+    def _links(self, event: FaultEvent):
+        path = self.paths[event.path]
+        return path, (path.uplink, path.downlink)
+
+    def _inject(self, index: int, event: FaultEvent) -> None:
+        path, links = self._links(event)
+        if event.kind == "outage":
+            for link in links:
+                link.set_down()
+        elif event.kind == "blackhole":
+            path.unplug()
+            if event.detected:
+                path.set_multipath_off()
+        elif event.kind == "iface_down":
+            path.set_multipath_off()
+        elif event.kind == "rate_collapse":
+            for link in links:
+                assert isinstance(link, FixedRateLink)
+                link.collapse_rate(event.factor)
+        elif event.kind == "delay_spike":
+            for link in links:
+                link.spike_delay(event.extra_delay_s)
+        elif event.kind == "burst_loss":
+            assert self.rng is not None
+            saved = self._saved_loss.setdefault(index, {})
+            for link in links:
+                saved[link.name] = link.loss
+                link.loss = GilbertElliottLoss(
+                    self.rng.get(f"fault.{index}.{link.name}"),
+                    p_good_to_bad=event.p_good_to_bad,
+                    p_bad_to_good=event.p_bad_to_good,
+                    p_good=event.p_good,
+                    p_bad=event.p_bad,
+                )
+
+    def _clear(self, index: int, event: FaultEvent) -> None:
+        path, links = self._links(event)
+        if event.kind == "outage":
+            for link in links:
+                link.set_up()
+        elif event.kind == "blackhole":
+            path.replug()
+            if event.detected:
+                path.set_multipath_on()
+        elif event.kind == "iface_down":
+            path.set_multipath_on()
+        elif event.kind == "rate_collapse":
+            for link in links:
+                assert isinstance(link, FixedRateLink)
+                link.restore_rate()
+        elif event.kind == "delay_spike":
+            for link in links:
+                link.restore_delay()
+        elif event.kind == "burst_loss":
+            saved = self._saved_loss.pop(index, {})
+            for link in links:
+                if link.name in saved:
+                    link.loss = saved[link.name]
+
+    # ------------------------------------------------------------------
+    def applied_dicts(self) -> List[Dict[str, Any]]:
+        """The fired-edge log as plain dicts (report embedding)."""
+        return [entry.to_dict() for entry in self.applied]

@@ -16,7 +16,8 @@ import sys
 from typing import List, Optional
 
 from repro.core.rng import DEFAULT_SEED
-from repro.linkem.traces import synth_lte_trace, synth_wifi_trace
+from repro.core.errors import ConfigurationError
+from repro.linkem.traces import synth_lte_trace, synth_wifi_trace, with_outage
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -33,6 +34,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="LTE rate-walk volatility (default 0.15)")
     parser.add_argument("--contention", type=float, default=0.3,
                         help="WiFi busy-channel duty cycle (default 0.3)")
+    parser.add_argument("--outage", nargs=2, type=int, default=None,
+                        metavar=("START_MS", "DURATION_MS"),
+                        help="carve a silent gap (no delivery "
+                             "opportunities) into each trace period")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--out", default="-",
                         help="output path, or '-' for stdout")
@@ -47,6 +52,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         trace = synth_wifi_trace(rng, args.mean_mbps,
                                  duration_ms=args.duration_ms,
                                  contention=args.contention)
+
+    if args.outage is not None:
+        try:
+            trace = with_outage(trace, args.outage[0], args.outage[1])
+        except ConfigurationError as exc:
+            print(f"linkem: {exc}", file=sys.stderr)
+            return 2
 
     if args.out == "-":
         for offset in trace.offsets_ms:

@@ -19,7 +19,7 @@ from typing import List
 from repro.core.errors import ConfigurationError
 from repro.net.trace import BYTES_PER_OPPORTUNITY, DeliveryTrace
 
-__all__ = ["synth_lte_trace", "synth_wifi_trace"]
+__all__ = ["synth_lte_trace", "synth_wifi_trace", "with_outage"]
 
 
 def _opportunities_from_rates(
@@ -122,3 +122,35 @@ def synth_wifi_trace(
     if not opportunities or opportunities[-1] != duration_ms:
         opportunities.append(duration_ms)
     return DeliveryTrace(opportunities, period_ms=duration_ms)
+
+
+def with_outage(
+    trace: DeliveryTrace, start_ms: int, duration_ms: int
+) -> DeliveryTrace:
+    """A copy of ``trace`` with a silent gap — a mid-trace radio outage.
+
+    Every delivery opportunity in ``[start_ms, start_ms + duration_ms)``
+    is removed while the period is preserved, so the trace loops with
+    the outage recurring once per period.  This bakes the failure into
+    the *link description* (useful for exporting Mahimahi traces that
+    real ``mm-link`` shells replay); for one-shot, per-run scheduled
+    failures use :mod:`repro.faults` instead.
+    """
+    if start_ms < 0:
+        raise ConfigurationError(f"outage start must be >= 0: {start_ms}")
+    if duration_ms <= 0:
+        raise ConfigurationError(
+            f"outage duration must be positive: {duration_ms}"
+        )
+    end_ms = start_ms + duration_ms
+    if end_ms >= trace.period_ms:
+        raise ConfigurationError(
+            f"outage [{start_ms}, {end_ms}) ms must end inside the "
+            f"{trace.period_ms} ms trace period"
+        )
+    kept = [ms for ms in trace.offsets_ms if not (start_ms <= ms < end_ms)]
+    if not kept:
+        raise ConfigurationError(
+            "outage would remove every delivery opportunity"
+        )
+    return DeliveryTrace(kept, period_ms=trace.period_ms)

@@ -78,8 +78,23 @@ class PacketCapture:
         self.flow_filter = flow_filter
         self.recorder = recorder
         self.packets: List[CapturedPacket] = []
+        #: Link failure-knob transitions: (time, link name, state) —
+        #: the capture's analog of an ifconfig log next to the pcap.
+        self.state_changes: List[tuple] = []
+        self._loop = path.uplink.loop
         path.uplink.on_transmit.append(self._capture("out"))
         path.downlink.on_deliver.append(self._capture("in"))
+        path.uplink.on_state_change.append(self._on_state_change)
+        path.downlink.on_state_change.append(self._on_state_change)
+
+    def _on_state_change(self, link, state: str) -> None:
+        now = self._loop.now
+        self.state_changes.append((now, link.name, state))
+        if self.recorder is not None:
+            self.recorder.emit(
+                "fault_state", now, path=link.name, state=state,
+                up=link.up, blackhole=link.blackhole,
+            )
 
     def _capture(self, direction: str) -> Callable[[Packet, float], None]:
         def hook(packet: Packet, when: float) -> None:

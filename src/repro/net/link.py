@@ -29,6 +29,10 @@ __all__ = ["Link", "FixedRateLink", "TraceDrivenLink"]
 
 PacketSink = Callable[[Packet], None]
 PacketObserver = Callable[[Packet, float], None]
+#: Called with (link, state) on failure-knob transitions; ``state`` is
+#: one of "down", "up", "blackhole_on", "blackhole_off",
+#: "rate_collapse", "rate_restore", "delay_spike", "delay_restore".
+StateObserver = Callable[["Link", str], None]
 
 
 class Link(ABC):
@@ -49,6 +53,7 @@ class Link(ABC):
         self.loop = loop
         self.name = name
         self.propagation_delay_s = propagation_delay_s
+        self._base_propagation_delay_s = propagation_delay_s
         self.queue = queue if queue is not None else DropTailQueue()
         self.loss = loss if loss is not None else NoLoss()
         self.up = True
@@ -64,10 +69,64 @@ class Link(ABC):
         self.on_deliver: List[PacketObserver] = []
         #: Called with (packet, time) when the queue tail-drops a packet.
         self.on_drop: List[PacketObserver] = []
+        #: Called with (link, state) on every failure-knob transition
+        #: (see :data:`StateObserver`).  Observability sinks subscribe
+        #: here to timeline outages alongside cwnd/queue series.
+        self.on_state_change: List[StateObserver] = []
 
     def connect(self, sink: PacketSink) -> None:
         """Attach the receiving endpoint."""
         self._sink = sink
+
+    # ------------------------------------------------------------------
+    # Failure knobs (paper §3.6; driven by repro.faults)
+    # ------------------------------------------------------------------
+    def _notify_state(self, state: str) -> None:
+        for observer in list(self.on_state_change):
+            observer(self, state)
+
+    def set_down(self) -> None:
+        """Administratively disable the link (packets sent here vanish)."""
+        if not self.up:
+            return
+        self.up = False
+        self._notify_state("down")
+
+    def set_up(self) -> None:
+        """Administratively re-enable the link."""
+        if self.up:
+            return
+        self.up = True
+        self._notify_state("up")
+
+    def set_blackhole(self, blackhole: bool = True) -> None:
+        """Silently blackhole (or restore) the link.
+
+        Models physically unplugging a tethered phone: queued packets
+        are discarded (they sat in the device that just disappeared),
+        in-flight packets vanish at delivery time, and the link still
+        reports ``up`` — no endpoint is signalled.
+        """
+        if self.blackhole == blackhole:
+            return
+        self.blackhole = blackhole
+        if blackhole:
+            self.queue.clear()
+        self._notify_state("blackhole_on" if blackhole else "blackhole_off")
+
+    def spike_delay(self, extra_s: float) -> None:
+        """Add ``extra_s`` of propagation delay (e.g. a handover pause)."""
+        if extra_s < 0:
+            raise ConfigurationError(f"negative delay spike: {extra_s}")
+        self.propagation_delay_s = self._base_propagation_delay_s + extra_s
+        self._notify_state("delay_spike")
+
+    def restore_delay(self) -> None:
+        """Return propagation delay to its configured value."""
+        if self.propagation_delay_s == self._base_propagation_delay_s:
+            return
+        self.propagation_delay_s = self._base_propagation_delay_s
+        self._notify_state("delay_restore")
 
     def send(self, packet: Packet) -> None:
         """Entry point for endpoints: queue ``packet`` for transmission."""
@@ -140,7 +199,30 @@ class FixedRateLink(Link):
         if rate_mbps <= 0:
             raise ConfigurationError(f"rate must be positive: {rate_mbps}")
         self.rate_bytes_per_sec = rate_mbps * 1e6 / 8.0
+        self._base_rate_bytes_per_sec = self.rate_bytes_per_sec
         self._transmitting = False
+
+    def collapse_rate(self, factor: float) -> None:
+        """Scale the serialization rate to ``factor`` of its base value.
+
+        Models a sudden capacity collapse (a WiFi AP dropping to a
+        legacy MCS, an LTE cell entering congestion).  Packets already
+        serializing finish at the old rate; subsequent ones use the new
+        one.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"rate collapse factor must be positive: {factor}"
+            )
+        self.rate_bytes_per_sec = self._base_rate_bytes_per_sec * factor
+        self._notify_state("rate_collapse")
+
+    def restore_rate(self) -> None:
+        """Return the serialization rate to its configured value."""
+        if self.rate_bytes_per_sec == self._base_rate_bytes_per_sec:
+            return
+        self.rate_bytes_per_sec = self._base_rate_bytes_per_sec
+        self._notify_state("rate_restore")
 
     def _on_enqueue(self) -> None:
         if not self._transmitting:

@@ -142,15 +142,15 @@ class Path:
 
     def set_multipath_off(self) -> None:
         """Administratively remove the path; endpoints are notified."""
-        self.uplink.up = False
-        self.downlink.up = False
+        self.uplink.set_down()
+        self.downlink.set_down()
         for callback in list(self.on_admin_change):
             callback(self)
 
     def set_multipath_on(self) -> None:
         """Administratively restore the path; endpoints are notified."""
-        self.uplink.up = True
-        self.downlink.up = True
+        self.uplink.set_up()
+        self.downlink.set_up()
         for callback in list(self.on_admin_change):
             callback(self)
 
@@ -158,17 +158,16 @@ class Path:
         """Silently blackhole both directions (no notification).
 
         Queued packets are discarded as well — they were sitting in the
-        phone that just got disconnected.
+        phone that just got disconnected (see
+        :meth:`~repro.net.link.Link.set_blackhole`).
         """
-        self.uplink.blackhole = True
-        self.downlink.blackhole = True
-        self.uplink.queue.clear()
-        self.downlink.queue.clear()
+        self.uplink.set_blackhole(True)
+        self.downlink.set_blackhole(True)
 
     def replug(self) -> None:
         """Silently restore a blackholed path (still no notification)."""
-        self.uplink.blackhole = False
-        self.downlink.blackhole = False
+        self.uplink.set_blackhole(False)
+        self.downlink.set_blackhole(False)
 
     def __repr__(self) -> str:
         return (

@@ -39,8 +39,20 @@ class QueueDepthTracker:
         self.period_s = period_s
         self.recorder = recorder
         self.samples: List[Tuple[float, int, int]] = []
+        #: Failure-knob transitions seen on the link: (time, state).
+        self.state_changes: List[Tuple[float, str]] = []
+        link.on_state_change.append(self._on_state_change)
         self._ticker = Periodic(loop, period_s, self._sample)
         self._ticker.start(immediate=True)
+
+    def _on_state_change(self, link: Link, state: str) -> None:
+        now = self.loop.now
+        self.state_changes.append((now, state))
+        if self.recorder is not None:
+            self.recorder.emit(
+                "fault_state", now, path=link.name, state=state,
+                up=link.up, blackhole=link.blackhole,
+            )
 
     def _sample(self) -> None:
         now = self.loop.now

@@ -62,6 +62,9 @@ class TraceSummary:
     total_events: int = 0
     kind_counts: Dict[str, int] = field(default_factory=dict)
     duration_s: float = 0.0
+    #: Chronological outage/fault timeline: (time, path, description)
+    #: from ``fault_inject``/``fault_clear``/``fault_state`` events.
+    fault_timeline: List[Tuple[float, str, str]] = field(default_factory=list)
 
     @property
     def total_bytes_sent(self) -> int:
@@ -138,6 +141,20 @@ def summarize_events(events: List[TraceEvent]) -> TraceSummary:
                 target = summary.subflows.get(key)
                 if target is not None:
                     target.queue_drops += 1
+        elif kind in ("fault_inject", "fault_clear"):
+            what = event.fields.get("fault", "?")
+            verb = "inject" if kind == "fault_inject" else "clear"
+            detail = f"{verb} {what}"
+            duration = event.fields.get("duration_s")
+            if kind == "fault_inject" and duration is not None:
+                detail += f" for {duration:g}s"
+            summary.fault_timeline.append((event.time, event.path, detail))
+        elif kind == "fault_state":
+            summary.fault_timeline.append(
+                (event.time, event.path,
+                 f"link {event.fields.get('state', '?')}")
+            )
+    summary.fault_timeline.sort(key=lambda entry: entry[0])
     return summary
 
 
@@ -163,6 +180,12 @@ def render_summary(summary: TraceSummary, timeline_points: int = 8) -> str:
     )
     if kinds:
         lines.append(f"  kinds: {kinds}")
+
+    if summary.fault_timeline:
+        lines.append("")
+        lines.append("fault timeline:")
+        for when, path, detail in summary.fault_timeline:
+            lines.append(f"  {when:9.3f}s  {path:>8s}  {detail}")
 
     split = summary.byte_split()
     lines.append("")

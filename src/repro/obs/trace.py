@@ -57,6 +57,10 @@ EVENT_KINDS = frozenset({
     "queue_drop",       # a link queue tail-dropped a packet
     "queue_sample",     # periodic queue-occupancy sample
     "packet",           # packet-capture sink record (tcpdump analog)
+    "fault_inject",     # a scheduled fault episode began (repro.faults)
+    "fault_clear",      # a scheduled fault episode ended
+    "fault_state",      # a link failure-knob transition, as observed
+                        # by a telemetry/capture sink
 })
 
 

@@ -22,6 +22,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from typing import Any, Optional, Tuple
 
 __all__ = ["CACHE_DIR_ENV", "CACHE_TOGGLE_ENV", "ResultCache",
@@ -121,12 +122,44 @@ def spec_key(fn: str, kwargs: dict, fingerprint: Optional[str] = None) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+#: Entry header: magic + sha256(payload).  The digest makes corruption
+#: (truncation, bit rot, partial writes from a killed process) a
+#: *detected* condition rather than a pickle parse lottery.
+_ENTRY_MAGIC = b"RSC1"
+_DIGEST_BYTES = hashlib.sha256().digest_size
+_HEADER_BYTES = len(_ENTRY_MAGIC) + _DIGEST_BYTES
+
+_corruption_warned = False
+
+
+def _warn_corruption_once(path: str, reason: str) -> None:
+    """Warn about the first corrupt entry seen this process.
+
+    One warning, not one per entry: a damaged cache directory can hold
+    thousands of bad files and the sweep recomputes them all anyway.
+    """
+    global _corruption_warned
+    if _corruption_warned:
+        return
+    _corruption_warned = True
+    warnings.warn(
+        f"sweep cache entry {path} is corrupt ({reason}); recomputing "
+        f"(further corrupt entries will be recomputed silently)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
 class ResultCache:
     """Pickle-on-disk store addressed by :func:`spec_key` hashes.
 
     Filesystem failures (read-only home, corrupt entries) degrade to
     cache misses rather than errors: the sweep must never fail because
-    of its cache.
+    of its cache.  Entries are checksummed (sha256 over the pickle
+    payload) so truncated or bit-flipped files are detected and
+    recomputed — with a single process-wide warning — instead of
+    surfacing as ``EOFError``/``UnpicklingError`` or, worse, silently
+    deserializing garbage.
     """
 
     def __init__(self, root: Optional[str] = None,
@@ -148,28 +181,49 @@ class ResultCache:
         return os.path.join(self.root, key[:2], key + ".pkl")
 
     def get(self, key: str) -> Tuple[bool, Any]:
-        """Return ``(hit, value)``; a miss is ``(False, None)``."""
+        """Return ``(hit, value)``; a miss is ``(False, None)``.
+
+        A missing file is a silent miss; a *present but damaged* file
+        (bad magic, checksum mismatch, unpicklable payload) is also a
+        miss, but warns once per process so an ailing disk does not go
+        unnoticed.
+        """
         path = self._path(key)
         try:
             with open(path, "rb") as handle:
-                return True, pickle.load(handle)
+                blob = handle.read()
+        except OSError:
+            return False, None
+        if len(blob) < _HEADER_BYTES or not blob.startswith(_ENTRY_MAGIC):
+            _warn_corruption_once(path, "bad or missing header")
+            return False, None
+        digest = blob[len(_ENTRY_MAGIC):_HEADER_BYTES]
+        payload = blob[_HEADER_BYTES:]
+        if hashlib.sha256(payload).digest() != digest:
+            _warn_corruption_once(path, "checksum mismatch")
+            return False, None
+        try:
+            return True, pickle.loads(payload)
         except Exception:
-            # A cache entry is always recomputable: any unreadable or
-            # corrupt file (truncated pickle, bad opcode stream, missing
-            # class, permission change) degrades to a miss.
+            # Checksum passed but the payload does not deserialize in
+            # this process (e.g. a class moved between versions with
+            # the same fingerprint override): still just a miss.
+            _warn_corruption_once(path, "unpicklable payload")
             return False, None
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` atomically (write-to-temp + rename)."""
         path = self._path(key)
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            blob = _ENTRY_MAGIC + hashlib.sha256(payload).digest() + payload
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=os.path.dirname(path), suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    handle.write(blob)
                 os.replace(tmp_path, path)
             except BaseException:
                 try:

@@ -23,11 +23,15 @@ import importlib
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeout,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SweepTaskError
 from repro.core.rng import DEFAULT_SEED, derive_seed
 from repro.obs.manifest import RunManifest
 from repro.obs.progress import SweepProgress, progress_enabled_by_env
@@ -38,6 +42,7 @@ __all__ = [
     "SimTask",
     "SweepRunner",
     "SweepStats",
+    "TaskFailure",
     "WORKERS_ENV",
     "get_default_workers",
     "resolve_workers",
@@ -151,6 +156,16 @@ def _run_shard(tasks: List[SimTask]) -> List[Tuple[Any, float, int]]:
     return [_run_task_timed(task) for task in tasks]
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget."""
+
+    index: int
+    key: str
+    error: str
+    attempts: int
+
+
 @dataclass
 class SweepStats:
     """Bookkeeping from the last :meth:`SweepRunner.run` call."""
@@ -160,13 +175,22 @@ class SweepStats:
     executed: int = 0
     workers: int = 1
     elapsed_s: float = 0.0
+    #: Tasks that needed more than one attempt but eventually succeeded.
+    retried: int = 0
+    #: Tasks that exhausted the retry budget (see :class:`TaskFailure`).
+    failed: int = 0
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.tasks} tasks, {self.cache_hits} cached, "
             f"{self.executed} run on {self.workers} worker"
             f"{'s' if self.workers != 1 else ''} in {self.elapsed_s:.1f}s"
         )
+        if self.retried:
+            text += f", {self.retried} retried"
+        if self.failed:
+            text += f", {self.failed} failed"
+        return text
 
 
 class SweepRunner:
@@ -189,6 +213,30 @@ class SweepRunner:
         Live progress/ETA on stderr: ``True``/``False``, a configured
         :class:`~repro.obs.progress.SweepProgress`, or ``None`` to
         consult the ``REPRO_PROGRESS`` env toggle.
+    max_retries:
+        Extra attempts granted to a task after its first failure
+        (crash, exception, or timeout), with exponential backoff
+        between attempts.  ``0`` fails fast.
+    retry_backoff_s:
+        Wall-clock sleep before the first retry; doubles per attempt.
+    task_timeout_s:
+        Wall-clock budget for a single task.  In the sharded phase the
+        budget scales with shard length; tasks that blow it are
+        re-run individually (where the budget is exact) and their
+        hung worker processes are terminated.  ``None`` disables the
+        timeout.
+
+    Failure model: a shard whose worker crashes (``BrokenProcessPool``),
+    raises, or times out does not abort the sweep — its tasks are
+    re-run one-by-one in fresh single-worker pools (falling back to
+    in-process execution when no pool can be spawned at all), so one
+    poison task costs its own retry budget and nothing else.  Retry
+    and failure provenance lands in each task's
+    :class:`~repro.obs.manifest.RunManifest` (``extra.attempts``,
+    ``extra.failed``, ``extra.error``).  If any task exhausts its
+    budget, :meth:`run` raises
+    :class:`~repro.core.errors.SweepTaskError` *after* recording
+    stats/manifests and caching every healthy result.
 
     When ``REPRO_TRACE_DIR`` is active, the cache is bypassed for the
     run: a cache hit would skip the simulation and silently produce no
@@ -205,8 +253,24 @@ class SweepRunner:
         cache: Union[ResultCache, bool, None] = None,
         seed: int = DEFAULT_SEED,
         progress: Union[SweepProgress, bool, None] = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        task_timeout_s: Optional[float] = None,
     ) -> None:
         self.workers = resolve_workers(workers)
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0: {max_retries}")
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0: {retry_backoff_s}"
+            )
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigurationError(
+                f"task_timeout_s must be positive: {task_timeout_s}"
+            )
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.task_timeout_s = task_timeout_s
         if cache is None:
             self.cache: Optional[ResultCache] = (
                 ResultCache() if cache_enabled_by_env() else None
@@ -256,10 +320,15 @@ class SweepRunner:
         else:
             misses = list(range(len(tasks)))
 
+        attempts: Dict[int, int] = {}
+        failures: Dict[int, TaskFailure] = {}
         if misses:
-            self._execute(tasks, misses, results, walls, pids, progress)
+            self._execute(tasks, misses, results, walls, pids, progress,
+                          attempts, failures)
             if cache is not None:
                 for index in misses:
+                    if index in failures:
+                        continue  # never cache a failure placeholder
                     assert keys[index] is not None
                     cache.put(keys[index], results[index])
 
@@ -268,7 +337,7 @@ class SweepRunner:
 
         miss_set = set(misses)
         self.last_manifests = self._build_manifests(
-            tasks, miss_set, walls, pids, cache
+            tasks, miss_set, walls, pids, cache, attempts, failures
         )
         self.last_stats = SweepStats(
             tasks=len(tasks),
@@ -276,7 +345,19 @@ class SweepRunner:
             executed=len(misses),
             workers=self.workers,
             elapsed_s=time.perf_counter() - started,
+            retried=sum(
+                1 for index, count in attempts.items()
+                if count > 1 and index not in failures
+            ),
+            failed=len(failures),
         )
+        if failures:
+            # Stats, manifests, and every healthy result are already
+            # recorded (and cached) before the sweep reports failure.
+            raise SweepTaskError(
+                [failures[index] for index in sorted(failures)],
+                results=results,
+            )
         return results
 
     # ------------------------------------------------------------------
@@ -295,6 +376,8 @@ class SweepRunner:
         walls: List[float],
         pids: List[int],
         cache: Optional[ResultCache],
+        attempts: Dict[int, int],
+        failures: Dict[int, "TaskFailure"],
     ) -> List[RunManifest]:
         from repro import __version__
 
@@ -303,8 +386,16 @@ class SweepRunner:
         # that one-time cost would eat the disabled-tracing overhead
         # budget.  With the cache on, reuse its already-computed one.
         fingerprint = cache.fingerprint if cache is not None else ""
-        return [
-            RunManifest(
+        manifests = []
+        for index, task in enumerate(tasks):
+            extra: Dict[str, Any] = {}
+            failure = failures.get(index)
+            if failure is not None:
+                extra = {"attempts": failure.attempts, "failed": True,
+                         "error": failure.error}
+            elif attempts.get(index, 1) > 1:
+                extra = {"attempts": attempts[index], "retried": True}
+            manifests.append(RunManifest(
                 key=task.label(),
                 spec_hash=spec_key(task.fn, task.kwargs, fingerprint=""),
                 seed=task.kwargs.get("seed"),
@@ -314,9 +405,9 @@ class SweepRunner:
                 workers=self.workers,
                 package_version=__version__,
                 code_fingerprint=fingerprint,
-            )
-            for index, task in enumerate(tasks)
-        ]
+                extra=extra,
+            ))
+        return manifests
 
     # ------------------------------------------------------------------
     def _execute(
@@ -327,40 +418,228 @@ class SweepRunner:
         walls: List[float],
         pids: List[int],
         progress: Optional[SweepProgress],
+        attempts: Dict[int, int],
+        failures: Dict[int, "TaskFailure"],
     ) -> None:
         nshards = min(self.workers, len(misses))
         if nshards <= 1:
             for index in misses:
-                value, wall, pid = _run_task_timed(tasks[index])
-                results[index] = value
-                walls[index] = wall
-                pids[index] = pid
-                if progress is not None:
-                    progress.advance()
+                self._run_with_retries(
+                    _run_task_timed, tasks[index], index, attempts,
+                    failures, results, walls, pids, progress,
+                )
             return
+        needs_isolation, shard_errors = self._execute_sharded(
+            tasks, misses, nshards, results, walls, pids, progress,
+        )
+        # A broken shard does not abort the sweep: every task of every
+        # failed shard is retried one-by-one in a fresh single-worker
+        # pool, so only the actual poison task can exhaust its budget.
+        for index in needs_isolation:
+            # The failed shard run counts as an attempt, but never the
+            # last one: every casualty gets at least one isolated
+            # re-run, so an innocent shard-mate of a poison task
+            # survives even with max_retries=0.
+            attempts[index] = min(attempts.get(index, 0) + 1,
+                                  self.max_retries)
+            self._run_with_retries(
+                self._run_one_isolated, tasks[index], index, attempts,
+                failures, results, walls, pids, progress,
+                initial_error=shard_errors.get(index),
+            )
+
+    def _execute_sharded(
+        self,
+        tasks: List[SimTask],
+        misses: List[int],
+        nshards: int,
+        results: List[Any],
+        walls: List[float],
+        pids: List[int],
+        progress: Optional[SweepProgress],
+    ) -> Tuple[List[int], Dict[int, str]]:
+        """Run the deterministic shard phase; report casualties.
+
+        Returns ``(needs_isolation, shard_errors)``: miss indices whose
+        shard crashed, raised, or timed out (to re-run individually)
+        and the error text observed per index.
+        """
         # Deterministic sharding: miss j -> shard j % nshards.  The
         # assignment depends only on task order and worker count, and
         # results are reassembled by original index, so scheduling
         # jitter cannot reorder (or change) anything.
         shards = [misses[offset::nshards] for offset in range(nshards)]
-        context = self._mp_context()
-        with ProcessPoolExecutor(max_workers=nshards,
-                                 mp_context=context) as pool:
+        needs_isolation: List[int] = []
+        shard_errors: Dict[int, str] = {}
+        try:
+            pool = ProcessPoolExecutor(max_workers=nshards,
+                                       mp_context=self._mp_context())
+        except (OSError, ValueError) as exc:
+            # No pool at all (fd/process limits): degrade to serial.
+            error = f"{type(exc).__name__}: {exc}"
+            for index in misses:
+                shard_errors[index] = error
+            return list(misses), shard_errors
+        hung = False
+        try:
             futures = {
                 pool.submit(_run_shard, [tasks[index] for index in shard]):
                 shard
                 for shard in shards
             }
-            # Completion order only affects progress display; results
-            # are keyed back by original index.
-            for future in as_completed(futures):
-                shard = futures[future]
-                for index, (value, wall, pid) in zip(shard, future.result()):
-                    results[index] = value
-                    walls[index] = wall
-                    pids[index] = pid
-                if progress is not None:
-                    progress.advance(len(shard))
+            # The shard phase deadline scales with the longest shard
+            # (tasks run sequentially inside a shard) plus one extra
+            # task budget of slack; the per-task budget is enforced
+            # exactly during isolation re-runs.
+            timeout = None
+            if self.task_timeout_s is not None:
+                longest = max(len(shard) for shard in shards)
+                timeout = self.task_timeout_s * (longest + 1)
+            done = set()
+            try:
+                # Completion order only affects progress display;
+                # results are keyed back by original index.
+                for future in as_completed(futures, timeout=timeout):
+                    done.add(future)
+                    self._harvest_shard(
+                        future, futures[future], results, walls, pids,
+                        progress, needs_isolation, shard_errors,
+                    )
+            except FuturesTimeout:
+                hung = True
+                for future, shard in futures.items():
+                    if future in done:
+                        continue
+                    if future.done():
+                        self._harvest_shard(
+                            future, shard, results, walls, pids,
+                            progress, needs_isolation, shard_errors,
+                        )
+                        continue
+                    future.cancel()
+                    message = (
+                        f"shard timed out after {timeout:g}s "
+                        f"(task_timeout_s={self.task_timeout_s:g})"
+                    )
+                    for index in shard:
+                        shard_errors[index] = message
+                    needs_isolation.extend(shard)
+        finally:
+            if hung:
+                # Cancelled futures may already be running; reclaim
+                # their workers so shutdown cannot block forever.
+                self._terminate_pool(pool)
+            pool.shutdown(wait=not hung, cancel_futures=True)
+        return sorted(needs_isolation), shard_errors
+
+    @staticmethod
+    def _harvest_shard(
+        future: Any,
+        shard: List[int],
+        results: List[Any],
+        walls: List[float],
+        pids: List[int],
+        progress: Optional[SweepProgress],
+        needs_isolation: List[int],
+        shard_errors: Dict[int, str],
+    ) -> None:
+        try:
+            values = future.result(timeout=0)
+        except Exception as exc:  # BrokenProcessPool, task exception, ...
+            # BrokenProcessPool poisons every pending future of the
+            # pool, so innocent shards land here too — their isolation
+            # re-run succeeds on the first retry.
+            error = f"{type(exc).__name__}: {exc}"
+            for index in shard:
+                shard_errors[index] = error
+            needs_isolation.extend(shard)
+            return
+        for index, (value, wall, pid) in zip(shard, values):
+            results[index] = value
+            walls[index] = wall
+            pids[index] = pid
+        if progress is not None:
+            progress.advance(len(shard))
+
+    def _run_with_retries(
+        self,
+        run_one: Callable[[SimTask], Tuple[Any, float, int]],
+        task: SimTask,
+        index: int,
+        attempts: Dict[int, int],
+        failures: Dict[int, "TaskFailure"],
+        results: List[Any],
+        walls: List[float],
+        pids: List[int],
+        progress: Optional[SweepProgress],
+        initial_error: Optional[str] = None,
+    ) -> None:
+        """Drive one task to success or budget exhaustion."""
+        budget = self.max_retries + 1
+        delay = self.retry_backoff_s
+        error_text = initial_error or "unknown error"
+        while attempts.get(index, 0) < budget:
+            attempts[index] = attempts.get(index, 0) + 1
+            try:
+                value, wall, pid = run_one(task)
+            except Exception as exc:
+                error_text = f"{type(exc).__name__}: {exc}"
+                if attempts[index] < budget and delay > 0:
+                    time.sleep(delay)
+                    delay *= 2
+                continue
+            results[index] = value
+            walls[index] = wall
+            pids[index] = pid
+            if progress is not None:
+                progress.advance()
+            return
+        failures[index] = TaskFailure(
+            index=index, key=task.label(), error=error_text,
+            attempts=attempts.get(index, 0),
+        )
+        if progress is not None:
+            progress.advance()
+
+    def _run_one_isolated(self, task: SimTask) -> Tuple[Any, float, int]:
+        """Run one task in its own single-worker pool.
+
+        A crash (``BrokenProcessPool``) or timeout is confined to this
+        task; a hung worker is terminated.  If no pool can be spawned
+        at all, the task runs in-process — losing crash isolation but
+        keeping the sweep alive.
+        """
+        try:
+            pool = ProcessPoolExecutor(max_workers=1,
+                                       mp_context=self._mp_context())
+        except (OSError, ValueError):
+            return _run_task_timed(task)
+        hung = False
+        try:
+            future = pool.submit(_run_task_timed, task)
+            try:
+                return future.result(timeout=self.task_timeout_s)
+            except FuturesTimeout:
+                hung = True
+                future.cancel()
+                raise FuturesTimeout(
+                    f"task {task.label()!r} exceeded "
+                    f"task_timeout_s={self.task_timeout_s:g}s"
+                )
+        finally:
+            if hung:
+                self._terminate_pool(pool)
+            pool.shutdown(wait=not hung, cancel_futures=True)
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Kill worker processes of a pool with hung tasks."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
 
     @staticmethod
     def _mp_context():

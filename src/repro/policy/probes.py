@@ -52,7 +52,8 @@ class PathProbe:
         """Probe ``path_name`` inside ``scenario`` (consumes sim time)."""
         started = scenario.loop.now
         connection = scenario.tcp(path_name, self.probe_bytes)
-        result = scenario.run_transfer(connection, deadline_s=self.timeout_s)
+        result = scenario.run_transfer(connection, deadline_s=self.timeout_s,
+                                       partial_ok=True)
         elapsed = scenario.loop.now - started
         rtt = connection.subflow.handshake_rtt
         throughput = result.throughput_mbps if result.completed else None

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis import throughput as metrics
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, TransferDeadlineExceeded
 from repro.core.events import EventLoop
 from repro.core.rng import DEFAULT_SEED, RngStreams
 from repro.net.fabric import AttachedPath
@@ -85,6 +85,9 @@ class Scenario:
         #: Optional :class:`~repro.obs.trace.TraceRecorder`.  When set,
         #: every path added and every transfer created is wired into it.
         self.recorder = recorder
+        #: Armed :class:`~repro.faults.injector.FaultInjector` objects,
+        #: in :meth:`inject_faults` order.
+        self.fault_injectors: List = []
 
     # ------------------------------------------------------------------
     # Topology
@@ -122,6 +125,34 @@ class Scenario:
     def paths(self) -> List[Path]:
         """The underlying :class:`Path` objects, in insertion order."""
         return [attached.path for attached in self._paths.values()]
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def inject_faults(self, spec):
+        """Arm a :class:`~repro.faults.spec.FaultSpec` on this scenario.
+
+        Every event's path must already be attached.  Returns the
+        armed :class:`~repro.faults.injector.FaultInjector`, whose
+        ``applied`` log records the edges that actually fired.
+        """
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(
+            spec, self.loop,
+            {name: attached.path for name, attached in self._paths.items()},
+            rng=self.rng, recorder=self.recorder,
+        ).arm()
+        self.fault_injectors.append(injector)
+        return injector
+
+    def applied_faults(self) -> List[dict]:
+        """Every fired fault edge across injectors, as plain dicts."""
+        return [
+            entry
+            for injector in self.fault_injectors
+            for entry in injector.applied_dicts()
+        ]
 
     # ------------------------------------------------------------------
     # Transfers
@@ -195,12 +226,22 @@ class Scenario:
         self,
         connection: ConnectionBase,
         deadline_s: float = DEFAULT_DEADLINE_S,
+        partial_ok: bool = False,
     ) -> TransferResult:
         """Start ``connection`` and run until it completes (or deadline).
 
         The application half-closes right away (it has written all its
         bytes), so FINs go out as soon as the transfer drains — the
         paper's bulk-measurement behaviour.
+
+        A transfer that misses the deadline raises
+        :class:`~repro.core.errors.TransferDeadlineExceeded` (carrying
+        its bytes-acked progress and the partial result), so an
+        unfinished run can never masquerade as a successful one.
+        Callers measuring timeouts on purpose — probes, deadline
+        sweeps, fault scenarios — opt into the old behaviour with
+        ``partial_ok=True`` and get the incomplete
+        :class:`TransferResult` back.
         """
         connection.start()
         connection.close()
@@ -216,6 +257,13 @@ class Scenario:
             # completion, the old polling loop's upper bound) so
             # packet captures and energy logs see the 4-way close.
             self.loop.run(until=min(deadline, self.loop.now + 1.0))
+        elif not partial_ok:
+            raise TransferDeadlineExceeded(
+                deadline_s=deadline_s,
+                bytes_acked=connection.bytes_delivered,
+                total_bytes=connection.total_bytes,
+                result=self.result_of(connection),
+            )
         return self.result_of(connection)
 
     def result_of(self, connection: ConnectionBase) -> TransferResult:

@@ -13,7 +13,7 @@ same way.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.analysis import throughput as metrics
 
@@ -42,6 +42,10 @@ class TransferReport:
     #: send/retransmit counters, queue drops and depths, handshake
     #: latency — keyed ``name{label=value,...}``.
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Fault edges that fired during the transfer, chronological (see
+    #: :meth:`repro.faults.injector.AppliedFault.to_dict`); empty when
+    #: the spec carried no fault schedule.
+    faults: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def completed(self) -> bool:
@@ -73,6 +77,7 @@ class TransferReport:
         result: "TransferResult",
         label: Optional[str] = None,
         metrics_snapshot: Optional[Dict[str, float]] = None,
+        faults: Optional[List[Dict[str, Any]]] = None,
     ) -> "TransferReport":
         """Snapshot a live :class:`~repro.scenario.TransferResult`."""
         connection = result.connection
@@ -93,4 +98,5 @@ class TransferReport:
             timeouts=stats.timeouts,
             label=label,
             metrics=metrics_snapshot if metrics_snapshot is not None else {},
+            faults=list(faults) if faults is not None else [],
         )

@@ -96,6 +96,8 @@ class Session:
         run.
         """
         scenario = self.scenario_for(spec, seed=seed, recorder=recorder)
+        if spec.faults is not None:
+            scenario.inject_faults(spec.faults)
         if spec.kind == "tcp":
             connection: ConnectionBase = scenario.tcp(
                 spec.path, spec.nbytes, direction=spec.direction,
@@ -125,12 +127,18 @@ class Session:
             if trace_dir is not None:
                 recorder = TraceRecorder()
         scenario, connection = self.open(spec, seed=seed, recorder=recorder)
-        result = scenario.run_transfer(connection, deadline_s=spec.deadline_s)
+        # A spec-driven run reports deadline expiry as data
+        # (``report.completed``) rather than raising: batch sweeps must
+        # deliver every report, and fault schedules time transfers out
+        # on purpose.
+        result = scenario.run_transfer(connection, deadline_s=spec.deadline_s,
+                                       partial_ok=True)
         report = TransferReport.from_result(
             result, label=spec.key(),
             metrics_snapshot=collect_transfer_metrics(
                 connection, scenario.paths
             ),
+            faults=scenario.applied_faults(),
         )
         if trace_dir is not None:
             os.makedirs(trace_dir, exist_ok=True)

@@ -32,6 +32,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.core.rng import DEFAULT_SEED
+from repro.faults.spec import FaultSpec
 from repro.linkem.conditions import LocationCondition
 from repro.linkem.shells import LinkSpec
 from repro.mptcp.connection import MptcpOptions
@@ -270,11 +271,18 @@ class TransferSpec:
     config: Optional[Dict[str, Any]] = None
     options: Optional[Dict[str, Any]] = None
     label: Optional[str] = None
+    #: Optional declarative fault schedule; event paths must name
+    #: condition paths (see :mod:`repro.faults`).
+    faults: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.condition, Mapping):
             object.__setattr__(
                 self, "condition", ConditionSpec.from_dict(self.condition)
+            )
+        if isinstance(self.faults, Mapping):
+            object.__setattr__(
+                self, "faults", FaultSpec.from_dict(self.faults)
             )
         _require(self.kind in (KIND_TCP, KIND_MPTCP), "TransferSpec.kind",
                  f"must be 'tcp' or 'mptcp', got {self.kind!r}")
@@ -322,6 +330,13 @@ class TransferSpec:
             unknown = sorted(set(self.options) - set(_MPTCP_OPTION_FIELDS))
             _require(not unknown, "TransferSpec.options",
                      f"unknown MptcpOptions fields: {unknown}")
+        if self.faults is not None:
+            _require(isinstance(self.faults, FaultSpec), "TransferSpec.faults",
+                     f"must be a FaultSpec, got {type(self.faults).__name__}")
+            stray = sorted(set(self.faults.path_names) - set(names))
+            _require(not stray, "TransferSpec.faults",
+                     f"fault paths {stray} are not condition paths "
+                     f"{list(names)}")
 
     # -- interpretation -------------------------------------------------
     def key(self) -> str:
@@ -362,6 +377,8 @@ class TransferSpec:
             value = getattr(self, name)
             if value is not None:
                 data[name] = value
+        if self.faults is not None:
+            data["faults"] = self.faults.to_dict()
         return data
 
     @classmethod
@@ -382,6 +399,16 @@ class TransferSpec:
         if self.seed is not None or seed is None:
             return self
         return dataclasses.replace(self, seed=seed)
+
+    def with_faults(self, faults: Optional[FaultSpec]) -> "TransferSpec":
+        """A copy with ``faults`` attached (no-op when already set).
+
+        Used by ``run-spec --faults FILE`` to apply one schedule to a
+        whole workload without clobbering per-transfer schedules.
+        """
+        if self.faults is not None or faults is None:
+            return self
+        return dataclasses.replace(self, faults=faults)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,50 @@
+"""Shared test configuration: a global per-test wall-clock guard.
+
+A hung event loop (or a deadlocked worker pool) must fail the suite
+quickly instead of stalling it.  CI installs ``pytest-timeout`` and
+passes ``--timeout``; this SIGALRM fallback covers bare environments
+where the plugin is absent, and steps aside whenever the plugin is
+installed.  Tune with ``REPRO_TEST_TIMEOUT_S`` (``0`` disables).
+"""
+
+import os
+import signal
+
+import pytest
+
+_DEFAULT_TIMEOUT_S = 120
+
+
+def _timeout_s() -> int:
+    try:
+        return int(os.environ.get("REPRO_TEST_TIMEOUT_S",
+                                  _DEFAULT_TIMEOUT_S))
+    except ValueError:
+        return _DEFAULT_TIMEOUT_S
+
+
+@pytest.fixture(autouse=True)
+def _wall_clock_guard(request):
+    timeout = _timeout_s()
+    if (
+        timeout <= 0
+        or os.name != "posix"
+        or not hasattr(signal, "SIGALRM")
+        or request.config.pluginmanager.hasplugin("timeout")
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {timeout}s wall-clock guard "
+            f"(set REPRO_TEST_TIMEOUT_S to adjust)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(timeout)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

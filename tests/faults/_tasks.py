@@ -1,0 +1,51 @@
+"""Importable sweep tasks for hardening tests.
+
+Sweep workers resolve tasks by ``"module:callable"`` path, so the
+poison tasks used by :mod:`tests.faults.test_hardening` must live in a
+real importable module (a test-local closure cannot cross the process
+boundary).  Every task accepts the engine-injected ``seed`` kwarg.
+"""
+
+import os
+import time
+
+
+def ok_task(value: int = 0, seed: int = 0) -> dict:
+    """A healthy task whose output encodes its inputs."""
+    return {"value": value * 2, "seed": seed, "pid": os.getpid()}
+
+
+def crash_task(seed: int = 0) -> None:
+    """Kill the worker process outright (-> ``BrokenProcessPool``).
+
+    ``os._exit`` bypasses Python teardown exactly like a segfault or
+    an OOM kill would, so the pool sees a vanished process, not an
+    exception.
+    """
+    os._exit(13)
+
+
+def crash_once_task(flag_path: str = "", seed: int = 0) -> str:
+    """Crash the worker on the first run, succeed on the retry.
+
+    The cross-process "already crashed" flag is a file created with
+    ``O_EXCL`` so exactly one attempt crashes no matter which process
+    runs it.
+    """
+    try:
+        fd = os.open(flag_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return "recovered"
+    os.close(fd)
+    os._exit(13)
+
+
+def fail_always_task(seed: int = 0) -> None:
+    """Raise on every attempt (exception path, worker survives)."""
+    raise RuntimeError("this task always fails")
+
+
+def sleep_task(duration_s: float = 60.0, seed: int = 0) -> float:
+    """Hang long enough to trip any configured task timeout."""
+    time.sleep(duration_s)
+    return duration_s

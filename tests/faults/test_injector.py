@@ -1,0 +1,224 @@
+"""FaultInjector effects on live links, determinism, and tracing."""
+
+import pytest
+
+from repro import PathConfig, Scenario
+from repro.core.errors import ConfigurationError
+from repro.faults import FaultEvent, FaultSpec
+from repro.obs.summary import render_summary, summarize_events
+from repro.obs.trace import TraceRecorder
+
+
+def _scenario(seed=7, recorder=None):
+    scenario = Scenario(seed=seed, recorder=recorder)
+    scenario.add_path(PathConfig(name="wifi", down_mbps=10, up_mbps=5,
+                                 rtt_ms=40))
+    scenario.add_path(PathConfig(name="lte", down_mbps=8, up_mbps=4,
+                                 rtt_ms=80))
+    return scenario
+
+
+def _links(scenario, name):
+    path = scenario.path(name)
+    return path.uplink, path.downlink
+
+
+class TestInjectorEffects:
+    def test_outage_downs_and_restores_both_links(self):
+        scenario = _scenario()
+        scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="outage", path="wifi", at_s=1.0, duration_s=2.0),
+        )))
+        scenario.loop.run(until=1.5)
+        assert all(not link.up for link in _links(scenario, "wifi"))
+        assert all(link.up for link in _links(scenario, "lte"))
+        scenario.loop.run(until=4.0)
+        assert all(link.up for link in _links(scenario, "wifi"))
+
+    def test_blackhole_keeps_link_up_but_unplugs_path(self):
+        scenario = _scenario()
+        scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="blackhole", path="wifi", at_s=1.0,
+                       duration_s=2.0),
+        )))
+        scenario.loop.run(until=1.5)
+        path = scenario.path("wifi")
+        assert path.unplugged and path.admin_up
+        assert all(link.up and link.blackhole
+                   for link in _links(scenario, "wifi"))
+        scenario.loop.run(until=4.0)
+        assert not path.unplugged
+
+    def test_detected_blackhole_raises_admin_signal(self):
+        scenario = _scenario()
+        scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="blackhole", path="wifi", at_s=1.0,
+                       duration_s=2.0, detected=True),
+        )))
+        scenario.loop.run(until=1.5)
+        path = scenario.path("wifi")
+        assert path.unplugged and not path.admin_up
+        scenario.loop.run(until=4.0)
+        assert not path.unplugged and path.admin_up
+
+    def test_iface_down_flips_admin_state(self):
+        scenario = _scenario()
+        scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="iface_down", path="lte", at_s=1.0,
+                       duration_s=2.0),
+        )))
+        scenario.loop.run(until=1.5)
+        assert not scenario.path("lte").admin_up
+        scenario.loop.run(until=4.0)
+        assert scenario.path("lte").admin_up
+
+    def test_rate_collapse_scales_and_restores(self):
+        scenario = _scenario()
+        uplink, downlink = _links(scenario, "wifi")
+        base = downlink.rate_bytes_per_sec
+        scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="rate_collapse", path="wifi", at_s=1.0,
+                       duration_s=2.0, factor=0.25),
+        )))
+        scenario.loop.run(until=1.5)
+        assert downlink.rate_bytes_per_sec == pytest.approx(base * 0.25)
+        assert uplink.rate_bytes_per_sec < uplink._base_rate_bytes_per_sec
+        scenario.loop.run(until=4.0)
+        assert downlink.rate_bytes_per_sec == pytest.approx(base)
+
+    def test_delay_spike_adds_and_removes_propagation_delay(self):
+        scenario = _scenario()
+        uplink, downlink = _links(scenario, "wifi")
+        base = downlink.propagation_delay_s
+        scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="delay_spike", path="wifi", at_s=1.0,
+                       duration_s=2.0, extra_delay_s=0.3),
+        )))
+        scenario.loop.run(until=1.5)
+        assert downlink.propagation_delay_s == pytest.approx(base + 0.3)
+        scenario.loop.run(until=4.0)
+        assert downlink.propagation_delay_s == pytest.approx(base)
+
+    def test_burst_loss_swaps_and_restores_loss_model(self):
+        from repro.net.loss import GilbertElliottLoss
+
+        scenario = _scenario()
+        uplink, downlink = _links(scenario, "wifi")
+        original = downlink.loss
+        scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="burst_loss", path="wifi", at_s=1.0,
+                       duration_s=2.0),
+        )))
+        scenario.loop.run(until=1.5)
+        assert isinstance(downlink.loss, GilbertElliottLoss)
+        scenario.loop.run(until=4.0)
+        assert downlink.loss is original
+
+    def test_applied_log_is_chronological(self):
+        scenario = _scenario()
+        injector = scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="outage", path="wifi", at_s=2.0, duration_s=1.0),
+            FaultEvent(kind="iface_down", path="lte", at_s=1.0),
+        )))
+        scenario.loop.run(until=5.0)
+        entries = injector.applied_dicts()
+        assert [(e["t"], e["edge"], e["kind"]) for e in entries] == [
+            (1.0, "inject", "iface_down"),
+            (2.0, "inject", "outage"),
+            (3.0, "clear", "outage"),
+        ]
+
+
+class TestInjectorValidation:
+    def test_unknown_path_rejected(self):
+        scenario = _scenario()
+        with pytest.raises(ConfigurationError, match="unknown paths"):
+            scenario.inject_faults(FaultSpec(events=(
+                FaultEvent(kind="outage", path="dsl", at_s=1.0),
+            )))
+
+    def test_rate_collapse_requires_fixed_rate_links(self):
+        from repro.net.trace import DeliveryTrace
+
+        scenario = Scenario(seed=7)
+        trace = DeliveryTrace([10, 20, 30])
+        scenario.add_path(PathConfig(name="wifi", rtt_ms=40,
+                                     up_trace=trace, down_trace=trace))
+        with pytest.raises(ConfigurationError, match="fixed-rate"):
+            scenario.inject_faults(FaultSpec(events=(
+                FaultEvent(kind="rate_collapse", path="wifi", at_s=1.0,
+                           duration_s=2.0, factor=0.5),
+            )))
+
+    def test_burst_loss_requires_rng(self):
+        from repro.faults.injector import FaultInjector
+
+        scenario = _scenario()
+        with pytest.raises(ConfigurationError, match="burst_loss"):
+            FaultInjector(
+                FaultSpec(events=(
+                    FaultEvent(kind="burst_loss", path="wifi", at_s=1.0,
+                               duration_s=2.0),
+                )),
+                scenario.loop,
+                {"wifi": scenario.path("wifi")},
+                rng=None,
+            )
+
+
+class TestInjectorObservability:
+    def _run_traced(self):
+        from repro.net.telemetry import QueueDepthTracker
+
+        recorder = TraceRecorder()
+        scenario = _scenario(recorder=recorder)
+        tracker = QueueDepthTracker(
+            scenario.loop, scenario.path("wifi").downlink,
+            recorder=recorder,
+        )
+        scenario.inject_faults(FaultSpec(events=(
+            FaultEvent(kind="blackhole", path="wifi", at_s=1.0,
+                       duration_s=2.0),
+        )))
+        scenario.loop.run(until=5.0)
+        tracker.stop()
+        return recorder
+
+    def test_typed_fault_events_emitted(self):
+        recorder = self._run_traced()
+        kinds = [e.kind for e in recorder.events
+                 if e.kind.startswith("fault_")]
+        assert "fault_inject" in kinds and "fault_clear" in kinds
+        inject = next(e for e in recorder.events
+                      if e.kind == "fault_inject")
+        assert inject.path == "wifi"
+        assert inject.fields["fault"] == "blackhole"
+        assert inject.fields["duration_s"] == 2.0
+
+    def test_link_state_changes_land_in_trace(self):
+        # The QueueDepthTracker subscribes to the link's state-change
+        # observers; set_blackhole must surface as fault_state events.
+        recorder = self._run_traced()
+        states = [e.fields["state"] for e in recorder.events
+                  if e.kind == "fault_state"]
+        assert "blackhole_on" in states and "blackhole_off" in states
+
+    def test_summarize_renders_fault_timeline(self):
+        recorder = self._run_traced()
+        text = render_summary(summarize_events(recorder.events))
+        assert "fault timeline:" in text
+        assert "inject blackhole" in text
+        assert "clear blackhole" in text
+
+
+class TestDeterminism:
+    def _report(self, workers):
+        from repro.experiments.failover import build_specs
+        from repro.workload import Session
+
+        specs = build_specs(seed=11, fast=True)
+        burst = [s for s in specs if s.key() == "burst_loss"]
+        return Session().run_many(burst, workers=workers, cache=False)[0]
+
+    def test_burst_loss_bit_identical_across_workers(self):
+        assert self._report(1) == self._report(2)

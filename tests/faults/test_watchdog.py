@@ -1,0 +1,68 @@
+"""EventLoop watchdog: event and simulated-time budgets."""
+
+import pytest
+
+from repro.core.errors import EventBudgetExceeded
+from repro.core.events import EventLoop
+
+
+def _self_rescheduling(loop, period=0.001):
+    def tick():
+        loop.call_later(period, tick)
+
+    loop.call_later(period, tick)
+    return tick
+
+
+class TestEventBudget:
+    def test_runaway_loop_raises_instead_of_spinning(self):
+        loop = EventLoop()
+        _self_rescheduling(loop)
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            loop.run(max_events=100)
+        assert "event budget exhausted after 100 events" in str(excinfo.value)
+
+    def test_diagnostics_name_the_hot_spinner(self):
+        loop = EventLoop()
+        _self_rescheduling(loop)
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            loop.run(max_events=50)
+        diagnostics = excinfo.value.diagnostics
+        assert "loop:" in diagnostics
+        # The dump points at the callback that keeps rescheduling.
+        assert "tick" in diagnostics
+        assert "next:" in diagnostics
+
+    def test_budget_not_charged_for_cancelled_events(self):
+        loop = EventLoop()
+        fired = []
+        events = [loop.call_at(float(i), lambda i=i: fired.append(i))
+                  for i in range(20)]
+        for event in events[5:]:
+            event.cancel()
+        loop.run(max_events=5)
+        assert len(fired) == 5
+
+
+class TestSimTimeBudget:
+    def test_event_past_budget_raises(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: fired.append(1.0))
+        loop.call_at(10.0, lambda: fired.append(10.0))
+        with pytest.raises(EventBudgetExceeded) as excinfo:
+            loop.run(until=20.0, max_sim_time=5.0)
+        # Events inside the budget still run; the one past it trips
+        # the watchdog instead of silently advancing the clock.
+        assert fired == [1.0]
+        assert "max_sim_time=5.0" in str(excinfo.value)
+        assert "loop:" in excinfo.value.diagnostics
+
+    def test_until_inside_budget_is_a_normal_stop(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: fired.append(1.0))
+        loop.call_at(10.0, lambda: fired.append(10.0))
+        loop.run(until=5.0, max_sim_time=50.0)
+        assert fired == [1.0]
+        assert loop.now == 5.0

@@ -37,3 +37,18 @@ class TestTraceCli:
     def test_rejects_unknown_technology(self):
         with pytest.raises(SystemExit):
             main(["satellite", "6.0"])
+
+
+class TestOutageFlag:
+    def test_outage_carves_gap(self, tmp_path):
+        out = str(tmp_path / "lte.trace")
+        assert main(["lte", "8.0", "--duration-ms", "4000",
+                     "--outage", "1000", "500", "--out", out]) == 0
+        trace = DeliveryTrace.load(out)
+        assert not [ms for ms in trace.offsets_ms if 1000 <= ms < 1500]
+
+    def test_invalid_outage_exits_2(self, tmp_path, capsys):
+        out = str(tmp_path / "lte.trace")
+        assert main(["lte", "8.0", "--duration-ms", "4000",
+                     "--outage", "3900", "500", "--out", out]) == 2
+        assert "outage" in capsys.readouterr().err

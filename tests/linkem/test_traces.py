@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.core.errors import ConfigurationError
-from repro.linkem.traces import synth_lte_trace, synth_wifi_trace
+from repro.linkem.traces import synth_lte_trace, synth_wifi_trace, with_outage
 
 
 class TestLteTrace:
@@ -66,3 +66,29 @@ class TestWifiTrace:
     def test_invalid_contention_rejected(self):
         with pytest.raises(ConfigurationError):
             synth_wifi_trace(random.Random(1), 8.0, contention=1.0)
+
+
+class TestWithOutage:
+    def _trace(self):
+        return synth_lte_trace(random.Random(3), 8.0, duration_ms=4000)
+
+    def test_gap_has_no_opportunities(self):
+        trace = with_outage(self._trace(), 1000, 500)
+        assert not [ms for ms in trace.offsets_ms if 1000 <= ms < 1500]
+        assert trace.period_ms == 4000
+
+    def test_opportunities_outside_gap_preserved(self):
+        base = self._trace()
+        trace = with_outage(base, 1000, 500)
+        expected = [ms for ms in base.offsets_ms if not 1000 <= ms < 1500]
+        assert trace.offsets_ms == expected
+
+    def test_outage_must_fit_inside_period(self):
+        with pytest.raises(ConfigurationError, match="period"):
+            with_outage(self._trace(), 3900, 200)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ConfigurationError, match="start"):
+            with_outage(self._trace(), -1, 100)
+        with pytest.raises(ConfigurationError, match="duration"):
+            with_outage(self._trace(), 10, 0)

@@ -177,10 +177,16 @@ class TestResultCache:
         path = cache._path(key)
         # Two corruption flavours: an UnpicklingError and a truncated
         # opcode stream that raises ValueError inside pickle.
+        import warnings
+
         for garbage in (b"not a pickle", b"garbage\n"):
             with open(path, "wb") as handle:
                 handle.write(garbage)
-            hit, _ = cache.get(key)
+            with warnings.catch_warnings():
+                # The warn-once corruption notice is covered by
+                # tests/faults/test_hardening.py; here it is noise.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                hit, _ = cache.get(key)
             assert not hit
 
 

@@ -43,9 +43,6 @@ class TestBulkTransfer:
         assert result.throughput_mbps > 0.7 * 6.0
 
     def test_faster_link_gives_higher_throughput(self):
-        slow = _scenario(down=2.0).run_transfer(
-            _scenario(down=2.0).tcp("wifi", 500 * KB)
-        )
         # Build each scenario separately (independent event loops).
         scenario_slow = _scenario(down=2.0)
         slow = scenario_slow.run_transfer(scenario_slow.tcp("wifi", 500 * KB))

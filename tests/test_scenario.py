@@ -3,7 +3,7 @@
 import pytest
 
 from repro import MptcpOptions, PathConfig, Scenario
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, TransferDeadlineExceeded
 
 
 def _config(name="wifi"):
@@ -45,12 +45,24 @@ class TestRunTransfer:
         assert result.throughput_mbps > 0
         assert result.delivery_log[-1][1] == 100_000
 
-    def test_deadline_prevents_hangs(self):
+    def test_deadline_raises_typed_error(self):
+        scenario = Scenario()
+        scenario.add_path(_config())
+        scenario.path("wifi").unplug()
+        with pytest.raises(TransferDeadlineExceeded) as excinfo:
+            scenario.run_transfer(scenario.tcp("wifi", 100_000),
+                                  deadline_s=2.0)
+        assert excinfo.value.deadline_s == 2.0
+        assert excinfo.value.total_bytes == 100_000
+        assert excinfo.value.bytes_acked < 100_000
+        assert not excinfo.value.result.completed
+
+    def test_deadline_partial_ok_returns_incomplete_result(self):
         scenario = Scenario()
         scenario.add_path(_config())
         scenario.path("wifi").unplug()
         result = scenario.run_transfer(scenario.tcp("wifi", 100_000),
-                                       deadline_s=2.0)
+                                       deadline_s=2.0, partial_ok=True)
         assert not result.completed
 
     def test_sequential_transfers_share_loop(self):
