@@ -9,13 +9,31 @@ headline claims hold.
 """
 
 import os
+from typing import Dict, Optional
 
 from repro.experiments.common import ExperimentResult
 from repro.parallel import resolve_workers, set_default_workers
 
-__all__ = ["run_once", "emit"]
+__all__ = ["run_once", "emit", "bench_environment"]
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def bench_environment(workers: Optional[int] = None) -> Dict[str, object]:
+    """Machine context stamped into every ``BENCH_*.json``.
+
+    Wall-clock comparisons across PRs are meaningless without knowing
+    what ran them: the visible core count, the worker count the run
+    actually resolved to, and a ``single_core`` flag CI can use to
+    discount parallel-speedup numbers measured on one core.
+    """
+    cpu_count = os.cpu_count() or 1
+    effective_workers = resolve_workers(workers)
+    return {
+        "cpu_count": cpu_count,
+        "effective_workers": effective_workers,
+        "single_core": cpu_count <= 1 or effective_workers <= 1,
+    }
 
 
 def emit(result: ExperimentResult, capfd=None) -> None:

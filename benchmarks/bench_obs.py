@@ -117,8 +117,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig06_traced_s": traced_s,
         "fig06_traced_ratio": traced_ratio,
         "repeats": args.repeats,
-        "cpu_count": os.cpu_count(),
     }
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from _harness import bench_environment
+
+    results.update(bench_environment(1))
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -68,10 +68,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     os.environ.pop(CACHE_DIR_ENV, None)
     os.environ.pop(CACHE_TOGGLE_ENV, None)
 
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from _harness import bench_environment
+
+    results.update(bench_environment(args.workers))
     results.update({
         "experiment": "fig09_10 --fast",
         "workers": args.workers,
-        "cpu_count": os.cpu_count(),
         "parallel_speedup": round(
             results["serial_s"] / max(results["parallel_s"], 1e-9), 2
         ),

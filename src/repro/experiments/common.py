@@ -37,6 +37,7 @@ __all__ = [
     "crowd_dataset",
     "MPTCP_VARIANTS",
     "FLOW_SIZES",
+    "FLOW_CAPABLE",
 ]
 
 #: The paper's canonical flow sizes (§3.4, §3.5).
@@ -310,12 +311,28 @@ def config_seed(seed: int, label: str) -> int:
 #: Populated lazily by the runner; maps experiment id → run callable.
 EXPERIMENTS: Dict[str, Callable] = {}
 
+#: Experiment ids whose sweeps are meaningful at flow fidelity: they
+#: consume only throughput/duration aggregates of spec-driven
+#: transfers.  Everything else needs packet-level signals (RTT
+#: samples, cwnd traces, energy activity, live connections) that the
+#: flow engine does not produce; ``--fidelity flow`` rejects those
+#: up front rather than rendering silently-wrong figures.
+FLOW_CAPABLE: Dict[str, bool] = {}
 
-def register(experiment_id: str):
-    """Decorator registering an experiment's ``run`` for the CLI."""
+
+def register(experiment_id: str, flow_capable: bool = False):
+    """Decorator registering an experiment's ``run`` for the CLI.
+
+    ``flow_capable=True`` declares that the experiment's outputs stay
+    valid when its transfers run on the flow-level engine (see
+    :mod:`repro.flow`): every transfer goes through
+    :func:`run_spec`/:func:`tcp_task`/:func:`mptcp_task` and only
+    aggregate throughput/duration is consumed.
+    """
 
     def wrap(fn):
         EXPERIMENTS[experiment_id] = fn
+        FLOW_CAPABLE[experiment_id] = flow_capable
         return fn
 
     return wrap

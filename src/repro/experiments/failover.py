@@ -148,7 +148,7 @@ def _outcome_line(report: TransferReport) -> str:
     return f"  {report.label:14s} {outcome}   [{edges}]"
 
 
-@register("failover")
+@register("failover", flow_capable=True)
 def run(seed: int = DEFAULT_SEED, fast: bool = False,
         workers: Optional[int] = None) -> ExperimentResult:
     specs = build_specs(seed, fast=fast)

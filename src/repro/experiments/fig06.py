@@ -32,7 +32,7 @@ def ks_distance(a: Cdf, b: Cdf) -> float:
     return max(abs(a.evaluate(x) - b.evaluate(x)) for x in points)
 
 
-@register("fig06")
+@register("fig06", flow_capable=True)
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     sites = TABLE1_SITES[:8] if fast else TABLE1_SITES
     app_data = CellVsWifiApp(seed=seed).collect_all(sites).analysis_set()

@@ -61,7 +61,7 @@ def primary_relative_differences(
     return samples
 
 
-@register("fig08")
+@register("fig08", flow_capable=True)
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     samples = primary_relative_differences(
         seed,

@@ -63,7 +63,7 @@ def cc_relative_differences(
     return samples
 
 
-@register("fig13")
+@register("fig13", flow_capable=True)
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     samples = cc_relative_differences(
         seed,

@@ -83,7 +83,7 @@ def network_and_cc_differences(
     return out
 
 
-@register("fig14")
+@register("fig14", flow_capable=True)
 def run(seed: int = DEFAULT_SEED, fast: bool = False) -> ExperimentResult:
     diffs = network_and_cc_differences(
         seed,

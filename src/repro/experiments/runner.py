@@ -28,7 +28,8 @@ from typing import List, Optional
 
 from repro.core.errors import ConfigurationError, SweepTaskError
 from repro.core.rng import DEFAULT_SEED
-from repro.experiments.common import EXPERIMENTS
+from repro.experiments.common import EXPERIMENTS, FLOW_CAPABLE
+from repro.flow.fidelity import resolve_fidelity, set_default_fidelity
 from repro.obs.progress import PROGRESS_ENV
 from repro.obs.trace import TRACE_DIR_ENV
 from repro.parallel import resolve_workers, set_default_workers
@@ -86,6 +87,16 @@ def _apply_obs_flags(trace_dir: Optional[str], progress: bool) -> None:
         os.environ[PROGRESS_ENV] = "1"
 
 
+def _add_fidelity_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fidelity", choices=("packet", "flow"),
+                        default=None,
+                        help="run every transfer at this fidelity "
+                             "(default: each spec's own, normally "
+                             "packet; flow is the 100-1000x faster "
+                             "analytic engine — aggregates only). "
+                             "Overrides $REPRO_FIDELITY.")
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="DIR", default=None,
                         help="write JSONL transport traces and run "
@@ -133,6 +144,7 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
                         help="apply a FaultSpec JSON schedule (see "
                              "examples/faults.json) to every transfer "
                              "that does not already carry one")
+    _add_fidelity_argument(parser)
     _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -140,6 +152,8 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
         os.environ[CACHE_TOGGLE_ENV] = "0"
     _apply_obs_flags(args.trace, args.progress)
     try:
+        set_default_fidelity(args.fidelity)
+        resolve_fidelity()  # surface a bad $REPRO_FIDELITY before running
         workers = resolve_workers(args.workers)
         with open(args.workload, "r", encoding="utf-8") as handle:
             workload = WorkloadSpec.from_json(handle.read())
@@ -205,10 +219,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore and do not populate the on-disk "
                              "sweep result cache")
+    _add_fidelity_argument(parser)
     _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
+        set_default_fidelity(args.fidelity)
+        fidelity = resolve_fidelity()
         workers = resolve_workers(args.workers)
     except ConfigurationError as exc:
         parser.error(str(exc))
@@ -231,6 +248,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
         return 2
+    if fidelity == "flow":
+        packet_only = [n for n in names if not FLOW_CAPABLE.get(n)]
+        if packet_only:
+            capable = sorted(n for n, ok in FLOW_CAPABLE.items() if ok)
+            print(
+                "flow fidelity only reproduces throughput/duration "
+                f"aggregates; {', '.join(packet_only)} need(s) "
+                "packet-level signals (RTT samples, cwnd traces, "
+                "energy activity, live connections).\n"
+                f"flow-capable experiments: {', '.join(capable)}",
+                file=sys.stderr,
+            )
+            return 2
 
     for name in names:
         started = time.time()

@@ -1,0 +1,759 @@
+"""The flow-level transfer executor.
+
+Executes one :class:`~repro.workload.spec.TransferSpec` without an
+event loop or packets: each subflow is a bandwidth-share state machine
+(slow-start ramp → steady rate), and simulated time advances straight
+to the next instant at which any share changes — a fault edge, a
+subflow establishing, a congestion-window growth step, or the
+predicted completion itself.  Whenever shares change, the pending
+events are simply regenerated from the new rates (the dt-simulator
+idiom), so a transfer costs tens of iterations instead of one event
+per segment.
+
+The output is the same canonical
+:class:`~repro.workload.report.TransferReport` the packet engine
+produces: a densified delivery log (so ``time_to_bytes`` and the
+figure pipelines work unchanged), per-subflow logs keyed by path name,
+a metrics snapshot that reconciles exactly with the emitted trace
+events, and the fired fault edges in
+:class:`~repro.faults.injector.AppliedFault` form.
+
+Flow runs emit a *reduced* observability stream — ``subflow_add``,
+``sched``, ``send`` (per rate interval, not per segment), and
+``fault_state`` — all schema-valid :mod:`repro.obs.trace` kinds, so
+``obs summarize`` and the fault timeline still render.
+
+Determinism: the only randomness is the packet engine's own
+``jitter.{path}``/``trace.{path}`` streams (consumed identically, see
+:func:`repro.flow.model.path_flow_params`); everything else is pure
+arithmetic on the spec.  Reports are therefore bit-identical for any
+worker count.
+"""
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import DEFAULT_SEED, RngStreams
+from repro.faults.injector import AppliedFault
+from repro.faults.spec import FaultEvent
+from repro.flow.model import (
+    CONGESTION_AVOIDANCE_GROWTH,
+    FlowPathParams,
+    LOSS_CONVERGENCE_EVENTS,
+    SLOW_START_GROWTH,
+    ge_stationary_loss,
+    loss_transient_factor,
+    path_flow_params,
+    pipe_capacity_bytes,
+    steady_goodput_bytes_s,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
+from repro.tcp.config import TcpConfig
+from repro.workload.report import TransferReport
+from repro.workload.spec import KIND_TCP, TransferSpec
+
+__all__ = ["run_flow_spec"]
+
+_EPS = 1e-9
+#: Loss events (segments × loss rate) past which the slow-start
+#: transient is below float resolution: exp(-50) ≈ 2e-22, so the
+#: blended cap is bit-identical to the converged one and can be
+#: memoized independently of further progress.
+_TRANSIENT_SPENT = 50.0 * LOSS_CONVERGENCE_EVENTS
+#: Densification step of the delivery logs (matches the packet-side
+#: throughput-series step in :mod:`repro.analysis.throughput`).
+_LOG_STEP_S = 0.05
+#: Hard bound on engine iterations — generous (a worst-case run has a
+#: few thousand breakpoints) but keeps a modelling bug from spinning.
+_MAX_ITERATIONS = 200_000
+
+
+class _PathState:
+    """One path's live share inputs: base params + active fault edges."""
+
+    def __init__(self, params: FlowPathParams) -> None:
+        self.params = params
+        #: Bumped on every fault edge; subflow rate memos key on it.
+        self.epoch = 0
+        #: Links dropped (``outage``/``blackhole``): packets vanish.
+        self.down = False
+        #: Explicit admin removal (``iface_down``, detected blackhole):
+        #: MPTCP stops scheduling onto the path; plain TCP — whose
+        #: links are untouched by the admin signal — keeps sending.
+        self.admin_down = False
+        self.rate_factor = 1.0
+        self.extra_delay_s = 0.0
+        self.loss_rate = params.loss_rate
+        self._saved_loss: Dict[int, float] = {}
+
+    @property
+    def rtt_s(self) -> float:
+        # A delay spike adds one-way delay on both links of the path.
+        return self.params.rtt_s + 2.0 * self.extra_delay_s
+
+    @property
+    def wire_bytes_s(self) -> float:
+        if self.down:
+            return 0.0
+        return self.params.wire_bytes_s * self.rate_factor
+
+    def apply_edge(self, index: int, event: FaultEvent, edge: str) -> None:
+        self.epoch += 1
+        inject = edge == "inject"
+        kind = event.kind
+        if kind == "outage":
+            self.down = inject
+        elif kind == "blackhole":
+            self.down = inject
+            if event.detected:
+                self.admin_down = inject
+        elif kind == "iface_down":
+            self.admin_down = inject
+        elif kind == "rate_collapse":
+            # The link knob scales from the *base* rate and restores it
+            # outright, so the last edge wins (no compounding).
+            self.rate_factor = event.factor if inject else 1.0
+        elif kind == "delay_spike":
+            self.extra_delay_s = event.extra_delay_s if inject else 0.0
+        elif kind == "burst_loss":
+            if inject:
+                self._saved_loss[index] = self.loss_rate
+                self.loss_rate = ge_stationary_loss(
+                    event.p_good_to_bad, event.p_bad_to_good,
+                    event.p_good, event.p_bad,
+                )
+            else:
+                self.loss_rate = self._saved_loss.pop(
+                    index, self.params.loss_rate
+                )
+
+
+class _Subflow:
+    """One subflow's bandwidth-share state machine."""
+
+    def __init__(
+        self,
+        subflow_id: int,
+        state: _PathState,
+        config: TcpConfig,
+        cc: str,
+        is_mptcp: bool,
+        established_at: Optional[float],
+        gated: bool = False,
+    ) -> None:
+        self.subflow_id = subflow_id
+        self.state = state
+        self.config = config
+        self.cc = cc
+        self.is_mptcp = is_mptcp
+        #: Handshake completion; ``None`` = not scheduled yet
+        #: (singlepath standby subflows open only on failover).
+        self.established_at = established_at
+        self.established = False
+        #: Carries no data while gated (backup-mode standby).
+        self.gated = gated
+        self.cwnd = float(config.initial_cwnd_segments)
+        self.ssthresh = (
+            float(config.initial_ssthresh_segments)
+            if config.initial_ssthresh_segments is not None
+            else math.inf
+        )
+        self.steady = False
+        self.next_ramp_at: Optional[float] = None
+        #: Set while the path is unusable; cleared by a fresh ramp.
+        self.interrupted = False
+        self.delivered = 0.0
+        #: Residual bytes this subflow still owes once the source has
+        #: drained (``None`` until drain mode allocates it).
+        self.drain_target: Optional[float] = None
+        #: Cumulative (time, bytes) breakpoints, densified at the end.
+        self.log: List[Tuple[float, float]] = []
+        self.sent_bytes_int = 0
+        self.send_events = 0
+        self.handshake_rtt_s: Optional[float] = None
+        # Rate-model memos (see steady_cap / pipe_bytes).
+        self._cap_key: Optional[Tuple[int, float]] = None
+        self._cap_value = 0.0
+        self._pipe_key: Optional[Tuple[int, float]] = None
+        self._pipe_value = 0.0
+
+    # -- share inputs ---------------------------------------------------
+    @property
+    def path_usable(self) -> bool:
+        if self.state.down:
+            return False
+        if self.is_mptcp and self.state.admin_down:
+            return False
+        return True
+
+    def steady_cap(self) -> float:
+        # Pure in (fault-state epoch, delivered); the engine evaluates
+        # it several times per breakpoint, so memoize on exact state —
+        # a cache hit returns the identical float (determinism-safe).
+        # On a lossless path the cap does not depend on progress at
+        # all, and once the loss transient has fully decayed (beyond
+        # float resolution) it never changes again; both collapse the
+        # key so the memo survives across breakpoints.
+        loss = self.state.loss_rate
+        segments = self.delivered / self.config.mss_bytes
+        if loss <= 0.0:
+            key = (self.state.epoch, -1.0)
+        elif segments * loss >= _TRANSIENT_SPENT:
+            key = (self.state.epoch, -2.0)
+            segments = math.inf
+        else:
+            key = (self.state.epoch, self.delivered)
+        if key == self._cap_key:
+            return self._cap_value
+        if not self.path_usable:
+            value = 0.0
+        else:
+            value = steady_goodput_bytes_s(
+                self.state.wire_bytes_s, self.state.rtt_s,
+                loss, self.config, self.cc,
+                segments_delivered=segments,
+            )
+        self._cap_key = key
+        self._cap_value = value
+        return value
+
+    def rate(self) -> float:
+        """Current goodput share, bytes per second."""
+        if not self.established or self.gated:
+            return 0.0
+        if (
+            self.drain_target is not None
+            and self.delivered >= self.drain_target - 0.5
+        ):
+            return 0.0  # committed backlog fully delivered
+        cap = self.steady_cap()
+        if cap <= 0.0:
+            return 0.0
+        if self.steady:
+            return cap
+        cwnd_rate = self.cwnd * self.config.mss_bytes / self.state.rtt_s
+        return min(cap, cwnd_rate)
+
+    def pipe_bytes(self, rate: float) -> float:
+        """This subflow's maximum commitment (BDP + bloated queue)."""
+        key = (self.state.epoch, rate)
+        if key == self._pipe_key:
+            return self._pipe_value
+        value = pipe_capacity_bytes(
+            rate, self.state.rtt_s, self.state.loss_rate,
+            self.config, self.cc, self.state.params.queue_packets,
+        )
+        self._pipe_key = key
+        self._pipe_value = value
+        return value
+
+    def inflight_bytes(self, rate: float) -> float:
+        """Committed-but-undelivered bytes currently in the pipe.
+
+        The live congestion window bounds the commitment while the
+        subflow is still ramping; at steady state the window has grown
+        to cover the whole pipe (including the DropTail queue it keeps
+        full on a capacity-limited path).
+        """
+        if rate <= 0.0:
+            return 0.0
+        pipe = self.pipe_bytes(rate)
+        if self.steady:
+            return pipe
+        return min(self.cwnd * self.config.mss_bytes, pipe)
+
+    # -- transitions ----------------------------------------------------
+    def next_time(self, now: float) -> Optional[float]:
+        if not self.established:
+            if self.established_at is not None and self.established_at > now:
+                return self.established_at
+            return None
+        return self.next_ramp_at
+
+    def establish(self, now: float) -> None:
+        self.established = True
+        self.handshake_rtt_s = self.state.rtt_s
+        self.log.append((now, 0.0))
+        self._begin_ramp(now)
+
+    def _begin_ramp(self, now: float) -> None:
+        self.steady = False
+        self.next_ramp_at = (
+            now + self.state.rtt_s if self.path_usable and not self.gated
+            else None
+        )
+
+    def ramp_step(self, now: float) -> None:
+        cap = self.steady_cap()
+        if cap <= 0.0 or self.gated:
+            self.next_ramp_at = None
+            return
+        # The window grows until it covers the larger of the current
+        # cap's own window (the slow-start overshoot riding the loss
+        # transient) and the committed pipe: on a capacity-limited
+        # path the excess sits in the bottleneck queue (bufferbloat),
+        # and that commitment is what the drain model measures.
+        # Delivered rate stays capped throughout (see :meth:`rate`).
+        target = max(cap * self.state.rtt_s, self.pipe_bytes(cap))
+        if self.cwnd * self.config.mss_bytes >= target - 0.5:
+            # Stay event-driven while the loss transient is still
+            # decaying the cap; go silent once converged.
+            transient = loss_transient_factor(
+                self.delivered / self.config.mss_bytes,
+                self.state.loss_rate,
+            )
+            if transient > 0.02:
+                self.next_ramp_at = now + self.state.rtt_s
+            else:
+                self.steady = True
+                self.next_ramp_at = None
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd * SLOW_START_GROWTH, self.ssthresh)
+        else:
+            self.cwnd *= CONGESTION_AVOIDANCE_GROWTH
+        self.next_ramp_at = now + self.state.rtt_s
+
+    def on_path_change(self, now: float) -> None:
+        """Re-derive ramp state after a fault edge touched the path."""
+        if not self.established:
+            return
+        if not self.path_usable:
+            self.interrupted = True
+            self.next_ramp_at = None
+            return
+        if self.interrupted:
+            # Resuming after an unusable episode: the packet stack
+            # comes back from an RTO with the loss window and half the
+            # old share as ssthresh.
+            cap = self.steady_cap()
+            cap_segments = (
+                cap * self.state.rtt_s / self.config.mss_bytes
+                if cap > 0.0 else self.cwnd
+            )
+            self.ssthresh = max(2.0, cap_segments / 2.0)
+            self.cwnd = float(self.config.loss_cwnd_segments)
+            self.interrupted = False
+            self._begin_ramp(now)
+        elif self.steady:
+            # Capacity moved (collapse/restore, loss episode): keep the
+            # current window and let the ramp re-approach the new cap.
+            self._begin_ramp(now)
+        elif self.next_ramp_at is None and not self.gated:
+            self._begin_ramp(now)
+
+    def on_ungated(self, now: float) -> None:
+        self.gated = False
+        if self.established and self.next_ramp_at is None and not self.steady:
+            self._begin_ramp(now)
+
+
+def _fault_edges(spec: TransferSpec) -> List[Tuple[float, int, int, str, FaultEvent]]:
+    """Inject/clear edges sorted by (time, arming order), like the
+    packet-side injector's event-loop callbacks."""
+    edges: List[Tuple[float, int, int, str, FaultEvent]] = []
+    if spec.faults is None:
+        return edges
+    order = 0
+    for index, event in enumerate(spec.faults.events):
+        edges.append((event.at_s, order, index, "inject", event))
+        order += 1
+        clears_at = event.clears_at
+        if clears_at is not None:
+            edges.append((clears_at, order, index, "clear", event))
+            order += 1
+    edges.sort(key=lambda edge: (edge[0], edge[1]))
+    return edges
+
+
+def _densify(points: List[Tuple[float, float]]) -> List[Tuple[float, int]]:
+    """Breakpoints → a packet-log-shaped cumulative (time, bytes) list.
+
+    Inserts grid points every ``_LOG_STEP_S`` inside long constant-rate
+    intervals so bisection helpers (``time_to_bytes``) resolve
+    intermediate flow sizes, and keeps only strictly increasing byte
+    counts plus the first point (matching packet logs, which only
+    record deliveries).
+    """
+    out: List[Tuple[float, int]] = []
+    last_bytes = -1
+    for i, (t, cum) in enumerate(points):
+        if i > 0:
+            t0, c0 = points[i - 1]
+            span = t - t0
+            if span > _LOG_STEP_S and cum > c0:
+                steps = int(span / _LOG_STEP_S)
+                for k in range(1, steps + 1):
+                    tk = t0 + k * _LOG_STEP_S
+                    if tk >= t - _EPS:
+                        break
+                    ck = int(round(c0 + (cum - c0) * (tk - t0) / span))
+                    if ck > last_bytes:
+                        out.append((tk, ck))
+                        last_bytes = ck
+        ci = int(round(cum))
+        if ci > last_bytes or not out:
+            out.append((t, ci))
+            last_bytes = ci
+    return out
+
+
+class _FlowRun:
+    """One transfer's flow-level execution (see :func:`run_flow_spec`)."""
+
+    def __init__(
+        self, spec: TransferSpec, seed: int,
+        recorder: Optional[TraceRecorder],
+    ) -> None:
+        self.spec = spec
+        self.recorder = recorder
+        self.config = spec.tcp_config() or TcpConfig()
+        rng = RngStreams(seed)
+        self.states = {
+            path_spec.name: _PathState(
+                path_flow_params(path_spec, spec.direction, rng)
+            )
+            for path_spec in spec.condition.paths
+        }
+        self.edges = _fault_edges(spec)
+        self.edge_i = 0
+        self.applied: List[AppliedFault] = []
+        self.now = 0.0
+        self.delivered = 0.0
+        self.log: List[Tuple[float, float]] = [(0.0, 0.0)]
+        self.completed_at: Optional[float] = None
+        #: True once the remaining bytes are split into per-subflow
+        #: committed-backlog drains (see :meth:`_allocate_drain`).
+        self._draining = False
+        self._fire_due_edges()  # schedules armed at t=0 apply before data
+        self.subflows = self._build_subflows()
+        #: Multipath runs track scheduler commitment (drain model);
+        #: single-subflow runs finish on plain delivery.
+        self._multipath = len(self.subflows) > 1
+        self._mode = (
+            spec.mptcp_options().mode if spec.kind != KIND_TCP else "tcp"
+        )
+        self._backup_names = self._backup_set()
+        self._refresh_gating()
+
+    # -- construction ---------------------------------------------------
+    def _build_subflows(self) -> List[_Subflow]:
+        spec = self.spec
+        if spec.kind == KIND_TCP:
+            state = self.states[spec.path]
+            subflow = _Subflow(
+                0, state, self.config, cc=spec.cc, is_mptcp=False,
+                established_at=1.5 * state.rtt_s,
+            )
+            return [subflow]
+        options = spec.mptcp_options()
+        primary_state = self.states[options.primary]
+        primary = _Subflow(
+            0, primary_state, self.config, spec.cc, is_mptcp=True,
+            established_at=1.5 * primary_state.rtt_s,
+        )
+        subflows = [primary]
+        join_at = (
+            0.0 if options.simultaneous_join
+            else primary_state.rtt_s
+            + options.join_delay_rtts * primary_state.rtt_s
+            + options.join_delay_s
+        )
+        next_id = 1
+        for path_spec in spec.condition.paths:
+            if path_spec.name == options.primary:
+                continue
+            state = self.states[path_spec.name]
+            established_at: Optional[float] = join_at + 1.5 * state.rtt_s
+            if options.mode == "singlepath":
+                established_at = None  # standby: opened on failover only
+            subflows.append(
+                _Subflow(
+                    next_id, state, self.config, spec.cc, is_mptcp=True,
+                    established_at=established_at,
+                )
+            )
+            next_id += 1
+        return subflows
+
+    def _backup_set(self) -> frozenset:
+        if self._mode != "backup":
+            return frozenset()
+        options = self.spec.mptcp_options()
+        if options.backup_paths is not None:
+            return frozenset(options.backup_paths)
+        return frozenset(
+            name for name in self.states if name != options.primary
+        )
+
+    # -- gating / failover ----------------------------------------------
+    def _refresh_gating(self) -> None:
+        if self._mode == "backup":
+            active_ok = any(
+                sf.path_usable and sf.established_at is not None
+                for sf in self.subflows
+                if sf.state.params.name not in self._backup_names
+            )
+            for sf in self.subflows:
+                if sf.state.params.name in self._backup_names:
+                    if active_ok:
+                        sf.gated = True
+                        sf.next_ramp_at = None
+                    elif sf.gated:
+                        sf.on_ungated(self.now)
+        elif self._mode == "singlepath":
+            primary = self.subflows[0]
+            if not primary.path_usable:
+                for sf in self.subflows[1:]:
+                    if sf.established_at is None:
+                        # Failover: open the standby subflow now.
+                        sf.established_at = self.now + 1.5 * sf.state.rtt_s
+                        primary.gated = True
+                        break
+
+    # -- observation -----------------------------------------------------
+    def _emit(self, kind: str, time: float, **kwargs) -> None:
+        if self.recorder is not None:
+            self.recorder.emit(kind, time, **kwargs)
+
+    def _emit_send(self, subflow: _Subflow, time: float) -> None:
+        """One ``send`` per subflow per rate interval (not per segment)."""
+        total = int(round(subflow.delivered))
+        delta = total - subflow.sent_bytes_int
+        if delta <= 0:
+            return
+        subflow.sent_bytes_int = total
+        subflow.send_events += 1
+        self._emit(
+            "send", time, path=subflow.state.params.name, flow_id=0,
+            subflow_id=subflow.subflow_id, length=delta, rxt=False,
+        )
+
+    # -- execution -------------------------------------------------------
+    def _fire_due_edges(self) -> None:
+        while (
+            self.edge_i < len(self.edges)
+            and self.edges[self.edge_i][0] <= self.now + _EPS
+        ):
+            _, _, index, edge, event = self.edges[self.edge_i]
+            self.edge_i += 1
+            self.states[event.path].apply_edge(index, event, edge)
+            self.applied.append(
+                AppliedFault(self.now, edge, index, event.kind, event.path)
+            )
+            self._emit(
+                "fault_state", self.now, path=event.path,
+                state=f"{event.kind}:{edge}", index=index,
+            )
+            for sf in getattr(self, "subflows", ()):
+                if sf.state.params.name == event.path:
+                    sf.on_path_change(self.now)
+                    self._emit_sched(sf)
+            # Rates just moved: any committed-backlog split is stale.
+            # Clearing it re-derives the commitment from the new shares
+            # (the packet stack's failover reinjection, approximately).
+            self._clear_drain()
+
+    def _clear_drain(self) -> None:
+        self._draining = False
+        for sf in getattr(self, "subflows", ()):
+            sf.drain_target = None
+
+    def _allocate_drain(self, rates: List[float]) -> None:
+        """Split the remaining bytes along current in-flight pipes.
+
+        Called the moment the scheduler's total *commitment*
+        (delivered + in-flight) covers the transfer — the source has
+        drained.  From here each subflow only delivers what was
+        already assigned to it, and the slowest pipe sets the
+        completion time (the straggler tail of the paper's Figs.
+        9/10).  A subflow that joins after this point carries nothing,
+        exactly like an MP_JOIN completing after the source emptied.
+        """
+        remaining = max(0.0, float(self.spec.nbytes) - self.delivered)
+        inflight = [
+            sf.inflight_bytes(rate)
+            for sf, rate in zip(self.subflows, rates)
+        ]
+        total = sum(inflight)
+        if total <= _EPS:
+            return
+        for sf, committed in zip(self.subflows, inflight):
+            sf.drain_target = (
+                sf.delivered + remaining * committed / total
+                if committed > 0.0 else None
+            )
+        self._draining = True
+
+    def _emit_sched(self, subflow: _Subflow) -> None:
+        if subflow.established:
+            self._emit(
+                "sched", self.now, path=subflow.state.params.name,
+                flow_id=0, subflow_id=subflow.subflow_id,
+                rate_bytes_s=round(subflow.rate(), 3),
+            )
+
+    def run(self) -> None:
+        nbytes = float(self.spec.nbytes)
+        deadline = self.spec.deadline_s
+        for _ in range(_MAX_ITERATIONS):
+            rates = [sf.rate() for sf in self.subflows]
+            total_rate = sum(rates)
+            t_next = deadline
+            if self.edge_i < len(self.edges):
+                t_next = min(t_next, max(self.now, self.edges[self.edge_i][0]))
+            for sf in self.subflows:
+                transition = sf.next_time(self.now)
+                if transition is not None and transition > self.now + _EPS:
+                    t_next = min(t_next, transition)
+            finishing = False
+            if self._draining:
+                # Each subflow drains its own committed share; its
+                # target-reach instant is a share transition.
+                for sf, rate in zip(self.subflows, rates):
+                    if sf.drain_target is not None and rate > _EPS:
+                        t_reach = (
+                            self.now + (sf.drain_target - sf.delivered) / rate
+                        )
+                        if t_reach <= t_next + _EPS:
+                            t_next = min(t_next, max(self.now, t_reach))
+            elif self._multipath and total_rate > _EPS:
+                # The source drains when the scheduler's commitment
+                # (delivered + in-flight) covers the transfer, which
+                # runs ahead of delivery by the in-flight sum.
+                inflight_total = sum(
+                    sf.inflight_bytes(rate)
+                    for sf, rate in zip(self.subflows, rates)
+                )
+                remaining = nbytes - self.delivered
+                if remaining <= inflight_total + 0.5:
+                    self._allocate_drain(rates)
+                    if self._draining:
+                        continue
+                else:
+                    t_drain = (
+                        self.now
+                        + (remaining - inflight_total) / total_rate
+                    )
+                    if t_drain <= t_next + _EPS:
+                        t_next = min(t_next, max(self.now, t_drain))
+            elif total_rate > _EPS:
+                t_finish = (
+                    self.now + (nbytes - self.delivered) / total_rate
+                )
+                if t_finish <= t_next + _EPS:
+                    t_next = min(t_next, t_finish)
+                    finishing = True
+            dt = max(0.0, t_next - self.now)
+            if dt > 0.0:
+                for sf, rate in zip(self.subflows, rates):
+                    if rate > 0.0:
+                        delta = rate * dt
+                        if sf.drain_target is not None:
+                            delta = min(
+                                delta,
+                                max(0.0, sf.drain_target - sf.delivered),
+                            )
+                        if delta > 0.0:
+                            sf.delivered += delta
+                            self.delivered += delta
+                            sf.log.append((t_next, sf.delivered))
+                            self._emit_send(sf, t_next)
+                self.log.append((t_next, min(self.delivered, nbytes)))
+            self.now = t_next
+            if finishing and self.delivered >= nbytes - 0.5:
+                self.delivered = nbytes
+                self.completed_at = self.now
+                return
+            if self._draining and self.delivered >= nbytes - 0.5:
+                pending = any(
+                    sf.drain_target is not None
+                    and sf.delivered < sf.drain_target - 0.5
+                    for sf in self.subflows
+                )
+                if not pending:
+                    self.delivered = nbytes
+                    self.completed_at = self.now
+                    return
+            if self.now >= deadline - _EPS:
+                return
+            self._fire_due_edges()
+            for sf in self.subflows:
+                if (
+                    not sf.established
+                    and sf.established_at is not None
+                    and sf.established_at <= self.now + _EPS
+                ):
+                    sf.establish(self.now)
+                    self._emit(
+                        "subflow_add", self.now,
+                        path=sf.state.params.name, flow_id=0,
+                        subflow_id=sf.subflow_id,
+                        rtt_s=sf.handshake_rtt_s,
+                    )
+                    self._emit_sched(sf)
+                elif (
+                    sf.next_ramp_at is not None
+                    and sf.next_ramp_at <= self.now + _EPS
+                ):
+                    sf.ramp_step(self.now)
+            self._refresh_gating()
+        raise ConfigurationError(
+            f"flow engine exceeded {_MAX_ITERATIONS} iterations for "
+            f"spec {self.spec.key()!r} — degenerate fault schedule?"
+        )
+
+    # -- reporting -------------------------------------------------------
+    def report(self) -> TransferReport:
+        registry = MetricsRegistry()
+        subflow_logs: Dict[str, List[Tuple[float, int]]] = {}
+        for sf in self.subflows:
+            if sf.established_at is None and not sf.established:
+                continue  # singlepath standby that never opened
+            name = sf.state.params.name
+            subflow_logs[name] = _densify(sf.log) if sf.log else []
+            labels = {"path": name, "subflow": str(sf.subflow_id)}
+            # segments_sent counts emitted (aggregate) send events so
+            # the reduced trace reconciles exactly with the snapshot.
+            registry.counter("segments_sent", **labels).inc(sf.send_events)
+            registry.counter("bytes_sent", **labels).inc(sf.sent_bytes_int)
+            registry.counter("retransmits", **labels).inc(0)
+            registry.counter("fast_retransmits", **labels).inc(0)
+            registry.counter("timeouts", **labels).inc(0)
+            if sf.established and sf.handshake_rtt_s is not None:
+                registry.histogram("handshake_rtt_s", path=name).observe(
+                    sf.handshake_rtt_s
+                )
+        return TransferReport(
+            total_bytes=self.spec.nbytes,
+            started_at=0.0,
+            completed_at=self.completed_at,
+            delivery_log=_densify(self.log),
+            subflow_delivery_logs=subflow_logs,
+            retransmits=0,
+            timeouts=0,
+            label=self.spec.key(),
+            metrics=registry.snapshot(),
+            faults=[fault.to_dict() for fault in self.applied],
+        )
+
+
+def run_flow_spec(
+    spec: TransferSpec,
+    seed: Optional[int] = None,
+    recorder: Optional[TraceRecorder] = None,
+) -> TransferReport:
+    """Execute ``spec`` at flow fidelity and report canonically.
+
+    Mirrors the packet path's seed resolution: the spec's own seed
+    wins, then the explicit argument, then :data:`DEFAULT_SEED`.
+    """
+    resolved = (
+        spec.seed if spec.seed is not None
+        else (seed if seed is not None else DEFAULT_SEED)
+    )
+    run = _FlowRun(spec, resolved, recorder)
+    run.run()
+    return run.report()

@@ -15,15 +15,24 @@ from repro.obs.trace import load_events
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    events = load_events(args.trace)
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"summarize: cannot read {args.trace}: {exc}",
+              file=sys.stderr)
+        return 2
     summary = summarize_events(events)
     print(render_summary(summary, timeline_points=args.timeline_points))
     return 0
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:
-    a = RunManifest.read(args.a)
-    b = RunManifest.read(args.b)
+    try:
+        a = RunManifest.read(args.a)
+        b = RunManifest.read(args.b)
+    except (OSError, ValueError) as exc:
+        print(f"diff: cannot read manifest: {exc}", file=sys.stderr)
+        return 2
     rendered = render_diff(a, b)
     print(rendered)
     return 0 if rendered == "manifests identical" else 1

@@ -124,7 +124,10 @@ def summarize_events(events: List[TraceEvent]) -> TraceSummary:
             subflow(event).fast_retransmits += 1
         elif kind == "dupack":
             subflow(event).dupacks += 1
-        elif kind == "handshake":
+        elif kind in ("handshake", "subflow_add"):
+            # "handshake" comes from the packet engine; "subflow_add"
+            # is the flow engine's reduced equivalent (same rtt_s
+            # payload, no per-segment events around it).
             sf = subflow(event)
             sf.handshake_rtt_s = event.fields.get("rtt_s")
             sf.established_at = event.time

@@ -26,6 +26,7 @@ import os
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.rng import DEFAULT_SEED
+from repro.flow.fidelity import apply_fidelity_override
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import collect_transfer_metrics
 from repro.obs.trace import TraceRecorder, active_trace_dir, trace_filename
@@ -120,26 +121,43 @@ class Session:
         recorder is attached automatically and the trace saved as JSONL
         under that directory.  Observation is passive: the report is
         identical with tracing on or off.
+
+        The spec's ``fidelity`` (after any run-level override, see
+        :mod:`repro.flow.fidelity`) selects the engine: ``"packet"``
+        drives the event simulator below; ``"flow"`` dispatches to
+        :func:`repro.flow.engine.run_flow_spec`, which returns the
+        same canonical report shape from the analytic model.
         """
+        spec = apply_fidelity_override(spec)
         trace_dir = None
         if recorder is None:
             trace_dir = active_trace_dir()
             if trace_dir is not None:
                 recorder = TraceRecorder()
-        scenario, connection = self.open(spec, seed=seed, recorder=recorder)
-        # A spec-driven run reports deadline expiry as data
-        # (``report.completed``) rather than raising: batch sweeps must
-        # deliver every report, and fault schedules time transfers out
-        # on purpose.
-        result = scenario.run_transfer(connection, deadline_s=spec.deadline_s,
-                                       partial_ok=True)
-        report = TransferReport.from_result(
-            result, label=spec.key(),
-            metrics_snapshot=collect_transfer_metrics(
-                connection, scenario.paths
-            ),
-            faults=scenario.applied_faults(),
-        )
+        if spec.fidelity == "flow":
+            from repro.flow.engine import run_flow_spec
+
+            report = run_flow_spec(
+                spec, seed=self._seed_for(spec, seed), recorder=recorder
+            )
+        else:
+            scenario, connection = self.open(
+                spec, seed=seed, recorder=recorder
+            )
+            # A spec-driven run reports deadline expiry as data
+            # (``report.completed``) rather than raising: batch sweeps
+            # must deliver every report, and fault schedules time
+            # transfers out on purpose.
+            result = scenario.run_transfer(
+                connection, deadline_s=spec.deadline_s, partial_ok=True
+            )
+            report = TransferReport.from_result(
+                result, label=spec.key(),
+                metrics_snapshot=collect_transfer_metrics(
+                    connection, scenario.paths
+                ),
+                faults=scenario.applied_faults(),
+            )
         if trace_dir is not None:
             os.makedirs(trace_dir, exist_ok=True)
             recorder.save(os.path.join(
@@ -165,7 +183,12 @@ class Session:
         cache key is independent of the sweep master seed; otherwise
         the engine injects a seed derived from the spec's key (see
         :meth:`~repro.parallel.runner.SimTask.seeded`).
+
+        Any run-level fidelity override is folded into the spec *here*,
+        before the task (and therefore its cache key) is built, so
+        cached packet and flow results can never collide.
         """
+        spec = apply_fidelity_override(spec)
         kwargs = {"spec": spec}
         if spec.seed is not None:
             kwargs["seed"] = spec.seed

@@ -50,6 +50,12 @@ __all__ = [
 
 DIRECTIONS = ("down", "up")
 
+#: Simulation fidelities a :class:`TransferSpec` may request.
+#: ``"packet"`` is the per-packet event simulator; ``"flow"`` is the
+#: analytic bandwidth-share engine in :mod:`repro.flow` (orders of
+#: magnitude faster, coarser; see DESIGN.md §10).
+FIDELITIES = ("packet", "flow")
+
 KIND_TCP = "tcp"
 KIND_MPTCP = "mptcp"
 
@@ -274,6 +280,11 @@ class TransferSpec:
     #: Optional declarative fault schedule; event paths must name
     #: condition paths (see :mod:`repro.faults`).
     faults: Optional[FaultSpec] = None
+    #: Simulation fidelity: ``"packet"`` (event simulator, default) or
+    #: ``"flow"`` (analytic bandwidth-share engine, :mod:`repro.flow`).
+    #: Part of the canonical JSON, so the two fidelities never share a
+    #: cache entry.
+    fidelity: str = "packet"
 
     def __post_init__(self) -> None:
         if isinstance(self.condition, Mapping):
@@ -296,6 +307,8 @@ class TransferSpec:
         _require(self.seed is None or isinstance(self.seed, int),
                  "TransferSpec.seed",
                  f"must be an integer or null, got {self.seed!r}")
+        _require(self.fidelity in FIDELITIES, "TransferSpec.fidelity",
+                 f"must be one of {list(FIDELITIES)}, got {self.fidelity!r}")
 
         names = self.condition.path_names
         if self.kind == KIND_TCP:
@@ -372,6 +385,7 @@ class TransferSpec:
             "direction": self.direction,
             "cc": self.cc,
             "deadline_s": self.deadline_s,
+            "fidelity": self.fidelity,
         }
         for name in ("path", "primary", "seed", "config", "options", "label"):
             value = getattr(self, name)
@@ -409,6 +423,12 @@ class TransferSpec:
         if self.faults is not None or faults is None:
             return self
         return dataclasses.replace(self, faults=faults)
+
+    def with_fidelity(self, fidelity: Optional[str]) -> "TransferSpec":
+        """A copy running at ``fidelity`` (no-op when ``None``/equal)."""
+        if fidelity is None or fidelity == self.fidelity:
+            return self
+        return dataclasses.replace(self, fidelity=fidelity)
 
 
 @dataclass(frozen=True)

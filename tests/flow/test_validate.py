@@ -1,0 +1,126 @@
+"""The analytic model's invariants and the cross-fidelity error bounds."""
+
+import math
+
+import pytest
+
+from repro.flow.model import (
+    DRAIN_QUEUE_FILL,
+    FlowPathParams,
+    LIA_FACTOR,
+    ge_stationary_loss,
+    loss_limited_bytes_s,
+    loss_transient_factor,
+    pipe_capacity_bytes,
+    steady_goodput_bytes_s,
+)
+from repro.flow.validate import (
+    DEFAULT_ERROR_BOUND,
+    PER_CONDITION_ERROR_BOUND,
+    VALIDATION_SIZES,
+    validate_fidelity,
+    validation_conditions,
+)
+from repro.tcp.config import TcpConfig
+
+CONFIG = TcpConfig()
+
+
+# ---------------------------------------------------------------------------
+# Model invariants
+# ---------------------------------------------------------------------------
+def test_loss_limit_lossless_is_unbounded():
+    assert loss_limited_bytes_s(1448, 0.05, 0.0, "cubic") == math.inf
+
+
+def test_loss_limit_decreases_with_loss():
+    lo = loss_limited_bytes_s(1448, 0.05, 0.003, "cubic")
+    hi = loss_limited_bytes_s(1448, 0.05, 0.02, "cubic")
+    assert 0 < hi < lo
+
+
+def test_coupled_scales_by_lia_factor():
+    reno = loss_limited_bytes_s(1448, 0.05, 0.01, "decoupled")
+    coupled = loss_limited_bytes_s(1448, 0.05, 0.01, "coupled")
+    assert coupled == pytest.approx(reno * LIA_FACTOR)
+
+
+def test_steady_goodput_below_wire_rate():
+    wire = 10e6 / 8.0
+    goodput = steady_goodput_bytes_s(wire, 0.04, 0.0, CONFIG, "cubic")
+    assert 0 < goodput < wire
+    # Header overhead alone discounts by mss/(mss+40).
+    assert goodput == pytest.approx(
+        wire * CONFIG.mss_bytes / (CONFIG.mss_bytes + 40)
+    )
+
+
+def test_loss_transient_phases_in_loss_limit():
+    wire = 40e6 / 8.0
+    early = steady_goodput_bytes_s(
+        wire, 0.04, 0.01, CONFIG, "cubic", segments_delivered=0.0
+    )
+    late = steady_goodput_bytes_s(
+        wire, 0.04, 0.01, CONFIG, "cubic", segments_delivered=1e9
+    )
+    assert late < early
+    assert loss_transient_factor(0.0, 0.01) == pytest.approx(1.0)
+    assert loss_transient_factor(1e9, 0.01) == pytest.approx(0.0)
+    assert loss_transient_factor(100.0, 0.0) == 0.0
+
+
+def test_pipe_capacity_includes_bloated_queue():
+    rate = 5e6 / 8.0
+    bdp = rate * 0.05
+    pipe = pipe_capacity_bytes(rate, 0.05, 0.0, CONFIG, "cubic", 250)
+    assert pipe == pytest.approx(
+        bdp + 250 * (CONFIG.mss_bytes + 40) * DRAIN_QUEUE_FILL
+    )
+    deeper = pipe_capacity_bytes(rate, 0.05, 0.0, CONFIG, "cubic", 500)
+    assert deeper > pipe
+
+
+def test_pipe_capacity_clamped_by_loss_window():
+    rate = 50e6 / 8.0
+    lossy = pipe_capacity_bytes(rate, 0.05, 0.02, CONFIG, "cubic", 250)
+    assert lossy == pytest.approx(
+        loss_limited_bytes_s(CONFIG.mss_bytes, 0.05, 0.02, "cubic") * 0.05
+    )
+    assert pipe_capacity_bytes(0.0, 0.05, 0.0, CONFIG, "cubic", 250) == 0.0
+
+
+def test_ge_stationary_loss_between_states():
+    loss = ge_stationary_loss(0.005, 0.2, 0.0, 0.3)
+    assert 0.0 < loss < 0.3
+    # Degenerate chain: no transitions, stay in the good state.
+    assert ge_stationary_loss(0.0, 0.0, 0.001, 0.3) == 0.001
+
+
+def test_flow_path_params_defaults():
+    params = FlowPathParams("wifi", 1e6, 0.03, 0.0)
+    assert params.queue_packets == 250
+
+
+# ---------------------------------------------------------------------------
+# Cross-fidelity error bounds (CI-sized subset of repro.flow.validate)
+# ---------------------------------------------------------------------------
+def test_flow_aggregates_track_packet_engine():
+    sizes = {k: v for k, v in VALIDATION_SIZES.items() if k != "4MB"}
+    report = validate_fidelity(
+        conditions=validation_conditions(2), sizes=sizes
+    )
+    # Every figure class × size cell stays inside the calibrated
+    # bounds; assert_ok raises with the offending cells on failure.
+    assert report.class_bound == DEFAULT_ERROR_BOUND
+    assert report.condition_bound == PER_CONDITION_ERROR_BOUND
+    report.assert_ok()
+    assert report.ok
+    assert len(report.classes) == 4 * len(sizes)
+    # The flow engine must actually be the fast path.
+    assert report.flow_wall_s < report.packet_wall_s
+    # Durations track too (inverted metric, so the bound maps to
+    # |1/(1+e) - 1| with |e| <= PER_CONDITION_ERROR_BOUND).
+    duration_bound = 1.0 / (1.0 - PER_CONDITION_ERROR_BOUND) - 1.0
+    for cls in report.classes:
+        for case in cls.cases:
+            assert abs(case.duration_error) <= duration_bound
