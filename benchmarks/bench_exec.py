@@ -1,0 +1,134 @@
+"""Compare sweep executor backends on a figure-class workload.
+
+Times ``fig09_10 --fast`` (the paper's flow-size sweep — independent
+event-loop simulations, the shape every sweep in this repo has) under
+each executor backend with caching off::
+
+    PYTHONPATH=src python benchmarks/bench_exec.py
+
+Legs:
+
+* ``inprocess`` — serial in the calling process; the reference.
+* ``process``  — the local shard pool (default backend).
+* ``socket``   — two freshly spawned local worker processes
+  (``python -m repro.parallel worker``) over loopback TCP, measuring
+  what the wire protocol costs when the network is free.
+
+Writes ``BENCH_exec.json`` at the repo root with
+:func:`_harness.bench_environment` embedded, so numbers from
+different machines/PRs are comparable.
+"""
+
+import argparse
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+from typing import List, Optional, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_exec.json")
+
+
+def _timed_run(workers: int, executor: str) -> float:
+    """One ``fig09_10`` fast run on ``executor``; wall-clock seconds."""
+    from repro.experiments import fig09_10
+    from repro.parallel import set_default_executor
+
+    set_default_executor(executor)
+    try:
+        started = time.perf_counter()
+        fig09_10.run(fast=True, workers=workers)
+        return time.perf_counter() - started
+    finally:
+        set_default_executor(None)
+
+
+def _spawn_workers(count: int) -> Tuple[List[subprocess.Popen], List[str]]:
+    """Start local sweep workers; returns (processes, HOST:PORT list)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    procs, addresses = [], []
+    for _ in range(count):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.parallel", "worker",
+             "--listen", "127.0.0.1:0", "--quiet"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env,
+        )
+        procs.append(proc)
+        line = proc.stdout.readline()
+        match = re.match(r"repro-worker listening on (\S+:\d+)", line)
+        if not match:
+            for p in procs:
+                p.terminate()
+            raise RuntimeError(f"worker failed to start: {line!r}")
+        addresses.append(match.group(1))
+    return procs, addresses
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark fig09_10 --fast across executor backends."
+    )
+    parser.add_argument("--workers", type=int, default=4,
+                        help="shard count for the pooled legs (default 4)")
+    parser.add_argument("--socket-workers", type=int, default=2,
+                        help="local worker processes for the socket leg "
+                             "(default 2)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    from repro.parallel.cache import CACHE_TOGGLE_ENV
+
+    os.environ[CACHE_TOGGLE_ENV] = "0"  # cold every leg: executors only
+    results = {}
+    print("inprocess (serial) ...", flush=True)
+    results["inprocess_s"] = round(_timed_run(1, "inprocess"), 3)
+    print(f"  {results['inprocess_s']:.2f}s")
+    print(f"process pool (workers={args.workers}) ...", flush=True)
+    results["process_s"] = round(_timed_run(args.workers, "process"), 3)
+    print(f"  {results['process_s']:.2f}s")
+
+    print(f"socket ({args.socket_workers} local workers) ...", flush=True)
+    procs, addresses = _spawn_workers(args.socket_workers)
+    try:
+        results["socket_s"] = round(
+            _timed_run(args.workers, "socket:" + ",".join(addresses)), 3
+        )
+    finally:
+        for proc in procs:
+            proc.terminate()
+    print(f"  {results['socket_s']:.2f}s")
+    os.environ.pop(CACHE_TOGGLE_ENV, None)
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from _harness import bench_environment
+
+    results.update(bench_environment(args.workers))
+    results.update({
+        "experiment": "fig09_10 --fast",
+        "workers": args.workers,
+        "socket_workers": args.socket_workers,
+        "process_speedup": round(
+            results["inprocess_s"] / max(results["process_s"], 1e-9), 2
+        ),
+        "socket_speedup": round(
+            results["inprocess_s"] / max(results["socket_s"], 1e-9), 2
+        ),
+    })
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(results, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

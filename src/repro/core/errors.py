@@ -75,6 +75,15 @@ class SweepTaskError(ReproError):
         self.results = results
 
 
+class ExecutorError(ReproError):
+    """A sweep execution backend is unusable (distinct from a task
+    failure: e.g. no reachable socket worker, a wire-version mismatch).
+
+    Task-level problems never raise this — they surface as failed
+    shard outcomes and, after the retry budget, as
+    :class:`SweepTaskError`."""
+
+
 class TraceFormatError(ReproError):
     """A delivery-opportunity trace file could not be parsed."""
 

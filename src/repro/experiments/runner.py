@@ -10,8 +10,11 @@ Usage::
 Sweep-based experiments shard their independent simulations across
 ``--workers`` processes (default: the ``REPRO_WORKERS`` environment
 variable, else 1) and reuse cached results from previous runs unless
-``--no-cache`` is given.  Worker count never changes the outputs —
-only the wall-clock.
+``--no-cache`` is given.  ``--executor`` (default ``REPRO_EXECUTOR``,
+else ``process``) selects the backend — serial in-process, the local
+pool, or a remote ``socket:HOST:PORT,...`` worker fleet.  Neither
+worker count nor backend ever changes the outputs — only the
+wall-clock.
 
 The ``run-spec`` subcommand executes a declarative
 :class:`~repro.workload.WorkloadSpec` JSON file through the same
@@ -32,7 +35,12 @@ from repro.experiments.common import EXPERIMENTS, FLOW_CAPABLE
 from repro.flow.fidelity import resolve_fidelity, set_default_fidelity
 from repro.obs.progress import PROGRESS_ENV
 from repro.obs.trace import TRACE_DIR_ENV
-from repro.parallel import resolve_workers, set_default_workers
+from repro.parallel import (
+    resolve_executor_spec,
+    resolve_workers,
+    set_default_executor,
+    set_default_workers,
+)
 from repro.parallel.cache import CACHE_TOGGLE_ENV
 
 __all__ = ["main", "run_spec_main", "load_all_experiments",
@@ -97,6 +105,16 @@ def _add_fidelity_argument(parser: argparse.ArgumentParser) -> None:
                              "Overrides $REPRO_FIDELITY.")
 
 
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", default=None,
+                        help="sweep backend: inprocess (serial, easiest "
+                             "to debug), process (local pool, the "
+                             "default), or socket:HOST:PORT,... (remote "
+                             "'python -m repro.parallel worker' fleet). "
+                             "Results are identical for any backend. "
+                             "Overrides $REPRO_EXECUTOR.")
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="DIR", default=None,
                         help="write JSONL transport traces and run "
@@ -145,6 +163,7 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
                              "examples/faults.json) to every transfer "
                              "that does not already carry one")
     _add_fidelity_argument(parser)
+    _add_executor_argument(parser)
     _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -154,6 +173,8 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
     try:
         set_default_fidelity(args.fidelity)
         resolve_fidelity()  # surface a bad $REPRO_FIDELITY before running
+        set_default_executor(args.executor)
+        resolve_executor_spec()  # surface a bad $REPRO_EXECUTOR early
         workers = resolve_workers(args.workers)
         with open(args.workload, "r", encoding="utf-8") as handle:
             workload = WorkloadSpec.from_json(handle.read())
@@ -220,12 +241,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="ignore and do not populate the on-disk "
                              "sweep result cache")
     _add_fidelity_argument(parser)
+    _add_executor_argument(parser)
     _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
     try:
         set_default_fidelity(args.fidelity)
         fidelity = resolve_fidelity()
+        set_default_executor(args.executor)
+        resolve_executor_spec()  # surface a bad $REPRO_EXECUTOR early
         workers = resolve_workers(args.workers)
     except ConfigurationError as exc:
         parser.error(str(exc))

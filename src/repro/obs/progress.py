@@ -42,11 +42,16 @@ def _format_eta(seconds: float) -> str:
 
 
 class SweepProgress:
-    """One updating ``label: done/total`` status line with an ETA."""
+    """One updating ``label: done/total`` status line with an ETA.
+
+    ``total=None`` means the total is unknown (streaming ingestion
+    from a live service): the line renders ``done/?`` with the
+    observed completion rate instead of inventing an ETA.
+    """
 
     def __init__(
         self,
-        total: int,
+        total: Optional[int],
         label: str = "sweep",
         stream: Optional[TextIO] = None,
         min_interval_s: float = 0.1,
@@ -81,7 +86,7 @@ class SweepProgress:
 
     # -- rendering -------------------------------------------------------
     def _eta_s(self) -> float:
-        if self._started_at is None:
+        if self._started_at is None or self.total is None:
             return -1.0
         executed = self.done - self.cached
         if executed <= 0:
@@ -90,15 +95,31 @@ class SweepProgress:
         remaining = self.total - self.done
         return elapsed / executed * remaining
 
+    def _rate_per_s(self) -> float:
+        """Completions per second so far (-1 when unmeasurable)."""
+        if self._started_at is None or self.done <= 0:
+            return -1.0
+        elapsed = time.monotonic() - self._started_at
+        if elapsed <= 0:
+            return -1.0
+        return self.done / elapsed
+
     def _render(self, force: bool = False) -> None:
         now = time.monotonic()
         if not force and now - self._last_render < self.min_interval_s:
             return
         self._last_render = now
-        parts = [f"{self.label}: {self.done}/{self.total}"]
+        total_text = "?" if self.total is None else str(self.total)
+        parts = [f"{self.label}: {self.done}/{total_text}"]
         if self.cached:
             parts.append(f"{self.cached} cached")
-        if 0 < self.done < self.total:
+        if self.total is None:
+            # Unknown total: an ETA would be a lie; the observed rate
+            # is the honest signal a streaming ingester can offer.
+            rate = self._rate_per_s()
+            if rate >= 0:
+                parts.append(f"{rate:.1f}/s")
+        elif 0 < self.done < self.total:
             eta = self._eta_s()
             if eta >= 0:
                 parts.append(f"eta {_format_eta(eta)}")

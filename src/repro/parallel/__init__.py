@@ -1,43 +1,74 @@
-"""Parallel sweep engine.
+"""The distributed sweep service.
 
 Every experiment in the reproduction is a sweep of fully independent
 simulated transfers (locations x flow sizes x MPTCP variants).  This
-package turns such sweeps into declarative task lists and runs them:
+package turns such sweeps into declarative task lists and runs them
+across three separated layers:
 
-* :class:`~repro.parallel.runner.SimTask` — a picklable spec naming a
-  module-level callable plus keyword arguments;
-* :class:`~repro.parallel.runner.SweepRunner` — shards a task list
-  deterministically across a ``ProcessPoolExecutor`` (``workers=1``
-  falls back to pure in-process execution) and layers a
-  content-addressed on-disk result cache keyed by the task spec and a
-  fingerprint of the ``repro`` source tree;
-* :mod:`repro.parallel.tasks` — ready-made task callables returning
-  picklable summaries of simulated transfers.
+* :mod:`repro.parallel.task` — :class:`SimTask`, a picklable spec
+  naming a module-level callable plus keyword arguments;
+* :mod:`repro.parallel.executors` — pluggable backends selected via
+  ``--executor``/``REPRO_EXECUTOR``: ``inprocess`` (serial, zero
+  overhead), ``process`` (local pool, the default), and
+  ``socket:HOST:PORT,...`` (remote workers started with ``python -m
+  repro.parallel worker``);
+* :mod:`repro.parallel.coordinator` — the executor-agnostic
+  :class:`SweepCoordinator` owning caching, single-flight, retries,
+  poison-task isolation, timeouts, progress, and manifests;
 
-Parallel and serial runs produce bit-identical results: every task
-carries its own seed (derived via :func:`repro.core.rng.derive_seed`),
-simulations share no state, and results are reassembled in task-list
-order regardless of which worker finished first.
+plus the shared :mod:`~repro.parallel.cache` result store (atomic
+writes, per-key single-flight — safe for many concurrent runners on
+one ``REPRO_CACHE_DIR``) and the :mod:`~repro.parallel.service` CLI
+(``python -m repro.parallel submit/serve/cache``).
+
+:class:`SweepRunner` remains the one-call surface over all of it.
+Every backend at every worker count produces bit-identical results:
+tasks carry their own seeds (derived via
+:func:`repro.core.rng.derive_seed`), simulations share no state, and
+results are reassembled in task-list order regardless of which worker
+finished first.
 """
 
 from repro.parallel.cache import ResultCache, code_fingerprint, spec_key
+from repro.parallel.coordinator import SweepCoordinator
+from repro.parallel.executors import (
+    EXECUTOR_ENV,
+    Executor,
+    InProcessExecutor,
+    LocalPoolExecutor,
+    get_default_executor,
+    make_executor,
+    resolve_executor_spec,
+    set_default_executor,
+)
 from repro.parallel.runner import (
     SimTask,
     SweepRunner,
     SweepStats,
+    TaskFailure,
     get_default_workers,
     resolve_workers,
     set_default_workers,
 )
 
 __all__ = [
+    "EXECUTOR_ENV",
+    "Executor",
+    "InProcessExecutor",
+    "LocalPoolExecutor",
     "ResultCache",
     "SimTask",
+    "SweepCoordinator",
     "SweepRunner",
     "SweepStats",
+    "TaskFailure",
     "code_fingerprint",
+    "get_default_executor",
     "get_default_workers",
+    "make_executor",
+    "resolve_executor_spec",
     "resolve_workers",
+    "set_default_executor",
     "set_default_workers",
     "spec_key",
 ]

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk cache for sweep results.
+"""Content-addressed on-disk cache: the sweep engine's shared store.
 
 A cached entry is keyed by the *task spec* (callable path + canonical
 JSON of its keyword arguments) and a *code fingerprint* (a hash of
@@ -6,6 +6,24 @@ every ``.py`` file in the installed ``repro`` package).  Editing any
 source file therefore invalidates the whole cache — the conservative
 choice, since a change to the event loop or a congestion controller
 can perturb any simulation output.
+
+The store is safe for **concurrent runners sharing one directory**
+(the distributed-sweep case: many coordinators, one
+``REPRO_CACHE_DIR`` on shared storage):
+
+* writes are atomic — payload to a tempfile in the destination
+  directory, ``fsync``, then ``os.replace`` — so a reader can never
+  observe a torn entry, and a crashed writer leaves at most a
+  ``.tmp`` orphan that ``gc()`` sweeps up;
+* per-key **single-flight**: :meth:`ResultCache.acquire` hands the
+  key's computation to exactly one runner via an ``O_EXCL`` lock
+  file; everyone else :meth:`ResultCache.wait_for` the published
+  entry instead of burning CPU on a duplicate simulation.  Stale
+  locks (dead owner pid, or older than ``stale_lock_s``) are broken
+  by waiters, so a SIGKILLed runner cannot strand the fleet.
+
+``python -m repro.parallel cache stats|gc|clear`` administers the
+store from the command line.
 
 Environment knobs:
 
@@ -22,8 +40,9 @@ import json
 import os
 import pickle
 import tempfile
+import time
 import warnings
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 __all__ = ["CACHE_DIR_ENV", "CACHE_TOGGLE_ENV", "ResultCache",
            "cache_enabled_by_env", "canonical_spec", "code_fingerprint",
@@ -162,6 +181,11 @@ class ResultCache:
     deserializing garbage.
     """
 
+    #: A single-flight lock whose owner pid is dead — or, when pids
+    #: are unverifiable (another host on shared storage), older than
+    #: this — is considered abandoned and may be broken by a waiter.
+    stale_lock_s = 3600.0
+
     def __init__(self, root: Optional[str] = None,
                  fingerprint: Optional[str] = None) -> None:
         self.root = root if root is not None else default_cache_dir()
@@ -211,8 +235,17 @@ class ResultCache:
             _warn_corruption_once(path, "unpicklable payload")
             return False, None
 
-    def put(self, key: str, value: Any) -> None:
-        """Store ``value`` atomically (write-to-temp + rename)."""
+    def put(self, key: str, value: Any) -> bool:
+        """Store ``value`` atomically; returns whether it was written.
+
+        The payload goes to a tempfile *in the destination directory*
+        (same filesystem, so the final ``os.replace`` is atomic), is
+        ``fsync``\\ ed, and only then renamed into place.  A process
+        killed mid-``put`` therefore leaves either the old state or
+        the complete new entry — never a torn file — and a crash
+        before the rename leaves only a ``.tmp`` orphan that
+        :meth:`gc` removes.
+        """
         path = self._path(key)
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -224,6 +257,8 @@ class ResultCache:
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(blob)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp_path, path)
             except BaseException:
                 try:
@@ -232,19 +267,199 @@ class ResultCache:
                     pass
                 raise
         except (OSError, pickle.PickleError):
-            return
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Per-key single-flight
+    # ------------------------------------------------------------------
+    def _lock_path(self, key: str) -> str:
+        return self._path(key) + ".lock"
+
+    def acquire(self, key: str) -> bool:
+        """Claim the right to compute ``key``.
+
+        Returns ``True`` when this process now owns the computation
+        (including when locking is impossible, e.g. a read-only cache
+        directory — computing twice is always safe, blocking is not).
+        ``False`` means another live runner is already computing it;
+        use :meth:`wait_for` to collect their result.
+        """
+        lock_path = self._lock_path(key)
+        body = json.dumps(
+            {"pid": os.getpid(), "time": time.time()}
+        ).encode("utf-8")
+        try:
+            os.makedirs(os.path.dirname(lock_path), exist_ok=True)
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            if self._lock_is_stale(lock_path):
+                self._break_lock(lock_path)
+                return self.acquire(key)
+            return False
+        except OSError:
+            return True  # cannot lock here; compute rather than deadlock
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(body)
+        except OSError:
+            pass
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop this process's claim on ``key`` (idempotent)."""
+        try:
+            os.unlink(self._lock_path(key))
+        except OSError:
+            pass
+
+    def wait_for(self, key: str, timeout_s: float = 600.0,
+                 poll_s: float = 0.05) -> Tuple[bool, Any]:
+        """Wait for another runner to publish ``key``.
+
+        Returns ``(True, value)`` as soon as the entry lands.  Returns
+        ``(False, None)`` when the wait is off: the owner released its
+        lock without publishing (poison task), the lock went stale
+        (owner died), or ``timeout_s`` ran out — in every case the
+        caller should take over the computation.
+        """
+        deadline = time.monotonic() + timeout_s
+        lock_path = self._lock_path(key)
+        while True:
+            hit, value = self.get(key)
+            if hit:
+                return True, value
+            if not os.path.exists(lock_path):
+                # Owner finished without publishing, or released and
+                # the entry write failed: one final read closes the
+                # release-then-publish race, then the caller owns it.
+                hit, value = self.get(key)
+                return (hit, value if hit else None)
+            if self._lock_is_stale(lock_path):
+                self._break_lock(lock_path)
+                return False, None
+            if time.monotonic() >= deadline:
+                return False, None
+            time.sleep(poll_s)
+
+    def _lock_is_stale(self, lock_path: str) -> bool:
+        """A lock whose owner is provably dead (or far too old)."""
+        try:
+            with open(lock_path, "rb") as handle:
+                body = json.loads(handle.read().decode("utf-8"))
+            pid = int(body["pid"])
+            stamped = float(body["time"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            # Unreadable/torn lock: fall back to its file age.
+            try:
+                return (time.time() - os.path.getmtime(lock_path)
+                        > self.stale_lock_s)
+            except OSError:
+                return False  # vanished: not stale, just gone
+        if pid == os.getpid():
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # owner pid is gone on this host
+        except PermissionError:
+            pass  # pid exists (another user's process)
+        except OSError:
+            pass  # cannot probe (or another host's pid): age decides
+        return time.time() - stamped > self.stale_lock_s
+
+    @staticmethod
+    def _break_lock(lock_path: str) -> None:
+        try:
+            os.unlink(lock_path)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Administration (python -m repro.parallel cache ...)
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Counts and sizes of the store's current contents."""
+        entries = 0
+        total_bytes = 0
+        locks = 0
+        stale_locks = 0
+        orphan_tmp = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in self._walk():
+            if path.endswith(".pkl"):
+                try:
+                    info = os.stat(path)
+                except OSError:
+                    continue
+                entries += 1
+                total_bytes += info.st_size
+                oldest = min(oldest, info.st_mtime) if oldest else info.st_mtime
+                newest = max(newest, info.st_mtime) if newest else info.st_mtime
+            elif path.endswith(".lock"):
+                locks += 1
+                if self._lock_is_stale(path):
+                    stale_locks += 1
+            elif path.endswith(".tmp"):
+                orphan_tmp += 1
+        now = time.time()
+        return {
+            "root": self.root,
+            "entries": entries,
+            "total_bytes": total_bytes,
+            "locks": locks,
+            "stale_locks": stale_locks,
+            "orphan_tmp": orphan_tmp,
+            "oldest_age_s": round(now - oldest, 1) if oldest else None,
+            "newest_age_s": round(now - newest, 1) if newest else None,
+        }
+
+    def gc(self, max_age_s: Optional[float] = None) -> Dict[str, int]:
+        """Collect garbage: stale locks, orphan tempfiles, old entries.
+
+        ``max_age_s`` additionally removes entries not modified within
+        that window (``None`` keeps all entries).  Live locks and
+        fresh entries are never touched, so gc is safe to run while
+        sweeps are in flight.
+        """
+        removed = {"entries": 0, "locks": 0, "tmp": 0}
+        now = time.time()
+        for path in self._walk():
+            try:
+                if path.endswith(".lock"):
+                    if self._lock_is_stale(path):
+                        os.unlink(path)
+                        removed["locks"] += 1
+                elif path.endswith(".tmp"):
+                    # A tempfile a minute old is a crashed writer, not
+                    # a put() in progress.
+                    if now - os.path.getmtime(path) > 60.0:
+                        os.unlink(path)
+                        removed["tmp"] += 1
+                elif path.endswith(".pkl") and max_age_s is not None:
+                    if now - os.path.getmtime(path) > max_age_s:
+                        os.unlink(path)
+                        removed["entries"] += 1
+            except OSError:
+                continue
+        return removed
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
         removed = 0
+        for path in self._walk():
+            if path.endswith(".pkl"):
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def _walk(self):
         if not os.path.isdir(self.root):
-            return removed
+            return
         for dirpath, _, filenames in os.walk(self.root):
             for filename in filenames:
-                if filename.endswith(".pkl"):
-                    try:
-                        os.unlink(os.path.join(dirpath, filename))
-                        removed += 1
-                    except OSError:
-                        pass
-        return removed
+                yield os.path.join(dirpath, filename)

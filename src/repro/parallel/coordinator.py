@@ -1,0 +1,435 @@
+"""The executor-agnostic sweep coordinator.
+
+:class:`SweepCoordinator` owns everything about a sweep that is *not*
+"where code runs": deterministic seeding and sharding, result-cache
+lookups with per-key single-flight, per-task retry/backoff budgets,
+poison-task isolation, timeout policy, progress reporting, and
+:class:`~repro.obs.manifest.RunManifest` provenance.  Backends
+(:mod:`repro.parallel.executors`) only execute shards — so every
+backend, including remote socket workers, inherits the same hardening
+with zero per-backend code.
+
+Execution plan for one ``run(tasks)``:
+
+1. every task gets its derived seed, then its cache key;
+2. hits resolve immediately; each miss is either *owned* (this runner
+   won the per-key single-flight lock and will compute it) or
+   *awaited* (another runner sharing the cache directory is already
+   computing it);
+3. owned misses shard deterministically — miss ``j`` goes to shard
+   ``j % nshards`` — and run on the executor; each result is published
+   to the cache (and its lock released) the moment it lands, so
+   concurrent runners unblock as early as possible;
+4. failed shards degrade to per-task isolation re-runs through
+   ``executor.run_one`` under the retry budget;
+5. awaited keys are collected (or taken over if their owner vanished);
+6. manifests and stats are recorded; if any task exhausted its budget
+   a :class:`~repro.core.errors.SweepTaskError` carries the healthy
+   results out.
+
+Results are reassembled by task index, so executor choice, worker
+count, shard scheduling, and single-flight interleaving can never
+change (or reorder) the output — only the wall-clock.
+"""
+
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import ConfigurationError, SweepTaskError
+from repro.core.rng import DEFAULT_SEED
+from repro.obs.manifest import RunManifest
+from repro.obs.progress import SweepProgress, progress_enabled_by_env
+from repro.obs.trace import active_trace_dir
+from repro.parallel.cache import ResultCache, spec_key
+from repro.parallel.executors import Executor, make_executor
+from repro.parallel.task import (
+    SimTask,
+    SweepStats,
+    TaskFailure,
+    run_task_timed,
+)
+
+__all__ = ["SweepCoordinator"]
+
+#: Fallback single-flight wait budget when no task timeout bounds it.
+DEFAULT_FLIGHT_TIMEOUT_S = 600.0
+
+#: ``on_result`` callback type: ``(index, task, value, cached)``.
+ResultHook = Callable[[int, SimTask, Any, bool], None]
+
+
+class _RunState:
+    """Mutable bookkeeping for one ``run()`` call."""
+
+    def __init__(self, tasks: List[SimTask]) -> None:
+        self.tasks = tasks
+        self.results: List[Any] = [None] * len(tasks)
+        self.walls: List[float] = [0.0] * len(tasks)
+        self.pids: List[int] = [os.getpid()] * len(tasks)
+        self.keys: List[Optional[str]] = [None] * len(tasks)
+        self.attempts: Dict[int, int] = {}
+        self.failures: Dict[int, TaskFailure] = {}
+        self.executed: Set[int] = set()
+        self.flight_waits: Set[int] = set()
+        self.locked: Set[int] = set()
+        self.hits = 0
+
+
+class SweepCoordinator:
+    """Drive a task list to completion on a pluggable executor."""
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        seed: int = DEFAULT_SEED,
+        progress=None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        task_timeout_s: Optional[float] = None,
+        on_result: Optional[ResultHook] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0: {max_retries}")
+        if retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0: {retry_backoff_s}"
+            )
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigurationError(
+                f"task_timeout_s must be positive: {task_timeout_s}"
+            )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {workers}")
+        self.executor = make_executor(executor)
+        self.workers = workers
+        self.cache = cache
+        self.seed = seed
+        self.progress = progress
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.task_timeout_s = task_timeout_s
+        self.on_result = on_result
+        self.last_stats = SweepStats()
+        self.last_manifests: List[RunManifest] = []
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[SimTask]) -> List[Any]:
+        """Run every task; results are ordered like ``tasks``."""
+        started = time.perf_counter()
+        seeded = [task.seeded(self.seed) for task in tasks]
+        state = _RunState(seeded)
+
+        # Tracing bypasses the cache: a hit would skip the simulation
+        # and silently produce no trace file.
+        cache = None if active_trace_dir() is not None else self.cache
+        progress = self._resolve_progress(len(seeded))
+        if progress is not None:
+            progress.start()
+
+        owned, awaited = self._scan_cache(state, cache, progress)
+        try:
+            if owned:
+                self._execute(state, owned, cache, progress)
+            if awaited:
+                self._resolve_awaited(state, awaited, cache, progress)
+        finally:
+            # Locks of tasks that never published (poison tasks, an
+            # executor blow-up) must not strand concurrent runners.
+            if cache is not None:
+                for index in sorted(state.locked):
+                    cache.release(state.keys[index])
+                state.locked.clear()
+
+        if progress is not None:
+            progress.finish()
+
+        self.last_manifests = self._build_manifests(state, cache)
+        self.last_stats = SweepStats(
+            tasks=len(seeded),
+            cache_hits=state.hits,
+            executed=len(state.executed) + len(
+                set(state.failures) - state.executed
+            ),
+            workers=self.workers,
+            elapsed_s=time.perf_counter() - started,
+            retried=sum(
+                1 for index, count in state.attempts.items()
+                if count > 1 and index not in state.failures
+            ),
+            failed=len(state.failures),
+            executor=self.executor.name,
+            flight_waits=len(state.flight_waits),
+        )
+        if state.failures:
+            # Stats, manifests, and every healthy result are already
+            # recorded (and cached) before the sweep reports failure.
+            raise SweepTaskError(
+                [state.failures[index] for index in sorted(state.failures)],
+                results=state.results,
+            )
+        return state.results
+
+    # ------------------------------------------------------------------
+    # Cache scan: hits, owned misses, awaited misses
+    # ------------------------------------------------------------------
+    def _scan_cache(
+        self,
+        state: _RunState,
+        cache: Optional[ResultCache],
+        progress: Optional[SweepProgress],
+    ) -> Tuple[List[int], List[int]]:
+        if cache is None:
+            return list(range(len(state.tasks))), []
+        owned: List[int] = []
+        awaited: List[int] = []
+        for index, task in enumerate(state.tasks):
+            key = cache.key_for(task.fn, task.kwargs)
+            state.keys[index] = key
+            if self._try_hit(state, cache, index, key):
+                continue
+            if cache.acquire(key):
+                # Re-check: a concurrent runner may have published
+                # between our miss and our lock grab.
+                if self._try_hit(state, cache, index, key):
+                    cache.release(key)
+                    continue
+                state.locked.add(index)
+                owned.append(index)
+            else:
+                awaited.append(index)
+        if progress is not None and state.hits:
+            progress.note_cached(state.hits)
+        return owned, awaited
+
+    def _try_hit(self, state: _RunState, cache: ResultCache,
+                 index: int, key: str) -> bool:
+        hit, value = cache.get(key)
+        if not hit:
+            return False
+        state.results[index] = value
+        state.hits += 1
+        self._emit(state, index, value, cached=True)
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution: deterministic shards + isolation re-runs
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        state: _RunState,
+        misses: List[int],
+        cache: Optional[ResultCache],
+        progress: Optional[SweepProgress],
+    ) -> None:
+        nshards = self.executor.shard_count(self.workers, len(misses))
+        if nshards <= 1 and getattr(self.executor, "inline_when_serial",
+                                    True):
+            # One shard on an inline-capable backend: run in-process
+            # with per-task retries — no pool, no pickling (the
+            # ``workers=1`` debugging contract).
+            for index in misses:
+                self._run_with_retries(
+                    state, index, run_task_timed, cache, progress,
+                )
+            return
+        # Deterministic sharding: miss j -> shard j % nshards.  The
+        # assignment depends only on task order and shard count, and
+        # results are reassembled by original index, so scheduling
+        # jitter cannot reorder (or change) anything.
+        shard_indices = [misses[offset::nshards] for offset in range(nshards)]
+        shard_tasks = [[state.tasks[index] for index in shard]
+                       for shard in shard_indices]
+        needs_isolation: List[int] = []
+        shard_errors: Dict[int, str] = {}
+        for shard_id, outcome in self.executor.run_shards(
+            shard_tasks, self.task_timeout_s
+        ):
+            shard = shard_indices[shard_id]
+            if outcome.ok:
+                for index, (value, wall, pid) in zip(shard, outcome.values):
+                    self._resolve_executed(state, index, value, wall, pid,
+                                           cache)
+                if progress is not None:
+                    progress.advance(len(shard))
+            else:
+                # A broken shard does not abort the sweep: every task
+                # of every failed shard is retried one-by-one in
+                # isolation, so only the actual poison task can
+                # exhaust its budget.
+                for index in shard:
+                    shard_errors[index] = outcome.error
+                needs_isolation.extend(shard)
+        for index in sorted(needs_isolation):
+            # The failed shard run counts as an attempt, but never the
+            # last one: every casualty gets at least one isolated
+            # re-run, so an innocent shard-mate of a poison task
+            # survives even with max_retries=0.
+            state.attempts[index] = min(
+                state.attempts.get(index, 0) + 1, self.max_retries
+            )
+            self._run_with_retries(
+                state, index, self._isolated_run_one, cache, progress,
+                initial_error=shard_errors.get(index),
+            )
+
+    def _isolated_run_one(self, task: SimTask) -> Tuple[Any, float, int]:
+        return self.executor.run_one(task, self.task_timeout_s)
+
+    def _run_with_retries(
+        self,
+        state: _RunState,
+        index: int,
+        run_one: Callable[[SimTask], Tuple[Any, float, int]],
+        cache: Optional[ResultCache],
+        progress: Optional[SweepProgress],
+        initial_error: Optional[str] = None,
+    ) -> None:
+        """Drive one task to success or budget exhaustion."""
+        task = state.tasks[index]
+        budget = self.max_retries + 1
+        delay = self.retry_backoff_s
+        error_text = initial_error or "unknown error"
+        while state.attempts.get(index, 0) < budget:
+            state.attempts[index] = state.attempts.get(index, 0) + 1
+            try:
+                value, wall, pid = run_one(task)
+            except Exception as exc:
+                error_text = f"{type(exc).__name__}: {exc}"
+                if state.attempts[index] < budget and delay > 0:
+                    time.sleep(delay)
+                    delay *= 2
+                continue
+            self._resolve_executed(state, index, value, wall, pid, cache)
+            if progress is not None:
+                progress.advance()
+            return
+        state.failures[index] = TaskFailure(
+            index=index, key=task.label(), error=error_text,
+            attempts=state.attempts.get(index, 0),
+        )
+        if cache is not None and index in state.locked:
+            # Never cache a failure placeholder — but do free the key
+            # so a concurrent runner can try its own luck.
+            cache.release(state.keys[index])
+            state.locked.discard(index)
+        if progress is not None:
+            progress.advance()
+
+    def _resolve_executed(
+        self,
+        state: _RunState,
+        index: int,
+        value: Any,
+        wall: float,
+        pid: int,
+        cache: Optional[ResultCache],
+    ) -> None:
+        """Record one freshly computed result and publish it."""
+        state.results[index] = value
+        state.walls[index] = wall
+        state.pids[index] = pid
+        state.executed.add(index)
+        if cache is not None and state.keys[index] is not None:
+            # Publish immediately (atomic replace), then release the
+            # single-flight lock so awaiting runners unblock now, not
+            # at sweep end.
+            cache.put(state.keys[index], value)
+            if index in state.locked:
+                cache.release(state.keys[index])
+                state.locked.discard(index)
+        self._emit(state, index, value, cached=False)
+
+    # ------------------------------------------------------------------
+    # Awaited keys: collect another runner's results (or take over)
+    # ------------------------------------------------------------------
+    def _resolve_awaited(
+        self,
+        state: _RunState,
+        awaited: List[int],
+        cache: ResultCache,
+        progress: Optional[SweepProgress],
+    ) -> None:
+        timeout_s = self._flight_timeout_s()
+        for index in awaited:
+            key = state.keys[index]
+            hit, value = cache.wait_for(key, timeout_s=timeout_s)
+            if not hit:
+                # The owner vanished (crash, poison task) or is too
+                # slow: take over.  The lock may be stale or contested
+                # — acquire is best-effort; determinism makes a rare
+                # double computation harmless.
+                if cache.acquire(key):
+                    state.locked.add(index)
+                hit, value = cache.get(key)
+            if hit:
+                if index in state.locked:
+                    cache.release(key)
+                    state.locked.discard(index)
+                state.results[index] = value
+                state.hits += 1
+                state.flight_waits.add(index)
+                self._emit(state, index, value, cached=True)
+                if progress is not None:
+                    progress.advance()
+                continue
+            self._run_with_retries(
+                state, index, self._isolated_run_one, cache, progress,
+            )
+
+    def _flight_timeout_s(self) -> float:
+        if self.task_timeout_s is not None:
+            return self.task_timeout_s * (self.max_retries + 2)
+        return DEFAULT_FLIGHT_TIMEOUT_S
+
+    # ------------------------------------------------------------------
+    def _emit(self, state: _RunState, index: int, value: Any,
+              cached: bool) -> None:
+        if self.on_result is not None:
+            self.on_result(index, state.tasks[index], value, cached)
+
+    def _resolve_progress(self, total: int) -> Optional[SweepProgress]:
+        configured = self.progress
+        if isinstance(configured, SweepProgress):
+            return configured
+        if configured is None:
+            configured = progress_enabled_by_env()
+        return SweepProgress(total) if configured else None
+
+    def _build_manifests(
+        self, state: _RunState, cache: Optional[ResultCache]
+    ) -> List[RunManifest]:
+        from repro import __version__
+
+        # Pure spec identity (fingerprint=""): never force the
+        # all-files code_fingerprint() walk when the cache is off —
+        # that one-time cost would eat the disabled-tracing overhead
+        # budget.  With the cache on, reuse its already-computed one.
+        fingerprint = cache.fingerprint if cache is not None else ""
+        manifests = []
+        for index, task in enumerate(state.tasks):
+            extra: Dict[str, Any] = {}
+            failure = state.failures.get(index)
+            if failure is not None:
+                extra = {"attempts": failure.attempts, "failed": True,
+                         "error": failure.error}
+            elif state.attempts.get(index, 1) > 1:
+                extra = {"attempts": state.attempts[index], "retried": True}
+            if index in state.flight_waits:
+                extra = {**extra, "single_flight": "waited"}
+            manifests.append(RunManifest(
+                key=task.label(),
+                spec_hash=spec_key(task.fn, task.kwargs, fingerprint=""),
+                seed=task.kwargs.get("seed"),
+                cache_hit=(index not in state.executed
+                           and index not in state.failures),
+                wall_time_s=state.walls[index],
+                worker_pid=state.pids[index],
+                workers=self.workers,
+                package_version=__version__,
+                code_fingerprint=fingerprint,
+                extra=extra,
+            ))
+        return manifests

@@ -1,42 +1,42 @@
-"""The sweep engine: declarative tasks, deterministic shards, workers.
+"""The sweep engine facade: declarative tasks, pluggable executors.
 
-A :class:`SimTask` names a module-level callable (``"pkg.mod:fn"``)
-plus keyword arguments; both the arguments and the return value must
-be picklable, so tasks can cross a process boundary and live in the
-on-disk cache.  :class:`SweepRunner` executes a task list:
+:class:`SweepRunner` keeps the surface every experiment and test has
+always used — ``SweepRunner(workers=...).run(tasks)`` — while the
+machinery behind it now lives in three separated layers:
 
-1. every task is looked up in the :class:`~repro.parallel.cache.ResultCache`
-   (spec hash + code fingerprint);
-2. cache misses are sharded **deterministically** — miss ``j`` goes to
-   shard ``j % nshards`` — and each shard runs in its own worker
-   process (``workers=1`` runs in-process, which keeps debugging and
-   profiling trivial);
-3. results are reassembled in task-list order, so scheduling jitter
-   can never reorder outputs, and written back to the cache.
+* :mod:`repro.parallel.task` — :class:`SimTask` specs and the shared
+  execution helpers;
+* :mod:`repro.parallel.executors` — *where* tasks run: in-process,
+  local process pool, or remote socket workers
+  (``--executor``/``REPRO_EXECUTOR``);
+* :mod:`repro.parallel.coordinator` — *what* runs: cache lookups with
+  single-flight, deterministic sharding, retry/backoff, poison-task
+  isolation, timeouts, progress, and manifest provenance.
 
 Because each simulation derives all randomness from seeds carried in
 its task spec (see :func:`repro.core.rng.derive_seed`) and shares no
-process state, ``workers=N`` is bit-identical to ``workers=1``.
+process state, any executor at any worker count is bit-identical to
+``workers=1`` in-process execution.
 """
 
-import importlib
-import multiprocessing
-import os
-import time
-from concurrent.futures import (
-    ProcessPoolExecutor,
-    TimeoutError as FuturesTimeout,
-    as_completed,
-)
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Union
 
-from repro.core.errors import ConfigurationError, SweepTaskError
-from repro.core.rng import DEFAULT_SEED, derive_seed
 from repro.obs.manifest import RunManifest
-from repro.obs.progress import SweepProgress, progress_enabled_by_env
-from repro.obs.trace import active_trace_dir
-from repro.parallel.cache import ResultCache, cache_enabled_by_env, spec_key
+from repro.obs.progress import SweepProgress
+from repro.parallel.cache import ResultCache, cache_enabled_by_env
+from repro.parallel.coordinator import ResultHook, SweepCoordinator
+from repro.parallel.executors import Executor
+from repro.parallel.task import (
+    SimTask,
+    SweepStats,
+    TaskFailure,
+    WORKERS_ENV,
+    get_default_workers,
+    resolve_workers,
+    run_shard as _run_shard,          # noqa: F401  (compat re-export)
+    run_task_timed as _run_task_timed,  # noqa: F401  (compat re-export)
+    set_default_workers,
+)
 
 __all__ = [
     "SimTask",
@@ -49,149 +49,6 @@ __all__ = [
     "set_default_workers",
 ]
 
-#: Environment variable consulted when no worker count is given.
-WORKERS_ENV = "REPRO_WORKERS"
-
-_default_workers: Optional[int] = None
-
-
-def set_default_workers(workers: Optional[int]) -> None:
-    """Set the process-wide default worker count (``None`` resets)."""
-    global _default_workers
-    if workers is not None and workers < 1:
-        raise ConfigurationError(f"workers must be >= 1: {workers}")
-    _default_workers = workers
-
-
-def get_default_workers() -> Optional[int]:
-    return _default_workers
-
-
-def resolve_workers(workers: Optional[int] = None) -> int:
-    """Explicit argument > :func:`set_default_workers` > env > 1."""
-    if workers is not None:
-        if workers < 1:
-            raise ConfigurationError(f"workers must be >= 1: {workers}")
-        return workers
-    if _default_workers is not None:
-        return _default_workers
-    env = os.environ.get(WORKERS_ENV)
-    if env:
-        try:
-            value = int(env)
-        except ValueError:
-            raise ConfigurationError(
-                f"{WORKERS_ENV} must be an integer: {env!r}"
-            )
-        if value < 1:
-            raise ConfigurationError(f"{WORKERS_ENV} must be >= 1: {value}")
-        return value
-    return 1
-
-
-@dataclass(frozen=True)
-class SimTask:
-    """One unit of sweep work.
-
-    ``fn`` is a ``"module.path:callable"`` reference resolved at
-    execution time (inside the worker process), so the spec itself is
-    tiny and always picklable.  ``key`` is a stable human-readable
-    identity used for per-task seed derivation; it defaults to the
-    function path and does not affect cache addressing (the kwargs
-    already do).
-    """
-
-    fn: str
-    kwargs: Dict[str, Any] = field(default_factory=dict)
-    key: Optional[str] = None
-
-    def label(self) -> str:
-        return self.key if self.key is not None else self.fn
-
-    def resolve(self) -> Callable[..., Any]:
-        """Import and return the task callable."""
-        if ":" not in self.fn:
-            raise ConfigurationError(
-                f"task fn must be 'module:callable', got {self.fn!r}"
-            )
-        module_path, _, attr = self.fn.partition(":")
-        module = importlib.import_module(module_path)
-        try:
-            fn = getattr(module, attr)
-        except AttributeError:
-            raise ConfigurationError(
-                f"module {module_path!r} has no callable {attr!r}"
-            )
-        if not callable(fn):
-            raise ConfigurationError(f"{self.fn!r} is not callable")
-        return fn
-
-    def seeded(self, master_seed: int) -> "SimTask":
-        """Fill in a derived ``seed`` kwarg when the task lacks one.
-
-        The derivation only depends on the master seed and the task's
-        ``key`` — never on shard assignment or worker count — so the
-        same sweep always simulates the same randomness.
-        """
-        if "seed" in self.kwargs:
-            return self
-        seed = derive_seed(master_seed, f"sweep-task.{self.label()}")
-        return SimTask(fn=self.fn, kwargs={**self.kwargs, "seed": seed},
-                       key=self.key)
-
-
-def _run_task(task: SimTask) -> Any:
-    return task.resolve()(**task.kwargs)
-
-
-def _run_task_timed(task: SimTask) -> Tuple[Any, float, int]:
-    """Run a task, returning ``(value, wall_time_s, worker_pid)``."""
-    started = time.perf_counter()
-    value = task.resolve()(**task.kwargs)
-    return value, time.perf_counter() - started, os.getpid()
-
-
-def _run_shard(tasks: List[SimTask]) -> List[Tuple[Any, float, int]]:
-    """Worker entry point: run one shard's tasks in order."""
-    return [_run_task_timed(task) for task in tasks]
-
-
-@dataclass(frozen=True)
-class TaskFailure:
-    """One task that exhausted its retry budget."""
-
-    index: int
-    key: str
-    error: str
-    attempts: int
-
-
-@dataclass
-class SweepStats:
-    """Bookkeeping from the last :meth:`SweepRunner.run` call."""
-
-    tasks: int = 0
-    cache_hits: int = 0
-    executed: int = 0
-    workers: int = 1
-    elapsed_s: float = 0.0
-    #: Tasks that needed more than one attempt but eventually succeeded.
-    retried: int = 0
-    #: Tasks that exhausted the retry budget (see :class:`TaskFailure`).
-    failed: int = 0
-
-    def summary(self) -> str:
-        text = (
-            f"{self.tasks} tasks, {self.cache_hits} cached, "
-            f"{self.executed} run on {self.workers} worker"
-            f"{'s' if self.workers != 1 else ''} in {self.elapsed_s:.1f}s"
-        )
-        if self.retried:
-            text += f", {self.retried} retried"
-        if self.failed:
-            text += f", {self.failed} failed"
-        return text
-
 
 class SweepRunner:
     """Execute a list of :class:`SimTask` with caching and workers.
@@ -201,11 +58,14 @@ class SweepRunner:
     workers:
         Worker processes; ``None`` resolves via
         :func:`resolve_workers` (default / ``REPRO_WORKERS`` / 1).
-        ``1`` executes in-process — no executor, no pickling.
+        ``1`` executes in-process on the local backends — no executor
+        round-trip, no pickling.
     cache:
         ``None`` uses the default on-disk cache (subject to the
         ``REPRO_CACHE`` env toggle); ``False`` disables caching; a
-        :class:`ResultCache` instance is used as given.
+        :class:`ResultCache` instance is used as given.  The cache is
+        safe to share between concurrent runners: atomic writes plus
+        per-key single-flight mean no key is ever computed twice.
     seed:
         Master seed for :meth:`SimTask.seeded` derivation of tasks
         that do not carry an explicit ``seed`` kwarg.
@@ -225,16 +85,25 @@ class SweepRunner:
         re-run individually (where the budget is exact) and their
         hung worker processes are terminated.  ``None`` disables the
         timeout.
+    executor:
+        Backend selection: an :class:`~repro.parallel.executors.Executor`
+        instance, a spec string (``"inprocess"``, ``"process"``,
+        ``"socket:HOST:PORT[,...]"``), or ``None`` to resolve via
+        :func:`~repro.parallel.executors.set_default_executor` /
+        ``REPRO_EXECUTOR`` / the ``process`` default.
+    on_result:
+        Streaming hook ``(index, task, value, cached)`` invoked the
+        moment each task resolves (cache hit, fresh execution, or
+        single-flight wait), in completion order.  Presentation only —
+        it must not raise and cannot influence results.
 
-    Failure model: a shard whose worker crashes (``BrokenProcessPool``),
-    raises, or times out does not abort the sweep — its tasks are
-    re-run one-by-one in fresh single-worker pools (falling back to
-    in-process execution when no pool can be spawned at all), so one
-    poison task costs its own retry budget and nothing else.  Retry
-    and failure provenance lands in each task's
-    :class:`~repro.obs.manifest.RunManifest` (``extra.attempts``,
-    ``extra.failed``, ``extra.error``).  If any task exhausts its
-    budget, :meth:`run` raises
+    Failure model: a shard whose worker crashes, raises, or times out
+    does not abort the sweep — its tasks are re-run one-by-one with
+    the backend's best isolation, so one poison task costs its own
+    retry budget and nothing else.  Retry and failure provenance lands
+    in each task's :class:`~repro.obs.manifest.RunManifest`
+    (``extra.attempts``, ``extra.failed``, ``extra.error``).  If any
+    task exhausts its budget, :meth:`run` raises
     :class:`~repro.core.errors.SweepTaskError` *after* recording
     stats/manifests and caching every healthy result.
 
@@ -251,400 +120,68 @@ class SweepRunner:
         self,
         workers: Optional[int] = None,
         cache: Union[ResultCache, bool, None] = None,
-        seed: int = DEFAULT_SEED,
+        seed: Optional[int] = None,
         progress: Union[SweepProgress, bool, None] = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
         task_timeout_s: Optional[float] = None,
+        executor: Union[Executor, str, None] = None,
+        on_result: Optional[ResultHook] = None,
     ) -> None:
+        from repro.core.rng import DEFAULT_SEED
+
         self.workers = resolve_workers(workers)
-        if max_retries < 0:
-            raise ConfigurationError(f"max_retries must be >= 0: {max_retries}")
-        if retry_backoff_s < 0:
-            raise ConfigurationError(
-                f"retry_backoff_s must be >= 0: {retry_backoff_s}"
-            )
-        if task_timeout_s is not None and task_timeout_s <= 0:
-            raise ConfigurationError(
-                f"task_timeout_s must be positive: {task_timeout_s}"
-            )
-        self.max_retries = max_retries
-        self.retry_backoff_s = retry_backoff_s
-        self.task_timeout_s = task_timeout_s
         if cache is None:
-            self.cache: Optional[ResultCache] = (
+            resolved_cache: Optional[ResultCache] = (
                 ResultCache() if cache_enabled_by_env() else None
             )
         elif cache is False:
-            self.cache = None
+            resolved_cache = None
         elif cache is True:
-            self.cache = ResultCache()
+            resolved_cache = ResultCache()
         else:
-            self.cache = cache
-        self.seed = seed
+            resolved_cache = cache
+        self.cache = resolved_cache
+        self.seed = seed if seed is not None else DEFAULT_SEED
         self.progress = progress
-        self.last_stats = SweepStats()
-        self.last_manifests: List[RunManifest] = []
+        self._coordinator = SweepCoordinator(
+            executor=executor,
+            workers=self.workers,
+            cache=resolved_cache,
+            seed=self.seed,
+            progress=progress,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            task_timeout_s=task_timeout_s,
+            on_result=on_result,
+        )
+
+    # -- attributes older call sites read directly ---------------------
+    @property
+    def max_retries(self) -> int:
+        return self._coordinator.max_retries
+
+    @property
+    def retry_backoff_s(self) -> float:
+        return self._coordinator.retry_backoff_s
+
+    @property
+    def task_timeout_s(self) -> Optional[float]:
+        return self._coordinator.task_timeout_s
+
+    @property
+    def executor(self) -> Executor:
+        return self._coordinator.executor
+
+    @property
+    def last_stats(self) -> SweepStats:
+        return self._coordinator.last_stats
+
+    @property
+    def last_manifests(self) -> List[RunManifest]:
+        return self._coordinator.last_manifests
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[SimTask]) -> List[Any]:
         """Run every task; results are ordered like ``tasks``."""
-        started = time.perf_counter()
-        tasks = [task.seeded(self.seed) for task in tasks]
-        results: List[Any] = [None] * len(tasks)
-        walls: List[float] = [0.0] * len(tasks)
-        pids: List[int] = [os.getpid()] * len(tasks)
-
-        # Tracing bypasses the cache: a hit would skip the simulation
-        # and silently produce no trace file for that task.
-        cache = None if active_trace_dir() is not None else self.cache
-        progress = self._resolve_progress(len(tasks))
-        if progress is not None:
-            progress.start()
-
-        keys: List[Optional[str]] = [None] * len(tasks)
-        misses: List[int] = []
-        hits = 0
-        if cache is not None:
-            for index, task in enumerate(tasks):
-                key = cache.key_for(task.fn, task.kwargs)
-                keys[index] = key
-                hit, value = cache.get(key)
-                if hit:
-                    results[index] = value
-                    hits += 1
-                else:
-                    misses.append(index)
-            if progress is not None and hits:
-                progress.note_cached(hits)
-        else:
-            misses = list(range(len(tasks)))
-
-        attempts: Dict[int, int] = {}
-        failures: Dict[int, TaskFailure] = {}
-        if misses:
-            self._execute(tasks, misses, results, walls, pids, progress,
-                          attempts, failures)
-            if cache is not None:
-                for index in misses:
-                    if index in failures:
-                        continue  # never cache a failure placeholder
-                    assert keys[index] is not None
-                    cache.put(keys[index], results[index])
-
-        if progress is not None:
-            progress.finish()
-
-        miss_set = set(misses)
-        self.last_manifests = self._build_manifests(
-            tasks, miss_set, walls, pids, cache, attempts, failures
-        )
-        self.last_stats = SweepStats(
-            tasks=len(tasks),
-            cache_hits=hits,
-            executed=len(misses),
-            workers=self.workers,
-            elapsed_s=time.perf_counter() - started,
-            retried=sum(
-                1 for index, count in attempts.items()
-                if count > 1 and index not in failures
-            ),
-            failed=len(failures),
-        )
-        if failures:
-            # Stats, manifests, and every healthy result are already
-            # recorded (and cached) before the sweep reports failure.
-            raise SweepTaskError(
-                [failures[index] for index in sorted(failures)],
-                results=results,
-            )
-        return results
-
-    # ------------------------------------------------------------------
-    def _resolve_progress(self, total: int) -> Optional[SweepProgress]:
-        configured = self.progress
-        if isinstance(configured, SweepProgress):
-            return configured
-        if configured is None:
-            configured = progress_enabled_by_env()
-        return SweepProgress(total) if configured else None
-
-    def _build_manifests(
-        self,
-        tasks: List[SimTask],
-        miss_set: set,
-        walls: List[float],
-        pids: List[int],
-        cache: Optional[ResultCache],
-        attempts: Dict[int, int],
-        failures: Dict[int, "TaskFailure"],
-    ) -> List[RunManifest]:
-        from repro import __version__
-
-        # Pure spec identity (fingerprint=""): never force the
-        # all-files code_fingerprint() walk when the cache is off —
-        # that one-time cost would eat the disabled-tracing overhead
-        # budget.  With the cache on, reuse its already-computed one.
-        fingerprint = cache.fingerprint if cache is not None else ""
-        manifests = []
-        for index, task in enumerate(tasks):
-            extra: Dict[str, Any] = {}
-            failure = failures.get(index)
-            if failure is not None:
-                extra = {"attempts": failure.attempts, "failed": True,
-                         "error": failure.error}
-            elif attempts.get(index, 1) > 1:
-                extra = {"attempts": attempts[index], "retried": True}
-            manifests.append(RunManifest(
-                key=task.label(),
-                spec_hash=spec_key(task.fn, task.kwargs, fingerprint=""),
-                seed=task.kwargs.get("seed"),
-                cache_hit=index not in miss_set,
-                wall_time_s=walls[index],
-                worker_pid=pids[index],
-                workers=self.workers,
-                package_version=__version__,
-                code_fingerprint=fingerprint,
-                extra=extra,
-            ))
-        return manifests
-
-    # ------------------------------------------------------------------
-    def _execute(
-        self,
-        tasks: List[SimTask],
-        misses: List[int],
-        results: List[Any],
-        walls: List[float],
-        pids: List[int],
-        progress: Optional[SweepProgress],
-        attempts: Dict[int, int],
-        failures: Dict[int, "TaskFailure"],
-    ) -> None:
-        nshards = min(self.workers, len(misses))
-        if nshards <= 1:
-            for index in misses:
-                self._run_with_retries(
-                    _run_task_timed, tasks[index], index, attempts,
-                    failures, results, walls, pids, progress,
-                )
-            return
-        needs_isolation, shard_errors = self._execute_sharded(
-            tasks, misses, nshards, results, walls, pids, progress,
-        )
-        # A broken shard does not abort the sweep: every task of every
-        # failed shard is retried one-by-one in a fresh single-worker
-        # pool, so only the actual poison task can exhaust its budget.
-        for index in needs_isolation:
-            # The failed shard run counts as an attempt, but never the
-            # last one: every casualty gets at least one isolated
-            # re-run, so an innocent shard-mate of a poison task
-            # survives even with max_retries=0.
-            attempts[index] = min(attempts.get(index, 0) + 1,
-                                  self.max_retries)
-            self._run_with_retries(
-                self._run_one_isolated, tasks[index], index, attempts,
-                failures, results, walls, pids, progress,
-                initial_error=shard_errors.get(index),
-            )
-
-    def _execute_sharded(
-        self,
-        tasks: List[SimTask],
-        misses: List[int],
-        nshards: int,
-        results: List[Any],
-        walls: List[float],
-        pids: List[int],
-        progress: Optional[SweepProgress],
-    ) -> Tuple[List[int], Dict[int, str]]:
-        """Run the deterministic shard phase; report casualties.
-
-        Returns ``(needs_isolation, shard_errors)``: miss indices whose
-        shard crashed, raised, or timed out (to re-run individually)
-        and the error text observed per index.
-        """
-        # Deterministic sharding: miss j -> shard j % nshards.  The
-        # assignment depends only on task order and worker count, and
-        # results are reassembled by original index, so scheduling
-        # jitter cannot reorder (or change) anything.
-        shards = [misses[offset::nshards] for offset in range(nshards)]
-        needs_isolation: List[int] = []
-        shard_errors: Dict[int, str] = {}
-        try:
-            pool = ProcessPoolExecutor(max_workers=nshards,
-                                       mp_context=self._mp_context())
-        except (OSError, ValueError) as exc:
-            # No pool at all (fd/process limits): degrade to serial.
-            error = f"{type(exc).__name__}: {exc}"
-            for index in misses:
-                shard_errors[index] = error
-            return list(misses), shard_errors
-        hung = False
-        try:
-            futures = {
-                pool.submit(_run_shard, [tasks[index] for index in shard]):
-                shard
-                for shard in shards
-            }
-            # The shard phase deadline scales with the longest shard
-            # (tasks run sequentially inside a shard) plus one extra
-            # task budget of slack; the per-task budget is enforced
-            # exactly during isolation re-runs.
-            timeout = None
-            if self.task_timeout_s is not None:
-                longest = max(len(shard) for shard in shards)
-                timeout = self.task_timeout_s * (longest + 1)
-            done = set()
-            try:
-                # Completion order only affects progress display;
-                # results are keyed back by original index.
-                for future in as_completed(futures, timeout=timeout):
-                    done.add(future)
-                    self._harvest_shard(
-                        future, futures[future], results, walls, pids,
-                        progress, needs_isolation, shard_errors,
-                    )
-            except FuturesTimeout:
-                hung = True
-                for future, shard in futures.items():
-                    if future in done:
-                        continue
-                    if future.done():
-                        self._harvest_shard(
-                            future, shard, results, walls, pids,
-                            progress, needs_isolation, shard_errors,
-                        )
-                        continue
-                    future.cancel()
-                    message = (
-                        f"shard timed out after {timeout:g}s "
-                        f"(task_timeout_s={self.task_timeout_s:g})"
-                    )
-                    for index in shard:
-                        shard_errors[index] = message
-                    needs_isolation.extend(shard)
-        finally:
-            if hung:
-                # Cancelled futures may already be running; reclaim
-                # their workers so shutdown cannot block forever.
-                self._terminate_pool(pool)
-            pool.shutdown(wait=not hung, cancel_futures=True)
-        return sorted(needs_isolation), shard_errors
-
-    @staticmethod
-    def _harvest_shard(
-        future: Any,
-        shard: List[int],
-        results: List[Any],
-        walls: List[float],
-        pids: List[int],
-        progress: Optional[SweepProgress],
-        needs_isolation: List[int],
-        shard_errors: Dict[int, str],
-    ) -> None:
-        try:
-            values = future.result(timeout=0)
-        except Exception as exc:  # BrokenProcessPool, task exception, ...
-            # BrokenProcessPool poisons every pending future of the
-            # pool, so innocent shards land here too — their isolation
-            # re-run succeeds on the first retry.
-            error = f"{type(exc).__name__}: {exc}"
-            for index in shard:
-                shard_errors[index] = error
-            needs_isolation.extend(shard)
-            return
-        for index, (value, wall, pid) in zip(shard, values):
-            results[index] = value
-            walls[index] = wall
-            pids[index] = pid
-        if progress is not None:
-            progress.advance(len(shard))
-
-    def _run_with_retries(
-        self,
-        run_one: Callable[[SimTask], Tuple[Any, float, int]],
-        task: SimTask,
-        index: int,
-        attempts: Dict[int, int],
-        failures: Dict[int, "TaskFailure"],
-        results: List[Any],
-        walls: List[float],
-        pids: List[int],
-        progress: Optional[SweepProgress],
-        initial_error: Optional[str] = None,
-    ) -> None:
-        """Drive one task to success or budget exhaustion."""
-        budget = self.max_retries + 1
-        delay = self.retry_backoff_s
-        error_text = initial_error or "unknown error"
-        while attempts.get(index, 0) < budget:
-            attempts[index] = attempts.get(index, 0) + 1
-            try:
-                value, wall, pid = run_one(task)
-            except Exception as exc:
-                error_text = f"{type(exc).__name__}: {exc}"
-                if attempts[index] < budget and delay > 0:
-                    time.sleep(delay)
-                    delay *= 2
-                continue
-            results[index] = value
-            walls[index] = wall
-            pids[index] = pid
-            if progress is not None:
-                progress.advance()
-            return
-        failures[index] = TaskFailure(
-            index=index, key=task.label(), error=error_text,
-            attempts=attempts.get(index, 0),
-        )
-        if progress is not None:
-            progress.advance()
-
-    def _run_one_isolated(self, task: SimTask) -> Tuple[Any, float, int]:
-        """Run one task in its own single-worker pool.
-
-        A crash (``BrokenProcessPool``) or timeout is confined to this
-        task; a hung worker is terminated.  If no pool can be spawned
-        at all, the task runs in-process — losing crash isolation but
-        keeping the sweep alive.
-        """
-        try:
-            pool = ProcessPoolExecutor(max_workers=1,
-                                       mp_context=self._mp_context())
-        except (OSError, ValueError):
-            return _run_task_timed(task)
-        hung = False
-        try:
-            future = pool.submit(_run_task_timed, task)
-            try:
-                return future.result(timeout=self.task_timeout_s)
-            except FuturesTimeout:
-                hung = True
-                future.cancel()
-                raise FuturesTimeout(
-                    f"task {task.label()!r} exceeded "
-                    f"task_timeout_s={self.task_timeout_s:g}s"
-                )
-        finally:
-            if hung:
-                self._terminate_pool(pool)
-            pool.shutdown(wait=not hung, cancel_futures=True)
-
-    @staticmethod
-    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-        """Kill worker processes of a pool with hung tasks."""
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
-            try:
-                process.terminate()
-            except Exception:
-                pass
-
-    @staticmethod
-    def _mp_context():
-        """Prefer ``fork`` so workers inherit ``sys.path`` untouched."""
-        methods = multiprocessing.get_all_start_methods()
-        if "fork" in methods:
-            return multiprocessing.get_context("fork")
-        return multiprocessing.get_context()
+        return self._coordinator.run(tasks)

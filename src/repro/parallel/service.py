@@ -1,0 +1,439 @@
+"""The sweep service CLI: submit, serve, and cache maintenance.
+
+``python -m repro.parallel submit workload.json`` executes a
+declarative :class:`~repro.workload.spec.WorkloadSpec` and streams one
+JSON line per finished transfer to stdout, in completion order, while
+the sweep is still running — the scripting-friendly sibling of
+``repro-experiments run-spec`` (which prints a human table at the
+end).  With ``--connect HOST:PORT`` the workload is shipped to a
+``python -m repro.parallel serve`` process instead and results are
+ingested live off the socket; the local process never imports the
+simulator.
+
+``serve`` accepts one JOB per connection, runs it through the normal
+:class:`~repro.workload.session.Session` engine (honouring the
+server's ``--executor``/``--workers`` and shared result cache), and
+streams a REPORT frame per task followed by a final DONE frame with
+the sweep stats.  Reports cross the wire as JSON
+(:meth:`~repro.workload.report.TransferReport.to_dict`), not pickle:
+a submission client only needs to trust the server's *data*.
+
+``cache`` exposes the shared result store's maintenance surface
+(:meth:`~repro.parallel.cache.ResultCache.stats`/``gc``/``clear``)
+so fleets sharing one ``REPRO_CACHE_DIR`` can inspect and prune it.
+
+Stream protocol (stdout of ``submit``): one JSON object per line.
+
+``{"event": "result", "index": i, "key": k, "cached": bool,
+"report": {...}}``
+    One finished transfer; ``report`` is the summary form, or the
+    full round-trippable form under ``--full-reports``.
+``{"event": "done", "stats": {...}, "failures": [...]}``
+    Terminal line; ``failures`` lists tasks that exhausted retries.
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import socket
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.core.errors import ConfigurationError, ReproError, SweepTaskError
+
+__all__ = ["cache_main", "serve_main", "submit_main"]
+
+
+def _emit(obj: Dict[str, Any], stream=None) -> None:
+    stream = stream if stream is not None else sys.stdout
+    stream.write(json.dumps(obj, sort_keys=True) + "\n")
+    stream.flush()
+
+
+def _stats_dict(stats) -> Optional[Dict[str, Any]]:
+    return dataclasses.asdict(stats) if stats is not None else None
+
+
+def _report_payload(index: int, task, report, cached: bool,
+                    full: bool) -> Dict[str, Any]:
+    body = report.to_dict() if full else report.summary_dict()
+    return {
+        "event": "result",
+        "index": index,
+        "key": task.label(),
+        "cached": bool(cached),
+        "report": body,
+    }
+
+
+def _failures_payload(exc: SweepTaskError) -> List[Dict[str, Any]]:
+    return [
+        {"index": f.index, "key": f.key, "error": f.error,
+         "attempts": f.attempts}
+        for f in getattr(exc, "failures", [])
+    ]
+
+
+def _load_workload(path: str):
+    from repro.workload import WorkloadSpec
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return WorkloadSpec.from_json(handle.read())
+
+
+def _parse_one_address(text: str, flag: str):
+    from repro.parallel.executors import parse_socket_addresses
+
+    addresses = parse_socket_addresses(text)
+    if len(addresses) != 1:
+        raise ConfigurationError(f"{flag} takes exactly one HOST:PORT")
+    return addresses[0]
+
+
+# ---------------------------------------------------------------------------
+# submit
+# ---------------------------------------------------------------------------
+def _run_local(args) -> int:
+    from repro.workload import Session
+
+    try:
+        workload = _load_workload(args.workload)
+    except (OSError, ConfigurationError, ValueError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+
+    def on_result(index, task, report, cached):
+        _emit(_report_payload(index, task, report, cached,
+                              args.full_reports))
+
+    session = Session(seed=workload.seed)
+    failures: List[Dict[str, Any]] = []
+    exit_code = 0
+    try:
+        session.run_workload(
+            workload, workers=args.workers, executor=args.executor,
+            on_result=on_result,
+        )
+    except SweepTaskError as exc:
+        failures = _failures_payload(exc)
+        exit_code = 3
+    except (ConfigurationError, ReproError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    _emit({"event": "done", "stats": _stats_dict(session.last_stats),
+           "failures": failures})
+    return exit_code
+
+
+def _run_remote(args) -> int:
+    from repro.obs.progress import SweepProgress, progress_enabled_by_env
+    from repro.parallel import wire
+
+    try:
+        host, port = _parse_one_address(args.connect, "--connect")
+        workload = _load_workload(args.workload)
+    except (OSError, ConfigurationError, ValueError) as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+
+    # Unknown total on purpose: the server owns the sweep; this side
+    # just ingests whatever streams back (done/? + rate, no fake ETA).
+    progress = (SweepProgress(None, label=workload.name)
+                if progress_enabled_by_env() else None)
+    try:
+        sock = socket.create_connection((host, port), timeout=10.0)
+    except OSError as exc:
+        print(f"submit: cannot reach {host}:{port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        local_hello = wire.hello_payload()
+        wire.send_json(sock, wire.MSG_HELLO, local_hello)
+        msg_type, payload = wire.recv_frame(sock, timeout_s=30.0)
+        if msg_type == wire.MSG_REFUSED:
+            print(f"submit: refused: {wire.recv_json(payload).get('error')}",
+                  file=sys.stderr)
+            return 2
+        if msg_type != wire.MSG_HELLO:
+            print(f"submit: expected HELLO, got message {msg_type}",
+                  file=sys.stderr)
+            return 2
+        problem = wire.check_hello(local_hello, wire.recv_json(payload),
+                                   who="server")
+        if problem is not None:
+            print(f"submit: {problem}", file=sys.stderr)
+            return 2
+        wire.send_json(sock, wire.MSG_JOB, {
+            "workload": workload.to_dict(),
+            "workers": args.workers,
+            "executor": args.executor,
+            "full_reports": bool(args.full_reports),
+        })
+        if progress is not None:
+            progress.start()
+        sock.settimeout(None)  # the server heartbeats via REPORT frames
+        while True:
+            msg_type, payload = wire.recv_frame(sock)
+            if msg_type == wire.MSG_REPORT:
+                event = wire.recv_json(payload)
+                _emit(event)
+                if progress is not None:
+                    if event.get("cached"):
+                        progress.note_cached(1)
+                    else:
+                        progress.advance(1)
+            elif msg_type == wire.MSG_DONE:
+                if progress is not None:
+                    progress.finish()
+                done = wire.recv_json(payload)
+                _emit(done)
+                return 3 if done.get("failures") else 0
+            elif msg_type == wire.MSG_REFUSED:
+                error = wire.recv_json(payload).get("error")
+                print(f"submit: server refused job: {error}",
+                      file=sys.stderr)
+                return 2
+            else:
+                print(f"submit: unexpected message {msg_type}",
+                      file=sys.stderr)
+                return 2
+    except wire.WireError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def submit_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel submit",
+        description="Execute a WorkloadSpec JSON file, streaming one "
+                    "JSON line per finished transfer to stdout.",
+    )
+    parser.add_argument("workload", help="path to a workload JSON file")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="submit to a 'python -m repro.parallel "
+                             "serve' process instead of running locally")
+    parser.add_argument("--executor", default=None,
+                        help="sweep backend: inprocess, process, or "
+                             "socket:HOST:PORT,... (default: "
+                             "$REPRO_EXECUTOR, else process)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes/shards (default: "
+                             "$REPRO_WORKERS, else 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not populate the shared "
+                             "result cache (local runs only)")
+    parser.add_argument("--full-reports", action="store_true",
+                        help="stream full round-trippable report dicts "
+                             "instead of compact summaries")
+    args = parser.parse_args(argv)
+    if args.no_cache:
+        from repro.parallel.cache import CACHE_TOGGLE_ENV
+
+        os.environ[CACHE_TOGGLE_ENV] = "0"
+    if args.connect:
+        return _run_remote(args)
+    return _run_local(args)
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+def _handle_job(conn: socket.socket, job: Dict[str, Any], args,
+                log) -> None:
+    from repro.parallel import wire
+    from repro.workload import Session, WorkloadSpec
+
+    send_lock = threading.Lock()
+    try:
+        workload = WorkloadSpec.from_dict(job["workload"])
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+        wire.send_json(conn, wire.MSG_REFUSED,
+                       {"error": f"bad workload: {exc}"}, lock=send_lock)
+        return
+    # Server-side flags win over the client's request: the operator
+    # who started `serve` owns this machine's parallelism and fleet.
+    workers = args.workers if args.workers is not None else job.get("workers")
+    executor = args.executor if args.executor is not None \
+        else job.get("executor")
+    full = bool(job.get("full_reports"))
+    log(f"job: workload {workload.name!r}, "
+        f"{len(workload.transfers)} transfer(s)")
+
+    def on_result(index, task, report, cached):
+        wire.send_json(conn, wire.MSG_REPORT,
+                       _report_payload(index, task, report, cached, full),
+                       lock=send_lock)
+
+    session = Session(seed=workload.seed)
+    failures: List[Dict[str, Any]] = []
+    try:
+        session.run_workload(workload, workers=workers, executor=executor,
+                             on_result=on_result)
+    except SweepTaskError as exc:
+        failures = _failures_payload(exc)
+    except (ConfigurationError, ReproError) as exc:
+        wire.send_json(conn, wire.MSG_REFUSED, {"error": str(exc)},
+                       lock=send_lock)
+        return
+    wire.send_json(conn, wire.MSG_DONE, {
+        "event": "done",
+        "stats": _stats_dict(session.last_stats),
+        "failures": failures,
+    }, lock=send_lock)
+
+
+def _serve_connection(conn: socket.socket, args, log) -> None:
+    from repro.parallel import wire
+
+    local_hello = wire.hello_payload()
+    msg_type, payload = wire.recv_frame(conn, timeout_s=30.0)
+    if msg_type != wire.MSG_HELLO:
+        wire.send_json(conn, wire.MSG_REFUSED, {"error": "expected HELLO"})
+        return
+    problem = wire.check_hello(local_hello, wire.recv_json(payload),
+                               who="client")
+    if problem is not None:
+        log(f"refusing client: {problem}")
+        wire.send_json(conn, wire.MSG_REFUSED, {"error": problem})
+        return
+    wire.send_json(conn, wire.MSG_HELLO, local_hello)
+    msg_type, payload = wire.recv_frame(conn, timeout_s=60.0)
+    if msg_type != wire.MSG_JOB:
+        wire.send_json(conn, wire.MSG_REFUSED,
+                       {"error": f"expected JOB, got message {msg_type}"})
+        return
+    conn.settimeout(None)
+    _handle_job(conn, wire.recv_json(payload), args, log)
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    from repro.parallel import wire
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel serve",
+        description="Accept workload submissions over TCP and stream "
+                    "results back as they finish. SECURITY: serves "
+                    "anyone who can connect — listen on loopback or a "
+                    "trusted network only.",
+    )
+    parser.add_argument("--listen", metavar="HOST:PORT",
+                        default="127.0.0.1:0",
+                        help="bind address (default 127.0.0.1:0; the "
+                             "chosen port is printed on stdout)")
+    parser.add_argument("--once", action="store_true",
+                        help="exit after the first job completes")
+    parser.add_argument("--executor", default=None,
+                        help="force this sweep backend for every job "
+                             "(overrides the client's request)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="force this worker count for every job")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-connection logging on stderr")
+    args = parser.parse_args(argv)
+
+    def log(message: str) -> None:
+        if not args.quiet:
+            print(f"repro-serve: {message}", file=sys.stderr, flush=True)
+
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"--listen must be HOST:PORT, got {args.listen!r}")
+    if not host or not 0 <= port < 65536:
+        parser.error(f"--listen must be HOST:PORT, got {args.listen!r}")
+
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server.bind((host, port))
+        server.listen(4)
+        bound_host, bound_port = server.getsockname()[:2]
+        print(f"repro-serve listening on {bound_host}:{bound_port} "
+              f"pid={os.getpid()}", flush=True)
+        while True:
+            conn, peer = server.accept()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            log(f"connection from {peer[0]}:{peer[1]}")
+            try:
+                _serve_connection(conn, args, log)
+            except wire.WireError as exc:
+                log(f"connection error: {exc}")
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if args.once:
+                return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.close()
+
+
+# ---------------------------------------------------------------------------
+# cache
+# ---------------------------------------------------------------------------
+def cache_main(argv: Optional[List[str]] = None) -> int:
+    from repro.parallel.cache import ResultCache
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel cache",
+        description="Inspect and maintain the shared sweep result store.",
+    )
+    parser.add_argument("command", choices=("stats", "gc", "clear"),
+                        help="stats: entry/lock/size summary; gc: drop "
+                             "stale locks, orphan tempfiles, and aged "
+                             "entries; clear: remove every entry")
+    parser.add_argument("--dir", default=None,
+                        help="cache directory (default: $REPRO_CACHE_DIR, "
+                             "else ~/.cache/repro-sweep)")
+    parser.add_argument("--max-age-s", type=float, default=None,
+                        help="gc only: also drop entries older than this "
+                             "many seconds")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.dir) if args.dir else ResultCache()
+    if args.command == "stats":
+        stats = cache.stats()
+        if args.json:
+            _emit(stats)
+        else:
+            print(f"cache dir : {cache.root}")
+            print(f"entries   : {stats['entries']} "
+                  f"({stats['total_bytes']} bytes)")
+            print(f"locks     : {stats['locks']} "
+                  f"({stats['stale_locks']} stale)")
+            print(f"tempfiles : {stats['orphan_tmp']} orphaned")
+            if stats["entries"]:
+                print(f"age       : newest {stats['newest_age_s']:.0f}s, "
+                      f"oldest {stats['oldest_age_s']:.0f}s")
+        return 0
+    if args.command == "gc":
+        removed = cache.gc(max_age_s=args.max_age_s)
+        if args.json:
+            _emit(removed)
+        else:
+            print(f"removed {removed['entries']} entr"
+                  f"{'y' if removed['entries'] == 1 else 'ies'}, "
+                  f"{removed['locks']} stale lock(s), "
+                  f"{removed['tmp']} orphan tempfile(s)")
+        return 0
+    removed_count = cache.clear()
+    if args.json:
+        _emit({"entries": removed_count})
+    else:
+        print(f"removed {removed_count} entr"
+              f"{'y' if removed_count == 1 else 'ies'}")
+    return 0

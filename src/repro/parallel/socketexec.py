@@ -1,0 +1,252 @@
+"""Dispatch sweep shards to remote workers over TCP.
+
+A :class:`SocketExecutor` holds a list of worker addresses (each a
+``python -m repro.parallel worker`` process).  ``run_shards`` opens
+one connection per worker and pulls shards from a shared queue, so a
+fast worker naturally takes more shards than a slow one — load
+balance never affects results, which the coordinator reassembles by
+task index.
+
+Failure containment mirrors the local pool: a worker that dies
+mid-shard, stops heartbeating, or blows the scaled shard deadline
+costs only that shard (reported as a failed
+:class:`~repro.parallel.executors.ShardOutcome`; the coordinator
+re-runs its tasks in local isolation), and its remaining queue share
+is absorbed by surviving workers.  Only a sweep with *zero* reachable
+workers raises — silent degradation to local execution would make a
+broken fleet look healthy.
+"""
+
+import pickle
+import queue
+import socket
+import threading
+import time
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.errors import ExecutorError
+from repro.parallel import wire
+from repro.parallel.executors import (
+    Executor,
+    LocalPoolExecutor,
+    ShardOutcome,
+)
+from repro.parallel.task import SimTask
+
+__all__ = ["SocketExecutor"]
+
+#: recv deadline between frames while a shard runs; the worker
+#: heartbeats every second, so 10 missed beats means it is gone.
+HEARTBEAT_TIMEOUT_S = 10.0
+
+
+class SocketExecutor(Executor):
+    """Run shards on remote worker processes over the wire protocol."""
+
+    name = "socket"
+
+    #: Even a one-shard sweep must cross the wire: running it inline
+    #: would silently mask an unreachable or broken fleet.
+    inline_when_serial = False
+
+    def __init__(
+        self,
+        addresses: List[Tuple[str, int]],
+        connect_timeout_s: float = 5.0,
+        heartbeat_timeout_s: float = HEARTBEAT_TIMEOUT_S,
+    ) -> None:
+        if not addresses:
+            raise ExecutorError("socket executor needs at least one worker")
+        self.addresses = list(addresses)
+        self.connect_timeout_s = connect_timeout_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self._isolation = LocalPoolExecutor()
+
+    def shard_count(self, workers: int, nmisses: int) -> int:
+        # At least one shard per worker; more when the caller asked
+        # for more parallelism than there are workers (shards queue up
+        # and drain by worker speed).
+        return min(max(workers, len(self.addresses)), nmisses)
+
+    # ------------------------------------------------------------------
+    def run_shards(
+        self,
+        shards: List[List[SimTask]],
+        task_timeout_s: Optional[float] = None,
+    ) -> Iterator[Tuple[int, ShardOutcome]]:
+        pending: "queue.Queue" = queue.Queue()
+        for shard_index, shard in enumerate(shards):
+            pending.put((shard_index, shard))
+        outcomes: "queue.Queue" = queue.Queue()
+        status: "queue.Queue" = queue.Queue()
+        threads = [
+            threading.Thread(
+                target=self._serve_address,
+                args=(address, pending, outcomes, status, task_timeout_s),
+                daemon=True,
+            )
+            for address in self.addresses
+        ]
+        for thread in threads:
+            thread.start()
+
+        # Fail loudly if the whole fleet is unreachable: every address
+        # reports its handshake outcome exactly once.
+        connected = 0
+        connect_errors = []
+        for _ in self.addresses:
+            ok, address, error = status.get()
+            if ok:
+                connected += 1
+            else:
+                connect_errors.append(f"{address[0]}:{address[1]}: {error}")
+        if not connected:
+            raise ExecutorError(
+                "no socket worker reachable — start workers with "
+                "'python -m repro.parallel worker --listen HOST:PORT' "
+                "(" + "; ".join(connect_errors) + ")"
+            )
+
+        delivered = 0
+        while delivered < len(shards):
+            try:
+                shard_index, outcome = outcomes.get(timeout=0.2)
+            except queue.Empty:
+                if any(thread.is_alive() for thread in threads):
+                    continue
+                # Every connection died; whatever is still queued can
+                # only be isolated locally by the coordinator.
+                try:
+                    while True:
+                        shard_index, _ = pending.get_nowait()
+                        yield shard_index, ShardOutcome(
+                            error="every socket worker connection died"
+                        )
+                        delivered += 1
+                except queue.Empty:
+                    pass
+                if delivered < len(shards):  # pragma: no cover - defensive
+                    raise ExecutorError(
+                        "socket executor lost track of "
+                        f"{len(shards) - delivered} shard(s)"
+                    )
+                return
+            delivered += 1
+            yield shard_index, outcome
+
+    def run_one(self, task, task_timeout_s=None):
+        """Isolation re-runs happen *locally*, in a one-task pool.
+
+        The remote path just failed for this task's shard; retrying it
+        over the same wire would conflate worker health with task
+        health.  The local pool gives exact timeout enforcement and
+        crash containment, matching the ``process`` backend.
+        """
+        return self._isolation.run_one(task, task_timeout_s)
+
+    # ------------------------------------------------------------------
+    def _serve_address(self, address, pending, outcomes, status,
+                       task_timeout_s) -> None:
+        """One worker connection: pull shards until the queue drains."""
+        try:
+            conn = self._connect(address)
+        except (OSError, wire.WireError) as exc:
+            status.put((False, address, str(exc)))
+            return
+        status.put((True, address, None))
+        try:
+            while True:
+                try:
+                    shard_index, shard = pending.get_nowait()
+                except queue.Empty:
+                    break
+                outcome, alive = self._dispatch(
+                    conn, shard_index, shard, task_timeout_s
+                )
+                outcomes.put((shard_index, outcome))
+                if not alive:
+                    return  # connection unusable; peers drain the queue
+            try:
+                wire.send_frame(conn, wire.MSG_SHUTDOWN)
+            except OSError:
+                pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _connect(self, address) -> socket.socket:
+        conn = socket.create_connection(address,
+                                        timeout=self.connect_timeout_s)
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        local_hello = wire.hello_payload()
+        wire.send_json(conn, wire.MSG_HELLO, local_hello)
+        msg_type, payload = wire.recv_frame(
+            conn, timeout_s=self.connect_timeout_s
+        )
+        if msg_type == wire.MSG_REFUSED:
+            raise wire.WireError(
+                f"worker refused: {wire.recv_json(payload).get('error')}"
+            )
+        if msg_type != wire.MSG_HELLO:
+            raise wire.WireError(f"expected HELLO, got message {msg_type}")
+        problem = wire.check_hello(local_hello, wire.recv_json(payload),
+                                   who="worker")
+        if problem is not None:
+            raise wire.WireError(problem)
+        return conn
+
+    def _dispatch(self, conn, shard_index, shard,
+                  task_timeout_s) -> Tuple[ShardOutcome, bool]:
+        """Send one shard and await its outcome.
+
+        Returns ``(outcome, connection_still_usable)``.  Heartbeats
+        keep the per-frame recv deadline alive; the absolute shard
+        deadline (``task_timeout_s`` scaled by shard length, matching
+        the local pool) is enforced on top.
+        """
+        deadline = None
+        if task_timeout_s is not None:
+            deadline = time.monotonic() + task_timeout_s * (len(shard) + 1)
+        try:
+            wire.send_pickle(conn, wire.MSG_SHARD, (shard_index, shard))
+            while True:
+                wait_s = self.heartbeat_timeout_s
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return ShardOutcome(error=(
+                            f"shard timed out after "
+                            f"{task_timeout_s * (len(shard) + 1):g}s "
+                            f"(task_timeout_s={task_timeout_s:g})"
+                        )), False
+                    wait_s = min(wait_s, remaining)
+                msg_type, payload = wire.recv_frame(conn, timeout_s=wait_s)
+                if msg_type == wire.MSG_HEARTBEAT:
+                    continue
+                if msg_type == wire.MSG_RESULT:
+                    result_id, values = pickle.loads(payload)
+                    if result_id != shard_index:
+                        return ShardOutcome(error=(
+                            f"worker answered shard {result_id}, "
+                            f"expected {shard_index}"
+                        )), False
+                    return ShardOutcome(values=values), True
+                if msg_type == wire.MSG_SHARD_ERR:
+                    body = wire.recv_json(payload)
+                    return ShardOutcome(
+                        error=str(body.get("error", "unknown worker error"))
+                    ), True
+                if msg_type == wire.MSG_REFUSED:
+                    return ShardOutcome(
+                        error=f"worker refused shard: "
+                              f"{wire.recv_json(payload).get('error')}"
+                    ), False
+                return ShardOutcome(
+                    error=f"unexpected message {msg_type} from worker"
+                ), False
+        except (OSError, wire.WireError, pickle.PickleError) as exc:
+            return ShardOutcome(
+                error=f"socket worker failed mid-shard: {exc}"
+            ), False

@@ -1,0 +1,180 @@
+"""Task specs and the worker-side execution helpers.
+
+A :class:`SimTask` names a module-level callable (``"pkg.mod:fn"``)
+plus keyword arguments; both the arguments and the return value must
+be picklable, so tasks can cross a process boundary (local pool or
+socket wire) and live in the on-disk cache.  The module also carries
+the small execution helpers every backend shares — run one task with
+timing provenance, run a shard of tasks in order — plus the
+worker-count resolution knobs (``REPRO_WORKERS``).
+"""
+
+import importlib
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import derive_seed
+
+__all__ = [
+    "SimTask",
+    "SweepStats",
+    "TaskFailure",
+    "WORKERS_ENV",
+    "get_default_workers",
+    "resolve_workers",
+    "run_shard",
+    "run_task_timed",
+    "set_default_workers",
+]
+
+#: Environment variable consulted when no worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+_default_workers: Optional[int] = None
+
+
+def set_default_workers(workers: Optional[int]) -> None:
+    """Set the process-wide default worker count (``None`` resets)."""
+    global _default_workers
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1: {workers}")
+    _default_workers = workers
+
+
+def get_default_workers() -> Optional[int]:
+    return _default_workers
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument > :func:`set_default_workers` > env > 1."""
+    if workers is not None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1: {workers}")
+        return workers
+    if _default_workers is not None:
+        return _default_workers
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer: {env!r}"
+            )
+        if value < 1:
+            raise ConfigurationError(f"{WORKERS_ENV} must be >= 1: {value}")
+        return value
+    return 1
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One unit of sweep work.
+
+    ``fn`` is a ``"module.path:callable"`` reference resolved at
+    execution time (inside the worker process), so the spec itself is
+    tiny and always picklable.  ``key`` is a stable human-readable
+    identity used for per-task seed derivation; it defaults to the
+    function path and does not affect cache addressing (the kwargs
+    already do).
+    """
+
+    fn: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    key: Optional[str] = None
+
+    def label(self) -> str:
+        return self.key if self.key is not None else self.fn
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the task callable."""
+        if ":" not in self.fn:
+            raise ConfigurationError(
+                f"task fn must be 'module:callable', got {self.fn!r}"
+            )
+        module_path, _, attr = self.fn.partition(":")
+        module = importlib.import_module(module_path)
+        try:
+            fn = getattr(module, attr)
+        except AttributeError:
+            raise ConfigurationError(
+                f"module {module_path!r} has no callable {attr!r}"
+            )
+        if not callable(fn):
+            raise ConfigurationError(f"{self.fn!r} is not callable")
+        return fn
+
+    def seeded(self, master_seed: int) -> "SimTask":
+        """Fill in a derived ``seed`` kwarg when the task lacks one.
+
+        The derivation only depends on the master seed and the task's
+        ``key`` — never on shard assignment, executor backend, or
+        worker count — so the same sweep always simulates the same
+        randomness.
+        """
+        if "seed" in self.kwargs:
+            return self
+        seed = derive_seed(master_seed, f"sweep-task.{self.label()}")
+        return SimTask(fn=self.fn, kwargs={**self.kwargs, "seed": seed},
+                       key=self.key)
+
+
+def run_task_timed(task: SimTask) -> Tuple[Any, float, int]:
+    """Run a task, returning ``(value, wall_time_s, worker_pid)``."""
+    started = time.perf_counter()
+    value = task.resolve()(**task.kwargs)
+    return value, time.perf_counter() - started, os.getpid()
+
+
+def run_shard(tasks: List[SimTask]) -> List[Tuple[Any, float, int]]:
+    """Backend entry point: run one shard's tasks in order."""
+    return [run_task_timed(task) for task in tasks]
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget."""
+
+    index: int
+    key: str
+    error: str
+    attempts: int
+
+
+@dataclass
+class SweepStats:
+    """Bookkeeping from the last :meth:`SweepRunner.run` call."""
+
+    tasks: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    workers: int = 1
+    elapsed_s: float = 0.0
+    #: Tasks that needed more than one attempt but eventually succeeded.
+    retried: int = 0
+    #: Tasks that exhausted the retry budget (see :class:`TaskFailure`).
+    failed: int = 0
+    #: Executor backend name the sweep ran on (``"process"`` default).
+    executor: str = "process"
+    #: Cache hits resolved by waiting on another runner's computation
+    #: (single-flight; subset of ``cache_hits``).
+    flight_waits: int = 0
+
+    def summary(self) -> str:
+        text = (
+            f"{self.tasks} tasks, {self.cache_hits} cached, "
+            f"{self.executed} run on {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''} in {self.elapsed_s:.1f}s"
+        )
+        if self.executor != "process":
+            text += f" [{self.executor}]"
+        if self.flight_waits:
+            text += f", {self.flight_waits} awaited"
+        if self.retried:
+            text += f", {self.retried} retried"
+        if self.failed:
+            text += f", {self.failed} failed"
+        return text

@@ -1,0 +1,176 @@
+"""Length-prefixed TCP framing for the distributed sweep service.
+
+Every frame is a 5-byte header — one message-type byte plus a 4-byte
+big-endian payload length — followed by the payload.  Control frames
+(``HELLO``, ``DONE``, job submissions, streamed reports) carry UTF-8
+JSON; shard dispatch and results carry pickle, because task kwargs and
+:class:`~repro.workload.report.TransferReport` values are arbitrary
+Python data.
+
+Security model: the protocol is **trust-the-network** — pickle over
+TCP executes arbitrary code on unpickling, so workers must only
+listen on loopback or an otherwise trusted/tunnelled network, exactly
+like the SSH-launched compute helpers this replaces.  The ``HELLO``
+handshake carries the sender's wire version and source-tree
+fingerprint; a worker refuses mismatched clients so two checkouts can
+never silently mix results.
+
+Message types
+-------------
+``HELLO``      both directions, JSON ``{version, fingerprint, pid}``
+``SHARD``      client -> worker, pickle ``(shard_id, [SimTask...])``
+``RESULT``     worker -> client, pickle ``(shard_id, [(value, wall, pid)...])``
+``SHARD_ERR``  worker -> client, JSON ``{shard_id, error}``
+``HEARTBEAT``  worker -> client, empty; liveness while a shard runs
+``SHUTDOWN``   client -> worker, empty; close the connection
+``JOB``        client -> service, JSON workload submission
+``REPORT``     service -> client, JSON one streamed task result
+``DONE``       service -> client, JSON final stats/summary
+``REFUSED``    either direction, JSON ``{error}`` before closing
+"""
+
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Optional, Tuple
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireError",
+    "MSG_HELLO",
+    "MSG_SHARD",
+    "MSG_RESULT",
+    "MSG_SHARD_ERR",
+    "MSG_HEARTBEAT",
+    "MSG_SHUTDOWN",
+    "MSG_JOB",
+    "MSG_REPORT",
+    "MSG_DONE",
+    "MSG_REFUSED",
+    "recv_frame",
+    "recv_json",
+    "send_frame",
+    "send_json",
+    "send_pickle",
+]
+
+#: Bump on any incompatible framing or message-semantics change.
+WIRE_VERSION = 1
+
+#: Refuse absurd frames before allocating for them (corrupt peer,
+#: port scanner, wrong protocol): 256 MiB is far above any shard.
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+MSG_HELLO = 1
+MSG_SHARD = 2
+MSG_RESULT = 3
+MSG_SHARD_ERR = 4
+MSG_HEARTBEAT = 5
+MSG_SHUTDOWN = 6
+MSG_JOB = 7
+MSG_REPORT = 8
+MSG_DONE = 9
+MSG_REFUSED = 10
+
+_HEADER = struct.Struct(">BI")
+
+
+class WireError(ReproError):
+    """The peer hung up, timed out, or sent a malformed frame."""
+
+
+def send_frame(sock: socket.socket, msg_type: int, payload: bytes = b"",
+               lock=None) -> None:
+    """Send one frame; ``lock`` serializes concurrent senders."""
+    frame = _HEADER.pack(msg_type, len(payload)) + payload
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+
+
+def send_json(sock: socket.socket, msg_type: int, obj: Any,
+              lock=None) -> None:
+    send_frame(sock, msg_type, json.dumps(obj).encode("utf-8"), lock=lock)
+
+
+def send_pickle(sock: socket.socket, msg_type: int, obj: Any,
+                lock=None) -> None:
+    send_frame(sock, msg_type,
+               pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+               lock=lock)
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    chunks = []
+    remaining = nbytes
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout:
+            raise WireError(f"peer silent past the {sock.gettimeout():g}s "
+                            f"receive deadline")
+        except OSError as exc:
+            raise WireError(f"connection lost: {exc}")
+        if not chunk:
+            raise WireError("peer closed the connection mid-frame"
+                            if chunks or remaining != nbytes
+                            else "peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket,
+               timeout_s: Optional[float] = None) -> Tuple[int, bytes]:
+    """Receive one frame as ``(msg_type, payload)``.
+
+    ``timeout_s`` bounds the wait for *this* frame (``None`` keeps the
+    socket's current timeout).  Raises :class:`WireError` on EOF,
+    timeout, or a malformed header.
+    """
+    if timeout_s is not None:
+        sock.settimeout(timeout_s)
+    header = _recv_exact(sock, _HEADER.size)
+    msg_type, length = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {length} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte cap (protocol mismatch?)")
+    payload = _recv_exact(sock, length) if length else b""
+    return msg_type, payload
+
+
+def recv_json(payload: bytes) -> Any:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed JSON payload: {exc}")
+
+
+def hello_payload() -> dict:
+    """The handshake body both sides exchange on connect."""
+    import os
+
+    from repro.parallel.cache import code_fingerprint
+
+    return {
+        "version": WIRE_VERSION,
+        "fingerprint": code_fingerprint(),
+        "pid": os.getpid(),
+    }
+
+
+def check_hello(local: dict, remote: dict, who: str) -> Optional[str]:
+    """Return an error string when two HELLOs must not work together."""
+    if remote.get("version") != local["version"]:
+        return (f"{who} speaks wire version {remote.get('version')!r}, "
+                f"this side speaks {local['version']}")
+    if remote.get("fingerprint") != local["fingerprint"]:
+        return (f"{who} runs a different repro source tree "
+                f"(fingerprint mismatch) — results would not be "
+                f"comparable; update both checkouts to the same revision")
+    return None

@@ -1,0 +1,204 @@
+"""The remote sweep worker: ``python -m repro.parallel worker``.
+
+A worker is one process that listens on ``HOST:PORT``, accepts one
+coordinator connection at a time, and executes the shards it is sent
+— tasks in order, results streamed back per shard.  While a shard
+runs, a background thread emits ``HEARTBEAT`` frames so the
+coordinator can tell a slow shard from a dead worker.
+
+Startup prints exactly one line to stdout::
+
+    repro-worker listening on 127.0.0.1:40913 pid=12345
+
+so launchers (tests, fleet scripts) binding port ``0`` can scrape the
+kernel-assigned port.  The handshake refuses clients running a
+different source tree (see :mod:`repro.parallel.wire`), keeping
+cross-revision result mixing structurally impossible.
+"""
+
+import argparse
+import pickle
+import socket
+import sys
+import threading
+from typing import List, Optional
+
+from repro.parallel import wire
+from repro.parallel.task import run_task_timed
+
+__all__ = ["main", "serve_worker"]
+
+#: Seconds between heartbeat frames while a shard executes.
+HEARTBEAT_INTERVAL_S = 1.0
+
+
+class _Heartbeat:
+    """Emit HEARTBEAT frames on ``sock`` until stopped."""
+
+    def __init__(self, sock: socket.socket, send_lock: threading.Lock,
+                 interval_s: float) -> None:
+        self._sock = sock
+        self._lock = send_lock
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval_s * 2)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            try:
+                wire.send_frame(self._sock, wire.MSG_HEARTBEAT,
+                                lock=self._lock)
+            except OSError:
+                return  # connection gone; the main loop will notice
+
+
+def _handle_connection(conn: socket.socket, heartbeat_s: float,
+                       log) -> int:
+    """Serve one coordinator connection; returns shards executed."""
+    send_lock = threading.Lock()
+    local_hello = wire.hello_payload()
+    msg_type, payload = wire.recv_frame(conn, timeout_s=30.0)
+    if msg_type != wire.MSG_HELLO:
+        wire.send_json(conn, wire.MSG_REFUSED,
+                       {"error": "expected HELLO"}, lock=send_lock)
+        return 0
+    problem = wire.check_hello(local_hello, wire.recv_json(payload),
+                               who="client")
+    if problem is not None:
+        log(f"refusing client: {problem}")
+        wire.send_json(conn, wire.MSG_REFUSED, {"error": problem},
+                       lock=send_lock)
+        return 0
+    wire.send_json(conn, wire.MSG_HELLO, local_hello, lock=send_lock)
+
+    shards_done = 0
+    while True:
+        conn.settimeout(None)  # idle between shards is fine
+        try:
+            msg_type, payload = wire.recv_frame(conn)
+        except wire.WireError:
+            return shards_done  # coordinator went away
+        if msg_type == wire.MSG_SHUTDOWN:
+            return shards_done
+        if msg_type != wire.MSG_SHARD:
+            wire.send_json(conn, wire.MSG_REFUSED,
+                           {"error": f"unexpected message {msg_type}"},
+                           lock=send_lock)
+            return shards_done
+        try:
+            shard_id, tasks = pickle.loads(payload)
+        except Exception as exc:
+            wire.send_json(conn, wire.MSG_REFUSED,
+                           {"error": f"undecodable shard: {exc}"},
+                           lock=send_lock)
+            return shards_done
+        log(f"shard {shard_id}: {len(tasks)} task(s)")
+        with _Heartbeat(conn, send_lock, heartbeat_s):
+            try:
+                # Task-by-task (not run_shard) so a mid-shard crash of
+                # this process has already shipped nothing partial:
+                # results leave only as one complete RESULT frame.
+                values = [run_task_timed(task) for task in tasks]
+            except Exception as exc:
+                wire.send_json(
+                    conn, wire.MSG_SHARD_ERR,
+                    {"shard_id": shard_id,
+                     "error": f"{type(exc).__name__}: {exc}"},
+                    lock=send_lock,
+                )
+                shards_done += 1
+                continue
+        wire.send_pickle(conn, wire.MSG_RESULT, (shard_id, values),
+                         lock=send_lock)
+        shards_done += 1
+
+
+def serve_worker(host: str, port: int, once: bool = False,
+                 heartbeat_s: float = HEARTBEAT_INTERVAL_S,
+                 quiet: bool = False) -> int:
+    """Listen on ``host:port`` and serve coordinator connections."""
+    def log(message: str) -> None:
+        if not quiet:
+            print(f"repro-worker: {message}", file=sys.stderr, flush=True)
+
+    import os
+
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server.bind((host, port))
+        server.listen(4)
+        bound_host, bound_port = server.getsockname()[:2]
+        print(f"repro-worker listening on {bound_host}:{bound_port} "
+              f"pid={os.getpid()}", flush=True)
+        while True:
+            conn, peer = server.accept()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            log(f"connection from {peer[0]}:{peer[1]}")
+            try:
+                shards = _handle_connection(conn, heartbeat_s, log)
+                log(f"connection closed after {shards} shard(s)")
+            except wire.WireError as exc:
+                log(f"connection error: {exc}")
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if once:
+                return 0
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        server.close()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel worker",
+        description="Serve sweep shards to a SocketExecutor coordinator. "
+                    "SECURITY: the protocol deserializes pickle — listen "
+                    "on loopback or a trusted network only.",
+    )
+    parser.add_argument("--listen", metavar="HOST:PORT",
+                        default="127.0.0.1:0",
+                        help="bind address (default 127.0.0.1:0 — port 0 "
+                             "lets the kernel pick; the chosen port is "
+                             "printed on stdout)")
+    parser.add_argument("--once", action="store_true",
+                        help="exit after the first connection closes")
+    parser.add_argument("--heartbeat-s", type=float,
+                        default=HEARTBEAT_INTERVAL_S,
+                        help="seconds between liveness frames while a "
+                             "shard runs (default %(default)s)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-connection logging on stderr")
+    args = parser.parse_args(argv)
+
+    from repro.parallel.executors import parse_socket_addresses
+
+    try:
+        ((host, port),) = parse_socket_addresses(args.listen)
+    except Exception:
+        # parse_socket_addresses rejects port 0; allow it here.
+        host, _, port_text = args.listen.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            parser.error(f"--listen must be HOST:PORT, got {args.listen!r}")
+        if not host or not 0 <= port < 65536:
+            parser.error(f"--listen must be HOST:PORT, got {args.listen!r}")
+    return serve_worker(host, port, once=args.once,
+                        heartbeat_s=args.heartbeat_s, quiet=args.quiet)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

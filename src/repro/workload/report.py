@@ -71,6 +71,65 @@ class TransferReport:
             self.delivery_log, self.started_at, nbytes
         )
 
+    # -- wire/JSON forms ---------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Full JSON-serialisable form (round-trips via :meth:`from_dict`).
+
+        This is the service wire format: ``python -m repro.parallel
+        submit/serve`` stream reports as JSON, which — unlike pickle —
+        is safe to ingest from a half-trusted peer and stable across
+        interpreter versions.  Tuples inside the delivery logs become
+        lists (JSON has no tuple), so equality across a round trip is
+        checked on this dict form.
+        """
+        return {
+            "total_bytes": self.total_bytes,
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "delivery_log": [[t, n] for t, n in self.delivery_log],
+            "subflow_delivery_logs": {
+                name: [[t, n] for t, n in log]
+                for name, log in self.subflow_delivery_logs.items()
+            },
+            "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+            "label": self.label,
+            "metrics": dict(self.metrics),
+            "faults": list(self.faults),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TransferReport":
+        return cls(
+            total_bytes=int(data["total_bytes"]),
+            started_at=data.get("started_at"),
+            completed_at=data.get("completed_at"),
+            delivery_log=[(float(t), int(n))
+                          for t, n in data.get("delivery_log", [])],
+            subflow_delivery_logs={
+                str(name): [(float(t), int(n)) for t, n in log]
+                for name, log in data.get("subflow_delivery_logs",
+                                          {}).items()
+            },
+            retransmits=int(data.get("retransmits", 0)),
+            timeouts=int(data.get("timeouts", 0)),
+            label=data.get("label"),
+            metrics=dict(data.get("metrics", {})),
+            faults=list(data.get("faults", [])),
+        )
+
+    def summary_dict(self) -> Dict[str, Any]:
+        """The compact per-result line a streaming client sees first."""
+        return {
+            "label": self.label,
+            "completed": self.completed,
+            "total_bytes": self.total_bytes,
+            "duration_s": self.duration_s,
+            "throughput_mbps": self.throughput_mbps,
+            "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+        }
+
     @classmethod
     def from_result(
         cls,

@@ -200,17 +200,25 @@ class Session:
         workers: Optional[int] = None,
         cache: Union[ResultCache, bool, None] = None,
         seed: Optional[int] = None,
+        executor=None,
+        on_result=None,
     ) -> List[TransferReport]:
         """Execute a batch through the sweep engine (cache + workers).
 
         Results come back in spec order, bit-identical for any worker
-        count.  Specs without an explicit seed get one derived from
-        the master ``seed`` (default: this session's seed) and their
-        :meth:`~repro.workload.spec.TransferSpec.key`.
+        count and any ``executor`` backend (``"inprocess"``,
+        ``"process"``, ``"socket:HOST:PORT,..."``, or an
+        :class:`~repro.parallel.executors.Executor` instance).  Specs
+        without an explicit seed get one derived from the master
+        ``seed`` (default: this session's seed) and their
+        :meth:`~repro.workload.spec.TransferSpec.key`.  ``on_result``
+        streams ``(index, task, report, cached)`` in completion order
+        (presentation only; see :class:`~repro.parallel.SweepRunner`).
         """
         runner = SweepRunner(
             workers=workers, cache=cache,
             seed=seed if seed is not None else self.seed,
+            executor=executor, on_result=on_result,
         )
         reports = runner.run([self.task_for(spec) for spec in specs])
         self.last_stats = runner.last_stats
@@ -222,9 +230,11 @@ class Session:
         workload: WorkloadSpec,
         workers: Optional[int] = None,
         cache: Union[ResultCache, bool, None] = None,
+        executor=None,
+        on_result=None,
     ) -> List[TransferReport]:
         """Execute a named workload batch (master seed from the spec)."""
         return self.run_many(
             workload.transfers, workers=workers, cache=cache,
-            seed=workload.seed,
+            seed=workload.seed, executor=executor, on_result=on_result,
         )

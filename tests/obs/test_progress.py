@@ -83,3 +83,49 @@ class TestSweepProgress:
             progress.advance()
         # All 50 renders inside the interval are suppressed.
         assert stream.getvalue() == baseline
+
+
+class TestUnknownTotal:
+    """``total=None``: streaming ingestion from a live service."""
+
+    def _progress(self):
+        stream = io.StringIO()
+        progress = SweepProgress(None, stream=stream, min_interval_s=0.0)
+        return progress, stream
+
+    def test_line_shows_question_mark_total(self):
+        progress, stream = self._progress()
+        progress.start()
+        progress.advance(3)
+        assert "sweep: 3/?" in stream.getvalue()
+
+    def test_no_eta_is_ever_rendered(self):
+        # With no total an ETA would be fabricated; the honest signal
+        # is the observed completion rate.
+        progress, stream = self._progress()
+        progress.start()
+        progress.advance(7)
+        progress.finish()
+        assert "eta" not in stream.getvalue()
+
+    def test_rate_appears_once_measurable(self):
+        progress, stream = self._progress()
+        progress.start()
+        progress.advance(5)
+        assert "/s" in stream.getvalue()
+
+    def test_cached_counts_still_shown(self):
+        progress, stream = self._progress()
+        progress.start()
+        progress.note_cached(2)
+        progress.advance(1)
+        text = stream.getvalue()
+        assert "sweep: 3/?" in text
+        assert "2 cached" in text
+
+    def test_finish_terminates_line(self):
+        progress, stream = self._progress()
+        progress.start()
+        progress.advance()
+        progress.finish()
+        assert stream.getvalue().endswith("\n")

@@ -1,0 +1,27 @@
+"""Importable sweep tasks for executor and shared-cache tests.
+
+Worker processes resolve tasks by ``"module:callable"`` path, so
+these must live in a real importable module.  Every task accepts the
+engine-injected ``seed`` kwarg.
+"""
+
+import os
+import time
+
+
+def double(value: int = 0, seed: int = 0) -> dict:
+    """Deterministic output: identical on every backend and worker."""
+    return {"value": value * 2, "seed": seed}
+
+
+def logged_task(log_path: str = "", value: int = 0, seed: int = 0) -> dict:
+    """Append one line per *execution* so tests can count computations.
+
+    ``O_APPEND`` writes of a short line are atomic on POSIX, so two
+    racing runner processes can share one log file.  The sleep widens
+    the window in which a second runner sees the single-flight lock.
+    """
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(f"{value} pid={os.getpid()}\n")
+    time.sleep(0.05)
+    return {"value": value * 2, "seed": seed}

@@ -1,0 +1,163 @@
+"""The service CLI: submit (local and remote), serve, JSONL stream."""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.linkem.conditions import make_conditions
+from repro.parallel import set_default_workers
+from repro.parallel.executors import set_default_executor
+from repro.parallel.service import submit_main
+from repro.parallel.__main__ import main as parallel_main
+from repro.workload import ConditionSpec, TransferSpec, WorkloadSpec
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))
+))
+FLOW_BYTES = 16 * 1024
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sweep_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    set_default_executor(None)
+    set_default_workers(None)
+    yield
+    set_default_executor(None)
+    set_default_workers(None)
+
+
+def _workload(seed=11):
+    condition = ConditionSpec.from_condition(make_conditions(seed=5)[1])
+    return WorkloadSpec(
+        name="service-test", seed=seed,
+        transfers=(
+            TransferSpec(kind="tcp", condition=condition,
+                         nbytes=FLOW_BYTES, path="wifi", seed=seed),
+            TransferSpec(kind="tcp", condition=condition,
+                         nbytes=FLOW_BYTES, path="lte", seed=seed),
+        ),
+    )
+
+
+def _write_workload(tmp_path):
+    path = tmp_path / "workload.json"
+    path.write_text(json.dumps(_workload().to_dict()))
+    return str(path)
+
+
+def _parse_stream(out):
+    events = [json.loads(line) for line in out.splitlines() if line.strip()]
+    results = [e for e in events if e.get("event") == "result"]
+    dones = [e for e in events if e.get("event") == "done"]
+    return results, dones
+
+
+class TestSubmitLocal:
+    def test_streams_jsonl_results_then_done(self, tmp_path, capsys):
+        path = _write_workload(tmp_path)
+        assert submit_main([path, "--executor", "inprocess"]) == 0
+        results, dones = _parse_stream(capsys.readouterr().out)
+        assert len(results) == 2
+        assert sorted(r["index"] for r in results) == [0, 1]
+        for event in results:
+            assert event["cached"] is False
+            assert event["report"]["completed"] is True
+            assert event["report"]["total_bytes"] == FLOW_BYTES
+            assert event["report"]["throughput_mbps"] > 0
+        (done,) = dones
+        assert done["failures"] == []
+        assert done["stats"]["tasks"] == 2
+        assert done["stats"]["executor"] == "inprocess"
+
+    def test_full_reports_round_trip(self, tmp_path, capsys):
+        from repro.workload import Session
+        from repro.workload.report import TransferReport
+
+        path = _write_workload(tmp_path)
+        assert submit_main([path, "--executor", "inprocess",
+                            "--full-reports"]) == 0
+        results, _ = _parse_stream(capsys.readouterr().out)
+        restored = {
+            e["index"]: TransferReport.from_dict(e["report"])
+            for e in results
+        }
+        workload = _workload()
+        direct = Session(seed=workload.seed).run_workload(
+            workload, executor="inprocess"
+        )
+        assert [restored[i] for i in range(2)] == direct
+
+    def test_missing_workload_file_is_an_error(self, tmp_path, capsys):
+        assert submit_main([str(tmp_path / "absent.json")]) == 2
+
+    def test_dispatch_via_module_main(self, tmp_path, capsys):
+        path = _write_workload(tmp_path)
+        assert parallel_main(["submit", path, "--executor",
+                              "inprocess"]) == 0
+        results, dones = _parse_stream(capsys.readouterr().out)
+        assert len(results) == 2 and len(dones) == 1
+
+    def test_unknown_command_rejected(self, capsys):
+        assert parallel_main(["frobnicate"]) == 2
+        assert "unknown command" in capsys.readouterr().err
+
+
+class TestSubmitRemote:
+    def test_round_trip_through_serve(self, tmp_path, capsys):
+        """submit --connect ships the job; serve streams it back.
+
+        The streamed reports must be byte-identical (as JSON) to a
+        local run of the same workload — the wire changes transport,
+        never results.
+        """
+        path = _write_workload(tmp_path)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"), REPO_ROOT,
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.parallel", "serve",
+             "--listen", "127.0.0.1:0", "--once", "--quiet",
+             "--executor", "inprocess"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env, cwd=REPO_ROOT,
+        )
+        try:
+            line = proc.stdout.readline()
+            match = re.match(r"repro-serve listening on (\S+:\d+)", line)
+            assert match, line
+            assert submit_main([path, "--connect", match.group(1),
+                                "--full-reports"]) == 0
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        remote_results, remote_dones = _parse_stream(
+            capsys.readouterr().out
+        )
+
+        assert submit_main([path, "--executor", "inprocess",
+                            "--full-reports"]) == 0
+        local_results, _ = _parse_stream(capsys.readouterr().out)
+
+        assert len(remote_results) == 2
+
+        def by_index(event):
+            return event["index"]
+
+        assert sorted(remote_results, key=by_index) == sorted(
+            local_results, key=by_index
+        )
+        (done,) = remote_dones
+        assert done["failures"] == []
+        assert done["stats"]["tasks"] == 2

@@ -1,0 +1,152 @@
+"""SocketExecutor against real worker processes on loopback."""
+
+import os
+import re
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.errors import ExecutorError
+from repro.experiments.common import mptcp_task, tcp_task
+from repro.linkem.conditions import make_conditions
+from repro.parallel import SimTask, SweepRunner, set_default_workers
+from repro.parallel.executors import set_default_executor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))
+))
+FLOW_BYTES = 20 * 1024
+
+
+@pytest.fixture(autouse=True)
+def _isolated_sweep_env(monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    set_default_executor(None)
+    set_default_workers(None)
+    yield
+    set_default_executor(None)
+    set_default_workers(None)
+
+
+def _spawn_worker():
+    """Start one loopback worker; returns ``(process, "host:port")``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        path for path in (os.path.join(REPO_ROOT, "src"), REPO_ROOT,
+                          env.get("PYTHONPATH")) if path
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.parallel", "worker",
+         "--listen", "127.0.0.1:0", "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+        text=True, env=env, cwd=REPO_ROOT,
+    )
+    line = proc.stdout.readline()
+    match = re.match(r"repro-worker listening on (\S+:\d+) pid=\d+", line)
+    if not match:
+        proc.terminate()
+        raise RuntimeError(f"worker failed to start: {line!r}")
+    return proc, match.group(1)
+
+
+@pytest.fixture
+def two_workers():
+    procs_addrs = [_spawn_worker() for _ in range(2)]
+    yield procs_addrs
+    for proc, _ in procs_addrs:
+        proc.terminate()
+    for proc, _ in procs_addrs:
+        try:
+            proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def _free_port() -> int:
+    """A port nothing listens on (bound momentarily, then closed)."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+def _transfer_tasks(seed: int = 7):
+    condition = make_conditions(seed=1)[4]
+    return [
+        tcp_task(condition, "wifi", FLOW_BYTES, seed=seed),
+        tcp_task(condition, "lte", FLOW_BYTES, seed=seed),
+        mptcp_task(condition, "wifi", "decoupled", FLOW_BYTES, seed=seed),
+    ]
+
+
+def _double_tasks(count: int = 6):
+    return [
+        SimTask(fn="tests.parallel._tasks:double",
+                kwargs={"value": i, "seed": i}, key=f"d{i}")
+        for i in range(count)
+    ]
+
+
+class TestSocketExecutor:
+    def test_bit_identical_to_inprocess_at_1_and_4(self, two_workers):
+        tasks = _transfer_tasks()
+        reference = SweepRunner(
+            workers=1, cache=False, executor="inprocess"
+        ).run(tasks)
+        spec = "socket:" + ",".join(addr for _, addr in two_workers)
+        for workers in (1, 4):
+            runner = SweepRunner(workers=workers, cache=False,
+                                 executor=spec)
+            assert runner.run(tasks) == reference, workers
+            assert runner.last_stats.executor == "socket"
+
+    def test_single_worker_sweep_still_crosses_the_wire(self, two_workers):
+        # inline_when_serial=False: even a one-shard sweep must reach
+        # the fleet, otherwise a dead fleet is silently masked by
+        # in-process fallback.
+        proc, addr = two_workers[0]
+        runner = SweepRunner(workers=1, cache=False,
+                             executor=f"socket:{addr}")
+        (result,) = runner.run([
+            SimTask(fn="tests.faults._tasks:ok_task",
+                    kwargs={"value": 5, "seed": 1}, key="wired")
+        ])
+        assert result["value"] == 10
+        # The task's recorded pid proves it ran in the worker process,
+        # not inline in this one.
+        assert result["pid"] != os.getpid()
+        assert runner.last_stats.executor == "socket"
+
+    def test_dead_worker_in_fleet_does_not_lose_tasks(self, two_workers):
+        (dead_proc, dead_addr), (_, live_addr) = two_workers
+        dead_proc.terminate()
+        dead_proc.wait(timeout=5)
+        runner = SweepRunner(
+            workers=4, cache=False,
+            executor=f"socket:{dead_addr},{live_addr}",
+        )
+        results = runner.run(_double_tasks())
+        assert results == [{"value": i * 2, "seed": i} for i in range(6)]
+
+    def test_unreachable_fleet_raises_executor_error(self):
+        runner = SweepRunner(
+            workers=2, cache=False,
+            executor=f"socket:127.0.0.1:{_free_port()}",
+        )
+        with pytest.raises(ExecutorError):
+            runner.run(_double_tasks())
+
+    def test_worker_reused_across_sweeps(self, two_workers):
+        _, addr = two_workers[0]
+        spec = f"socket:{addr}"
+        first = SweepRunner(workers=2, cache=False, executor=spec)
+        second = SweepRunner(workers=2, cache=False, executor=spec)
+        expected = [{"value": i * 2, "seed": i} for i in range(6)]
+        assert first.run(_double_tasks()) == expected
+        assert second.run(_double_tasks()) == expected

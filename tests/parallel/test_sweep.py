@@ -13,6 +13,7 @@ from repro.parallel import (
     SimTask,
     SweepRunner,
     resolve_workers,
+    set_default_executor,
     set_default_workers,
 )
 from repro.parallel.cache import canonical_spec, spec_key
@@ -29,8 +30,13 @@ def _isolated_sweep_env(monkeypatch):
     """
     monkeypatch.setenv("REPRO_CACHE", "0")
     monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    # REPRO_EXECUTOR is deliberately left alone: CI runs this suite
+    # under an executor matrix, and every test here must pass
+    # unchanged on any backend.
+    set_default_executor(None)
     set_default_workers(None)
     yield
+    set_default_executor(None)
     set_default_workers(None)
 
 
