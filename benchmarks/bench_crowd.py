@@ -1,0 +1,151 @@
+"""Crowd-scale pipeline benchmark: users/sec and peak-RSS flatness.
+
+Runs the sharded crowd pipeline at population sizes spanning an order
+of magnitude (100k and 1M users by default; ``--smoke`` does a 50k
+sanity run for CI) and records, per size::
+
+    PYTHONPATH=src python benchmarks/bench_crowd.py
+    PYTHONPATH=src python benchmarks/bench_crowd.py --smoke
+
+* ``users_per_sec`` — sustained sampling+aggregation throughput;
+* ``peak_rss_mb`` — high-water resident memory of the run (parent and
+  the worker children), measured in a fresh subprocess per size so
+  sizes cannot pollute each other.
+
+The streaming-sketch claim is the ratio: peak RSS at 1M users over
+peak RSS at 100k (``rss_flatness``).  O(users) aggregation would grow
+~10x; the sketch pipeline should stay near 1.  Results land in
+``BENCH_crowd.json`` at the repo root with
+:func:`_harness.bench_environment` embedded (including the
+``single_core`` flag that discounts parallel-speedup numbers).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from typing import List, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_crowd.json")
+
+DEFAULT_SIZES = [100_000, 1_000_000]
+SMOKE_SIZES = [50_000]
+
+
+def _child_main(users: int, workers: int, executor: str) -> int:
+    """One measured run; prints a JSON record on stdout."""
+    import resource
+    import time
+
+    from repro.crowd.pipeline import simulate
+
+    started = time.perf_counter()
+    result = simulate(
+        population=users, workers=workers, executor=executor, cache=False
+    )
+    wall_s = time.perf_counter() - started
+
+    # Linux reports ru_maxrss in KiB.  Children = max over reaped
+    # worker processes; the pipeline's claim covers both sides.
+    self_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    child_kb = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    sketch = result.sketch
+    print(json.dumps({
+        "users": users,
+        "runs": result.total_runs,
+        "shards": len(result.fleet.shards),
+        "wall_s": round(wall_s, 3),
+        "pipeline_wall_s": round(result.wall_s, 3),
+        "users_per_sec": round(users / result.wall_s, 1),
+        "peak_rss_self_mb": round(self_kb / 1024.0, 1),
+        "peak_rss_children_mb": round(child_kb / 1024.0, 1),
+        "peak_rss_mb": round(max(self_kb, child_kb) / 1024.0, 1),
+        "sketch_buckets": sum(
+            s.bucket_count for s in sketch.sketches.values()
+        ),
+        "lte_win_fraction_combined": round(
+            sketch.lte_win_fraction_combined(), 4
+        ),
+    }))
+    return 0
+
+
+def _run_size(users: int, workers: int, executor: str) -> dict:
+    """Run one size in a fresh interpreter and parse its JSON record."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    env["REPRO_CACHE"] = "0"
+    out = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child-run",
+         str(users), "--workers", str(workers), "--executor", executor],
+        check=True, capture_output=True, text=True, env=env,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the crowd-scale pipeline "
+                    "(users/sec, peak-RSS flatness)."
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="single 50k-user sanity run (CI)")
+    parser.add_argument("--sizes", type=int, nargs="*", default=None,
+                        help="population sizes (default: 100000 1000000)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes per run (default 4)")
+    parser.add_argument("--executor", default="process",
+                        help="sweep backend (default process)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--child-run", type=int, default=None,
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child_run is not None:
+        return _child_main(args.child_run, args.workers, args.executor)
+
+    sizes = args.sizes or (SMOKE_SIZES if args.smoke else DEFAULT_SIZES)
+    records = []
+    for users in sizes:
+        print(f"{users:,} users ...", flush=True)
+        record = _run_size(users, args.workers, args.executor)
+        records.append(record)
+        print(f"  {record['wall_s']:.1f}s  "
+              f"{record['users_per_sec']:,.0f} users/sec  "
+              f"peak RSS {record['peak_rss_mb']:.0f} MB "
+              f"(self {record['peak_rss_self_mb']:.0f} / "
+              f"children {record['peak_rss_children_mb']:.0f})")
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from _harness import bench_environment
+
+    results = dict(bench_environment(args.workers, args.executor))
+    results.update({
+        "benchmark": "crowd-scale pipeline (sketch sink)",
+        "smoke": bool(args.smoke),
+        "workers": args.workers,
+        "runs": records,
+        "max_users": max(r["users"] for r in records),
+        "max_users_per_sec": max(r["users_per_sec"] for r in records),
+    })
+    if len(records) >= 2:
+        small, large = records[0], records[-1]
+        results["rss_flatness"] = round(
+            large["peak_rss_mb"] / max(small["peak_rss_mb"], 1e-9), 3
+        )
+        results["size_ratio"] = round(large["users"] / small["users"], 2)
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(results, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 """Analysis toolkit: CDFs, paper metrics, timelines, and reports."""
 
-from repro.analysis.cdf import Cdf
+from repro.analysis.cdf import Cdf, SketchCdf
+from repro.analysis.sketch import LabeledCounters, QuantileSketch
 from repro.analysis.stats import (
     median,
     percentile,
@@ -20,6 +21,9 @@ from repro.analysis.export import write_dat, write_series_files, gnuplot_script
 
 __all__ = [
     "Cdf",
+    "SketchCdf",
+    "QuantileSketch",
+    "LabeledCounters",
     "median",
     "percentile",
     "relative_difference",

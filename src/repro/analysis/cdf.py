@@ -10,7 +10,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
 
-__all__ = ["Cdf"]
+__all__ = ["Cdf", "SketchCdf"]
 
 
 class Cdf:
@@ -74,5 +74,60 @@ class Cdf:
     def __repr__(self) -> str:
         return (
             f"Cdf(n={len(self)}, min={self.min:.3g}, "
+            f"median={self.median:.3g}, max={self.max:.3g})"
+        )
+
+
+class SketchCdf:
+    """The :class:`Cdf` read surface over a streaming quantile sketch.
+
+    Crowd-scale runs never hold their samples, so figures read from a
+    :class:`~repro.analysis.sketch.QuantileSketch` instead.  Values
+    are within the sketch's relative ``alpha`` of a true sample value;
+    ``fraction_below`` is exact at 0 (the LTE-wins statistic) because
+    positive and negative values occupy disjoint bucket families.
+    """
+
+    def __init__(self, sketch):
+        if not len(sketch):
+            raise ConfigurationError("cannot build a CDF from an empty sketch")
+        self._sketch = sketch
+
+    def __len__(self) -> int:
+        return len(self._sketch)
+
+    @property
+    def min(self) -> float:
+        return self._sketch.min
+
+    @property
+    def max(self) -> float:
+        return self._sketch.max
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x), to within bucket resolution."""
+        # Within a bucket "< representative" and "<= representative"
+        # agree, so both bounds share one implementation.
+        return self._sketch.fraction_below(x + 0.0)
+
+    def fraction_below(self, x: float) -> float:
+        """P(X < x) — exact at the sign boundary."""
+        return self._sketch.fraction_below(x)
+
+    def percentile(self, q: float) -> float:
+        """Value at percentile ``q`` in [0, 100]."""
+        return self._sketch.percentile(q)
+
+    @property
+    def median(self) -> float:
+        return self._sketch.median
+
+    def points(self, max_points: int = 200) -> List[Tuple[float, float]]:
+        """(x, F(x)) pairs for plotting — drop-in for ``Cdf.points``."""
+        return self._sketch.points(max_points)
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchCdf(n={len(self)}, min={self.min:.3g}, "
             f"median={self.median:.3g}, max={self.max:.3g})"
         )

@@ -31,8 +31,24 @@ def _sorted_samples(values: Iterable[float]) -> List[float]:
     return samples
 
 
+def _as_sketch(values):
+    """Sketch-backed variant dispatch: these helpers also accept a
+    :class:`~repro.analysis.sketch.QuantileSketch` (crowd-scale runs
+    keep sketches, not samples)."""
+    from repro.analysis.sketch import QuantileSketch
+
+    return values if isinstance(values, QuantileSketch) else None
+
+
 def percentile(values: Iterable[float], q: float) -> float:
-    """Percentile with linear interpolation (q in [0, 100])."""
+    """Percentile with linear interpolation (q in [0, 100]).
+
+    Also accepts a :class:`~repro.analysis.sketch.QuantileSketch`,
+    answering within the sketch's relative accuracy.
+    """
+    sketch = _as_sketch(values)
+    if sketch is not None:
+        return sketch.percentile(q)
     samples = _sorted_samples(values)
     if not 0.0 <= q <= 100.0:
         raise ConfigurationError(f"percentile out of range: {q}")
@@ -65,12 +81,25 @@ def relative_ratio(numerator: float, denominator: float) -> float:
 
 
 def fraction_below(values: Iterable[float], threshold: float) -> float:
-    """Fraction of samples strictly below ``threshold``."""
+    """Fraction of samples strictly below ``threshold``.
+
+    Sketch-backed variant: pass a ``QuantileSketch`` (exact at 0).
+    """
+    sketch = _as_sketch(values)
+    if sketch is not None:
+        return sketch.fraction_below(threshold)
     samples = _sorted_samples(values)
     return sum(1 for v in samples if v < threshold) / len(samples)
 
 
 def fraction_above(values: Iterable[float], threshold: float) -> float:
-    """Fraction of samples strictly above ``threshold``."""
+    """Fraction of samples strictly above ``threshold``.
+
+    Sketch-backed variant: pass a ``QuantileSketch``; answers to
+    bucket resolution (exact at 0).
+    """
+    sketch = _as_sketch(values)
+    if sketch is not None:
+        return sketch.fraction_above(threshold)
     samples = _sorted_samples(values)
     return sum(1 for v in samples if v > threshold) / len(samples)

@@ -8,13 +8,28 @@ publishes (Table 1 run counts and LTE-win percentages, the Fig. 3
 throughput-difference CDFs, the Fig. 4 RTT-difference CDF), plus a
 faithful model of the app's measurement-collection state machine
 (Fig. 2) including the filtering steps described in §2.2.
+
+Crowd-scale extension (the layered pipeline): :class:`CrowdWorld`
+adds operator/diurnal/app heterogeneity on top of the calibrated
+world, :class:`PopulationSpec` describes a synthetic population, and
+:func:`simulate` runs it at any size — vectorized sampling into
+streaming sketches, sharded across the sweep engine.
 """
 
 from repro.crowd.geo import GeoPoint, haversine_km
-from repro.crowd.world import SiteProfile, TABLE1_SITES, WorldModel
-from repro.crowd.dataset import MeasurementRun, Dataset
+from repro.crowd.world import CrowdWorld, SiteProfile, TABLE1_SITES, WorldModel
+from repro.crowd.dataset import (
+    Dataset,
+    MeasurementRun,
+    iter_analysis,
+    stream_stats,
+)
 from repro.crowd.app import CellVsWifiApp
 from repro.crowd.kmeans import GeoCluster, cluster_runs
+from repro.crowd.operators import AppProfile, DiurnalCurve, OperatorProfile
+from repro.crowd.sampling import CrowdSampler, PopulationSpec, RunColumns
+from repro.crowd.aggregate import CrowdSketch, SketchSink, make_sink
+from repro.crowd.pipeline import CrowdResult, simulate
 
 __all__ = [
     "GeoPoint",
@@ -22,9 +37,23 @@ __all__ = [
     "SiteProfile",
     "TABLE1_SITES",
     "WorldModel",
+    "CrowdWorld",
     "MeasurementRun",
     "Dataset",
+    "iter_analysis",
+    "stream_stats",
     "CellVsWifiApp",
     "GeoCluster",
     "cluster_runs",
+    "OperatorProfile",
+    "DiurnalCurve",
+    "AppProfile",
+    "CrowdSampler",
+    "PopulationSpec",
+    "RunColumns",
+    "CrowdSketch",
+    "SketchSink",
+    "make_sink",
+    "CrowdResult",
+    "simulate",
 ]

@@ -7,15 +7,27 @@ This CLI does the same against the synthetic world model::
     python -m repro.crowd --list-sites
     python -m repro.crowd --site Israel --runs 5
 
-Output mirrors the app's verdict plus the measured numbers the verdict
-rests on.
+With ``--users`` the CLI switches to the crowd-scale pipeline: a
+synthetic population sampled in batches, aggregated into streaming
+sketches, and sharded across workers::
+
+    python -m repro.crowd --users 1000000 --workers 8 --progress
+    python -m repro.crowd --users 50000 --sink csv --csv-out runs.csv
+    python -m repro.crowd --users 200000 --json --metrics-out fleet.json
+
+The default ``--sink sketch`` keeps memory flat at any population
+size; ``--sink dataset`` (materialize every run) is deprecated at
+crowd scale and warns beyond 200k runs.
 """
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.core.errors import ConfigurationError
 from repro.core.rng import DEFAULT_SEED
+from repro.crowd.aggregate import SINK_KINDS
 from repro.crowd.app import CellVsWifiApp
 from repro.crowd.world import TABLE1_SITES
 
@@ -30,10 +42,93 @@ def _find_site(name: str):
     return min(matches, key=lambda s: len(s.name))
 
 
+def _scale_main(args: argparse.Namespace) -> int:
+    """``--users N``: run the crowd-scale sharded pipeline."""
+    from repro.crowd.pipeline import DEFAULT_BATCH, simulate
+    from repro.crowd.sampling import PopulationSpec
+
+    try:
+        population = PopulationSpec(users=args.users, seed=args.seed)
+    except ConfigurationError as exc:
+        print(f"crowd: {exc}", file=sys.stderr)
+        return 2
+    csv_stream = None
+    try:
+        if args.sink == "csv":
+            if not args.csv_out:
+                print("crowd: --sink csv needs --csv-out FILE",
+                      file=sys.stderr)
+                return 2
+            csv_stream = open(args.csv_out, "w", encoding="utf-8",
+                              newline="")
+        try:
+            result = simulate(
+                population=population,
+                sink=args.sink,
+                batch=args.batch if args.batch else DEFAULT_BATCH,
+                shard_users=args.shard_users,
+                workers=args.workers,
+                executor=args.executor,
+                progress=args.progress or None,
+                csv_stream=csv_stream,
+            )
+        except ConfigurationError as exc:
+            print(f"crowd: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if csv_stream is not None:
+            csv_stream.close()
+
+    if args.metrics_out:
+        result.fleet.write(args.metrics_out)
+        print(f"[fleet metrics: {args.metrics_out}]", file=sys.stderr)
+
+    sketch = result.sketch
+    if args.json:
+        document = {
+            "users": result.users,
+            "runs": result.total_runs,
+            "wall_s": round(result.wall_s, 3),
+            "users_per_sec": round(result.users_per_sec, 1),
+            "shards": len(result.fleet.shards),
+            "sink": result.sink_kind,
+        }
+        if sketch is not None:
+            document.update({
+                "lte_win_fraction_downlink":
+                    sketch.lte_win_fraction_downlink(),
+                "lte_win_fraction_uplink": sketch.lte_win_fraction_uplink(),
+                "lte_win_fraction_combined":
+                    sketch.lte_win_fraction_combined(),
+                "lte_rtt_win_fraction": sketch.lte_rtt_win_fraction(),
+                "downlink_diff_quartiles_mbps": [
+                    sketch.quantile("down_diff", q)
+                    for q in (0.25, 0.5, 0.75)
+                ],
+            })
+        if result.sink_kind == "csv":
+            document["csv_rows"] = result.value
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+
+    print(result.summary())
+    if result.sink_kind == "dataset":
+        dataset = result.value
+        analysis = dataset.analysis_set()
+        print(f"dataset: {len(dataset):,} runs materialized "
+              f"({len(analysis):,} in the analysis set) — note: the "
+              f"dataset sink is deprecated at crowd scale; the sketch "
+              f"sink computes the same statistics in O(1) memory")
+    elif result.sink_kind == "csv":
+        print(f"csv: {result.value:,} rows -> {args.csv_out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.crowd",
-        description="Simulate a Cell vs WiFi measurement run.",
+        description="Simulate Cell vs WiFi measurement runs — one "
+                    "app run, or a crowd-scale population (--users).",
     )
     parser.add_argument("--site", default="US (Boston, MA)",
                         help="Table-1 site name (substring match)")
@@ -41,7 +136,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="number of measurement runs to perform")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--list-sites", action="store_true")
+    scale = parser.add_argument_group(
+        "crowd scale", "simulate a whole population instead of one site"
+    )
+    scale.add_argument("--users", type=int, default=None,
+                       help="population size; switches to the sharded "
+                            "crowd-scale pipeline")
+    scale.add_argument("--batch", type=int, default=None,
+                       help="sampling batch size inside each worker "
+                            "(default 8192; never changes results)")
+    scale.add_argument("--shard-users", type=int, default=None,
+                       help="users per shard (default: sized from "
+                            "--workers; never changes results)")
+    scale.add_argument("--sink", choices=SINK_KINDS, default="sketch",
+                       help="what to keep: streaming sketches (default, "
+                            "O(1) memory), the materialized dataset "
+                            "(deprecated at scale), or csv rows")
+    scale.add_argument("--csv-out", metavar="FILE", default=None,
+                       help="output file for --sink csv")
+    scale.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: $REPRO_WORKERS, "
+                            "else 1; results identical for any value)")
+    scale.add_argument("--executor", default=None,
+                       help="sweep backend: inprocess, process, or "
+                            "socket:HOST:PORT,... (results identical)")
+    scale.add_argument("--progress", action="store_true",
+                       help="live shard progress/ETA on stderr")
+    scale.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write per-shard fleet metrics JSON "
+                            "(render with: python -m repro.obs "
+                            "summarize FILE)")
+    scale.add_argument("--json", action="store_true",
+                       help="machine-readable summary on stdout")
     args = parser.parse_args(argv)
+
+    if args.users is not None:
+        return _scale_main(args)
 
     if args.list_sites:
         for site in TABLE1_SITES:

@@ -17,7 +17,7 @@ so the §2.2 filtering steps have something to filter.
 """
 
 import math
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.core.rng import DEFAULT_SEED, RngStreams
 from repro.crowd.dataset import Dataset, MeasurementRun
@@ -132,15 +132,16 @@ class CellVsWifiApp:
     # ------------------------------------------------------------------
     # Whole-dataset collection
     # ------------------------------------------------------------------
-    def collect_site(self, site: SiteProfile) -> List[MeasurementRun]:
-        """Collect until the site has its Table-1 count of usable runs.
+    def iter_site(self, site: SiteProfile) -> Iterator[MeasurementRun]:
+        """Yield runs until the site has its Table-1 count of usable runs.
 
         "Usable" means the run survives the paper's filters (complete
-        and LTE/HSPA+); failed attempts stay in the dataset as the
-        partial runs the filters exist to remove.
+        and LTE/HSPA+); failed attempts stay in the stream as the
+        partial runs the filters exist to remove.  The generator form
+        lets sinks consume runs one at a time — nothing here holds the
+        site's worth of records.
         """
         rng = self._streams.get(f"users.{site.name}")
-        runs: List[MeasurementRun] = []
         usable = 0
         run_index = 0
         # A site is covered by a handful of distinct users.
@@ -148,16 +149,28 @@ class CellVsWifiApp:
         while usable < site.runs and run_index < site.runs * 4 + 40:
             user_id = user_pool[run_index % len(user_pool)]
             run = self.collect_run(site, run_index, user_id)
-            runs.append(run)
             if run.complete and run.is_high_speed_cell:
                 usable += 1
             run_index += 1
-        return runs
+            yield run
+
+    def collect_site(self, site: SiteProfile) -> List[MeasurementRun]:
+        """:meth:`iter_site`, materialized (the historical surface)."""
+        return list(self.iter_site(site))
+
+    def iter_all(
+        self, sites: Optional[List[SiteProfile]] = None
+    ) -> Iterator[MeasurementRun]:
+        """Stream every site's runs in Table-1 order, O(1) records held."""
+        sites = sites if sites is not None else TABLE1_SITES
+        for site in sites:
+            yield from self.iter_site(site)
 
     def collect_all(self, sites: Optional[List[SiteProfile]] = None) -> Dataset:
-        """Collect the full crowdsourced dataset (all Table-1 sites)."""
-        sites = sites if sites is not None else TABLE1_SITES
-        runs: List[MeasurementRun] = []
-        for site in sites:
-            runs.extend(self.collect_site(site))
-        return Dataset(runs)
+        """Collect the full crowdsourced dataset (all Table-1 sites).
+
+        Materializes every run; for aggregate statistics prefer
+        :meth:`iter_all` with :func:`repro.crowd.dataset.stream_stats`
+        (or, at crowd scale, :func:`repro.crowd.pipeline.simulate`).
+        """
+        return Dataset(self.iter_all(sites))

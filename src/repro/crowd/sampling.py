@@ -1,0 +1,442 @@
+"""Vectorized batch sampling of crowd-scale measurement runs.
+
+Layer 2 of the crowd-scale pipeline: turn a :class:`PopulationSpec`
+plus a :class:`~repro.crowd.world.CrowdWorld` into measurement-run
+draws, in configurable batches of *columns* (parallel lists, one per
+field) rather than one Python object per user.  A million-user sweep
+never materializes a million ``MeasurementRun`` instances — a batch
+of 8192 runs is ~20 short lists that are recycled after the sink
+consumes them.
+
+Determinism contract: run ``i`` of the population is a pure function
+of ``(population, world, i)``.  Every run gets its own SHA-256-derived
+RNG stream (the repo-wide :func:`~repro.core.rng.derive_seed` idiom)
+with a frozen draw order, so
+
+* batch boundaries cannot matter: sampling ``[0, n)`` in one batch or
+  in any partition of batches yields bit-identical columns
+  (``tests/crowd/test_sampling.py`` asserts this), and
+* the scalar reference path :meth:`CrowdSampler.sample_run` — one
+  run, one small record — is bit-identical to the batched path by
+  construction *and* by test.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.rng import DEFAULT_SEED, derive_seed
+from repro.crowd.dataset import MeasurementRun
+from repro.crowd.geo import GeoPoint
+from repro.crowd.tcpmodel import estimate_tcp_throughput_mbps
+from repro.crowd.world import CrowdWorld, TABLE1_SITES, _cumulative, _pick
+
+__all__ = ["PopulationSpec", "RunColumns", "CrowdRun", "CrowdSampler",
+           "ONE_MBYTE"]
+
+ONE_MBYTE = 1_048_576
+
+#: Cellular technology codes used in columns (index into this tuple).
+TECHNOLOGIES = ("LTE", "HSPA+", "3G")
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Declarative description of a synthetic user population.
+
+    Defaults scale the paper's world: users are spread over the
+    Table-1 sites proportionally to each site's run count, carry the
+    app's partial-run probabilities, and measure once each.  The spec
+    is JSON-round-trippable so it can ride in a
+    :class:`~repro.parallel.SimTask`'s kwargs (and hence the result
+    cache key) unchanged.
+    """
+
+    users: int
+    seed: int = DEFAULT_SEED
+    runs_per_user: int = 1
+    site_names: Tuple[str, ...] = tuple(s.name for s in TABLE1_SITES)
+    site_weights: Tuple[float, ...] = tuple(
+        float(s.runs) for s in TABLE1_SITES
+    )
+    wifi_failure_p: float = 0.08
+    cell_disabled_p: float = 0.06
+    single_tech_p: float = 0.06
+    noise_sigma: float = 0.12
+    world_profile: Optional[dict] = None
+
+    def __post_init__(self) -> None:
+        if self.users < 1:
+            raise ConfigurationError(f"users must be >= 1: {self.users}")
+        if self.runs_per_user < 1:
+            raise ConfigurationError(
+                f"runs_per_user must be >= 1: {self.runs_per_user}"
+            )
+        if len(self.site_names) != len(self.site_weights):
+            raise ConfigurationError(
+                "site_names and site_weights length mismatch"
+            )
+        if not self.site_names:
+            raise ConfigurationError("population needs at least one site")
+        for p in (self.wifi_failure_p, self.cell_disabled_p,
+                  self.single_tech_p):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"probability out of [0, 1]: {p}")
+
+    @property
+    def total_runs(self) -> int:
+        return self.users * self.runs_per_user
+
+    def to_dict(self) -> dict:
+        out = {
+            "users": self.users,
+            "seed": self.seed,
+            "runs_per_user": self.runs_per_user,
+            "site_names": list(self.site_names),
+            "site_weights": list(self.site_weights),
+            "wifi_failure_p": self.wifi_failure_p,
+            "cell_disabled_p": self.cell_disabled_p,
+            "single_tech_p": self.single_tech_p,
+        }
+        if self.world_profile is not None:
+            out["world_profile"] = self.world_profile
+        if self.noise_sigma != 0.12:
+            out["noise_sigma"] = self.noise_sigma
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PopulationSpec":
+        return cls(
+            users=int(data["users"]),
+            seed=int(data.get("seed", DEFAULT_SEED)),
+            runs_per_user=int(data.get("runs_per_user", 1)),
+            site_names=tuple(data.get(
+                "site_names", [s.name for s in TABLE1_SITES])),
+            site_weights=tuple(data.get(
+                "site_weights", [float(s.runs) for s in TABLE1_SITES])),
+            wifi_failure_p=float(data.get("wifi_failure_p", 0.08)),
+            cell_disabled_p=float(data.get("cell_disabled_p", 0.06)),
+            single_tech_p=float(data.get("single_tech_p", 0.06)),
+            noise_sigma=float(data.get("noise_sigma", 0.12)),
+            world_profile=data.get("world_profile"),
+        )
+
+
+#: Column order of :class:`RunColumns` — frozen; tests and sinks index
+#: by these names.
+COLUMN_NAMES = (
+    "user_id", "site", "operator", "app", "hour", "lat", "lon", "tech",
+    "wifi_ok", "cell_ok",
+    "wifi_down", "wifi_up", "cell_down", "cell_up",
+    "wifi_rtt", "cell_rtt",
+    "app_wifi_down", "app_cell_down",
+)
+
+
+@dataclass
+class RunColumns:
+    """One batch of runs in array-of-columns layout (no row objects)."""
+
+    user_id: List[int] = field(default_factory=list)
+    site: List[int] = field(default_factory=list)
+    operator: List[int] = field(default_factory=list)
+    app: List[int] = field(default_factory=list)
+    hour: List[float] = field(default_factory=list)
+    lat: List[float] = field(default_factory=list)
+    lon: List[float] = field(default_factory=list)
+    tech: List[int] = field(default_factory=list)
+    wifi_ok: List[bool] = field(default_factory=list)
+    cell_ok: List[bool] = field(default_factory=list)
+    wifi_down: List[float] = field(default_factory=list)
+    wifi_up: List[float] = field(default_factory=list)
+    cell_down: List[float] = field(default_factory=list)
+    cell_up: List[float] = field(default_factory=list)
+    wifi_rtt: List[float] = field(default_factory=list)
+    cell_rtt: List[float] = field(default_factory=list)
+    app_wifi_down: List[float] = field(default_factory=list)
+    app_cell_down: List[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.user_id)
+
+    def row(self, i: int) -> "CrowdRun":
+        return CrowdRun(*(getattr(self, name)[i] for name in COLUMN_NAMES))
+
+    def rows(self) -> Iterator["CrowdRun"]:
+        for i in range(len(self)):
+            yield self.row(i)
+
+    def to_lists(self) -> Dict[str, list]:
+        """Plain picklable/JSON-able payload for crossing the wire."""
+        return {name: getattr(self, name) for name in COLUMN_NAMES}
+
+    @classmethod
+    def from_lists(cls, data: Dict[str, list]) -> "RunColumns":
+        return cls(**{name: list(data[name]) for name in COLUMN_NAMES})
+
+    def extend(self, other: "RunColumns") -> None:
+        for name in COLUMN_NAMES:
+            getattr(self, name).extend(getattr(other, name))
+
+    def to_measurement_runs(self) -> List[MeasurementRun]:
+        """Materialize app-upload records (the legacy Dataset shape).
+
+        O(len) objects — only for the deprecated dataset sink and for
+        small-N cross-checks against the original 750-user pipeline.
+        """
+        runs = []
+        for i in range(len(self)):
+            wifi_ok, cell_ok = self.wifi_ok[i], self.cell_ok[i]
+            runs.append(MeasurementRun(
+                user_id=self.user_id[i],
+                point=GeoPoint(self.lat[i], self.lon[i]),
+                timestamp=self.hour[i] * 3600.0,
+                cellular_technology=(
+                    TECHNOLOGIES[self.tech[i]] if cell_ok else None
+                ),
+                wifi_down_mbps=self.wifi_down[i] if wifi_ok else None,
+                wifi_up_mbps=self.wifi_up[i] if wifi_ok else None,
+                cell_down_mbps=self.cell_down[i] if cell_ok else None,
+                cell_up_mbps=self.cell_up[i] if cell_ok else None,
+                wifi_rtt_ms=self.wifi_rtt[i] if wifi_ok else None,
+                cell_rtt_ms=self.cell_rtt[i] if cell_ok else None,
+            ))
+        return runs
+
+
+@dataclass(frozen=True)
+class CrowdRun:
+    """Scalar reference record: one run, same fields as the columns."""
+
+    user_id: int
+    site: int
+    operator: int
+    app: int
+    hour: float
+    lat: float
+    lon: float
+    tech: int
+    wifi_ok: bool
+    cell_ok: bool
+    wifi_down: float
+    wifi_up: float
+    cell_down: float
+    cell_up: float
+    wifi_rtt: float
+    cell_rtt: float
+    app_wifi_down: float
+    app_cell_down: float
+
+
+class CrowdSampler:
+    """Draw population runs, batched or one at a time (bit-identical)."""
+
+    #: Non-LTE probability split, as in :class:`WorldModel`.
+    NON_LTE_FRACTION = 0.15
+    #: Effective log-sigma of a 10-ping average (0.08 / sqrt(10)).
+    PING_AVG_SIGMA = 0.0253
+
+    def __init__(self, world: CrowdWorld, population: PopulationSpec):
+        self.world = world
+        self.population = population
+        self._base = derive_seed(population.seed, "crowd.scale")
+        self._site_cum = _cumulative(list(population.site_weights))
+        self._sites = [
+            next(s for s in TABLE1_SITES if s.name == name)
+            for name in population.site_names
+        ]
+        self._medians = [world.site_medians(name)
+                         for name in population.site_names]
+
+    # ------------------------------------------------------------------
+    def sample_run(self, index: int) -> CrowdRun:
+        """Reference path: the one-run scalar record for ``index``."""
+        batch = RunColumns()
+        self._sample_into(batch, index, 1)
+        return batch.row(0)
+
+    def sample_batch(self, start: int, count: int) -> RunColumns:
+        """Batched path: columns for runs ``[start, start + count)``."""
+        if start < 0 or count < 0:
+            raise ConfigurationError("negative batch bounds")
+        end = min(start + count, self.population.total_runs)
+        batch = RunColumns()
+        if end > start:
+            self._sample_into(batch, start, end - start)
+        return batch
+
+    def batches(self, start: int, count: int,
+                batch: int) -> Iterator[RunColumns]:
+        """Yield ``[start, start+count)`` as batches of ``batch`` runs."""
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1: {batch}")
+        end = min(start + count, self.population.total_runs)
+        cursor = start
+        while cursor < end:
+            step = min(batch, end - cursor)
+            yield self.sample_batch(cursor, step)
+            cursor += step
+
+    # ------------------------------------------------------------------
+    def _sample_into(self, cols: RunColumns, start: int, count: int) -> None:
+        """The single frozen draw path both surfaces share.
+
+        One hot loop, local bindings for everything, appending into
+        column lists.  The draw order below is part of the determinism
+        contract — never reorder it.
+        """
+        import math
+        import random
+
+        pop = self.population
+        world = self.world
+        base = self._base
+        runs_per_user = pop.runs_per_user
+        site_cum = self._site_cum
+        sites = self._sites
+        medians = self._medians
+        apps = world.apps
+        sigma = world.SIGMA
+        rtt_sigma = world.RTT_SIGMA
+        uplink_tilt = math.exp(world.UPLINK_LTE_TILT)
+        noise_sigma = pop.noise_sigma
+        ping_sigma = self.PING_AVG_SIGMA
+        non_lte = self.NON_LTE_FRACTION
+        exp = math.exp
+        estimate = estimate_tcp_throughput_mbps
+
+        append_user = cols.user_id.append
+        append_site = cols.site.append
+        append_op = cols.operator.append
+        append_app = cols.app.append
+        append_hour = cols.hour.append
+        append_lat = cols.lat.append
+        append_lon = cols.lon.append
+        append_tech = cols.tech.append
+        append_wok = cols.wifi_ok.append
+        append_cok = cols.cell_ok.append
+        append_wd = cols.wifi_down.append
+        append_wu = cols.wifi_up.append
+        append_cd = cols.cell_down.append
+        append_cu = cols.cell_up.append
+        append_wr = cols.wifi_rtt.append
+        append_cr = cols.cell_rtt.append
+        append_awd = cols.app_wifi_down.append
+        append_acd = cols.app_cell_down.append
+
+        for index in range(start, start + count):
+            user, run_of_user = divmod(index, runs_per_user)
+            rng = random.Random(derive_seed(base, f"run.{user}.{run_of_user}"))
+            gauss = rng.gauss
+            uniform = rng.uniform
+            rand = rng.random
+
+            # -- user attributes (identical across a user's runs: the
+            # attribute stream is keyed on the user alone) ------------
+            if runs_per_user == 1:
+                attr_rng = rng
+            else:
+                attr_rng = random.Random(derive_seed(base, f"user.{user}"))
+            site_idx = _pick(site_cum, attr_rng.random())
+            op_idx = world.pick_operator(attr_rng.random())
+            app_idx = world.pick_app(attr_rng.random())
+            hour_base = attr_rng.random() * 24.0
+
+            # -- run-level ground truth -------------------------------
+            hour = (hour_base + 5.0 * run_of_user + uniform(-1.5, 1.5)) % 24.0
+            wifi_cap, cell_cap, wifi_rtt_m, cell_rtt_m = world.modifiers(
+                op_idx, hour
+            )
+            wifi_med, lte_med, wifi_rtt_med, lte_rtt_med = medians[site_idx]
+            site = sites[site_idx]
+            lat = site.lat + gauss(0.0, 0.15)
+            lon = site.lon + gauss(0.0, 0.15)
+            wifi_down = wifi_med * wifi_cap * exp(sigma * gauss(0.0, 1.0))
+            cell_down = lte_med * cell_cap * exp(sigma * gauss(0.0, 1.0))
+            wifi_up = wifi_down * uniform(0.35, 0.8)
+            cell_up = cell_down * uniform(0.3, 0.7) * uplink_tilt
+            wifi_rtt = (wifi_rtt_med * wifi_rtt_m
+                        * exp(rtt_sigma * gauss(0.0, 1.0)))
+            cell_rtt = (lte_rtt_med * cell_rtt_m
+                        * exp(rtt_sigma * gauss(0.0, 1.0)))
+
+            roll = rand()
+            if roll < non_lte / 2.0:
+                tech = 2  # 3G: legacy cellular, much slower
+                cell_down *= 0.15
+                cell_up *= 0.15
+                cell_rtt *= 2.0
+            elif roll < non_lte:
+                tech = 1  # HSPA+
+            else:
+                tech = 0  # LTE
+            wifi_down = max(0.1, wifi_down)
+            wifi_up = max(0.05, wifi_up)
+            cell_down = max(0.1, cell_down)
+            cell_up = max(0.05, cell_up)
+            wifi_rtt = min(max(5.0, wifi_rtt), 1200.0)
+            cell_rtt = min(max(15.0, cell_rtt), 1200.0)
+
+            # -- the Fig. 2 flowchart branches -------------------------
+            single = rand() < pop.single_tech_p
+            single_cell = single and rand() < 0.5
+            wifi_ok = ((not single) or (not single_cell)) and (
+                rand() >= pop.wifi_failure_p
+            )
+            cell_ok = ((not single) or single_cell) and (
+                rand() >= pop.cell_disabled_p
+            )
+
+            # -- measured values (1-MB TCP probe + noise; ping average
+            # modelled as one lognormal draw of the mean) --------------
+            if wifi_ok:
+                meas_wifi_down = estimate(wifi_down, wifi_rtt) * exp(
+                    noise_sigma * gauss(0.0, 1.0)
+                )
+                meas_wifi_up = estimate(wifi_up, wifi_rtt) * exp(
+                    noise_sigma * gauss(0.0, 1.0)
+                )
+                meas_wifi_rtt = wifi_rtt * exp(ping_sigma * gauss(0.0, 1.0))
+            else:
+                meas_wifi_down = meas_wifi_up = meas_wifi_rtt = 0.0
+            if cell_ok:
+                meas_cell_down = estimate(cell_down, cell_rtt) * exp(
+                    noise_sigma * gauss(0.0, 1.0)
+                )
+                meas_cell_up = estimate(cell_up, cell_rtt) * exp(
+                    noise_sigma * gauss(0.0, 1.0)
+                )
+                meas_cell_rtt = cell_rtt * exp(ping_sigma * gauss(0.0, 1.0))
+            else:
+                meas_cell_down = meas_cell_up = meas_cell_rtt = 0.0
+
+            # -- per-app experienced throughput (same links, the app's
+            # flow size; reuses the ground truth, no extra draws) ------
+            app = apps[app_idx]
+            if wifi_ok:
+                app_wifi = estimate(wifi_down, wifi_rtt, app.down_bytes)
+            else:
+                app_wifi = 0.0
+            if cell_ok:
+                app_cell = estimate(cell_down, cell_rtt, app.down_bytes)
+            else:
+                app_cell = 0.0
+
+            append_user(user)
+            append_site(site_idx)
+            append_op(op_idx)
+            append_app(app_idx)
+            append_hour(hour)
+            append_lat(lat)
+            append_lon(lon)
+            append_tech(tech)
+            append_wok(wifi_ok)
+            append_cok(cell_ok)
+            append_wd(meas_wifi_down)
+            append_wu(meas_wifi_up)
+            append_cd(meas_cell_down)
+            append_cu(meas_cell_up)
+            append_wr(meas_wifi_rtt)
+            append_cr(meas_cell_rtt)
+            append_awd(app_wifi)
+            append_acd(app_cell)

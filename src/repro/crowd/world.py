@@ -17,13 +17,28 @@ downlink) throughput and ping RTTs:
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.core.rng import DEFAULT_SEED, RngStreams
 from repro.crowd.geo import GeoPoint
+from repro.crowd.operators import (
+    AppProfile,
+    DEFAULT_APP_MIX,
+    DEFAULT_CELL_DIURNAL,
+    DEFAULT_OPERATORS,
+    DEFAULT_WIFI_DIURNAL,
+    DiurnalCurve,
+    OperatorProfile,
+)
 
-__all__ = ["SiteProfile", "TABLE1_SITES", "WorldModel", "RunConditions"]
+__all__ = [
+    "SiteProfile",
+    "TABLE1_SITES",
+    "WorldModel",
+    "CrowdWorld",
+    "RunConditions",
+]
 
 
 @dataclass(frozen=True)
@@ -253,3 +268,224 @@ class WorldModel:
     def runs_for(self, site: SiteProfile) -> List[RunConditions]:
         """All of a site's complete-run ground truths."""
         return [self.draw_run(site, i) for i in range(site.runs)]
+
+
+class CrowdWorld(WorldModel):
+    """The world model extended for crowd-scale populations.
+
+    Keeps the per-site Table-1 calibration of :class:`WorldModel`
+    untouched (same streams, same medians — the base class is byte-
+    for-byte unaffected) and layers three axes of heterogeneity on
+    top, each designed to be *log-mean-neutral*:
+
+    * **operators** — each user subscribes to one cellular carrier
+      whose log offsets widen the LTE spread (Malandrino et al.);
+    * **diurnal load** — a 24 h capacity/RTT cycle per technology,
+      cellular swinging harder than WiFi;
+    * **apps** — a per-app traffic mix; the experienced throughput of
+      an app's flow size is derived with the same TCP model as the
+      paper's 1-MB probe (MopEye's per-app framing).
+
+    Log-mean-neutral is necessary but not sufficient: at high-LTE-win
+    sites the base calibration parks the LTE median deep in the 1-MB
+    TCP saturation regime, where the *measured* log-gap over WiFi is
+    small (~0.1) with small effective variance — mean-zero operator
+    and diurnal offsets of comparable size then regress wins toward
+    0.5 (observed: Chiang Mai 0.75 → 0.60).  So ``CrowdWorld`` runs a
+    second calibration pass: Monte-Carlo the full heterogeneous
+    measurement pipeline and bisect a joint knob ``t`` that scales the
+    LTE rate median by ``e^t`` and the LTE RTT median by ``e^{-t/2}``.
+    The RTT half keeps the knob monotone inside saturation (where the
+    measured value tracks 1/RTT, not rate); sites already within
+    MC tolerance of their target keep their base medians verbatim.
+
+    The sampling layer (:mod:`repro.crowd.sampling`) consumes this
+    model via :meth:`site_medians` and the modifier methods — it never
+    touches :meth:`draw_run`, whose RNG streams stay reserved for the
+    original 750-user reproduction.
+    """
+
+    #: Monte-Carlo draws for the crowd recalibration pass.
+    CROWD_CALIBRATION_DRAWS = 800
+    #: Sites whose heterogeneous win fraction already lands within
+    #: this of the Table-1 target keep their base medians unchanged.
+    CROWD_CALIBRATION_TOL = 0.01
+
+    def __init__(
+        self,
+        seed: int = DEFAULT_SEED,
+        operators: Tuple[OperatorProfile, ...] = DEFAULT_OPERATORS,
+        wifi_diurnal: DiurnalCurve = DEFAULT_WIFI_DIURNAL,
+        cell_diurnal: DiurnalCurve = DEFAULT_CELL_DIURNAL,
+        apps: Tuple[AppProfile, ...] = DEFAULT_APP_MIX,
+    ):
+        super().__init__(seed)
+        if not operators:
+            raise ConfigurationError("need at least one operator")
+        if not apps:
+            raise ConfigurationError("need at least one app profile")
+        self.operators = tuple(operators)
+        self.wifi_diurnal = wifi_diurnal
+        self.cell_diurnal = cell_diurnal
+        self.apps = tuple(apps)
+        self._operator_cum = _cumulative([op.share for op in operators])
+        self._app_cum = _cumulative([app.weight for app in apps])
+        self._crowd_params = {
+            site.name: self._calibrate_crowd_site(site)
+            for site in TABLE1_SITES
+        }
+
+    def _calibrate_crowd_site(
+        self, site: SiteProfile
+    ) -> Tuple[float, float, float, float]:
+        """Re-fit one site's LTE medians under full heterogeneity.
+
+        Bisects ``t`` in ``lte_rate *= e^t``, ``lte_rtt *= e^{-t/2}``
+        so the Monte-Carlo'd *measured* win fraction — operators,
+        diurnal hour, TCP saturation, measurement noise, the exact
+        clamps of the sampler — matches Table 1.  Monotone in ``t``
+        in both the rate-limited and RTT-limited regimes.
+        """
+        from repro.crowd.tcpmodel import estimate_tcp_throughput_mbps
+
+        wifi_med, lte_med, wifi_rtt_med, lte_rtt_med = (
+            self._site_params[site.name]
+        )
+        rng = self._streams.get(f"crowd.calibrate.{site.name}")
+        exp = math.exp
+        sigma, rtt_sigma = self.SIGMA, self.RTT_SIGMA
+        noise = self.CALIBRATION_NOISE
+        wifi_meas: List[float] = []
+        cell_draws: List[Tuple[float, float, float]] = []
+        for _ in range(self.CROWD_CALIBRATION_DRAWS):
+            op_idx = self.pick_operator(rng.random())
+            hour = rng.random() * 24.0
+            w_cap, c_cap, w_rtt_m, c_rtt_m = self.modifiers(op_idx, hour)
+            wifi_rate = max(0.1, wifi_med * w_cap * exp(sigma * rng.gauss(0, 1)))
+            cell_mult = c_cap * exp(sigma * rng.gauss(0, 1))
+            wifi_rtt = min(max(
+                5.0, wifi_rtt_med * w_rtt_m * exp(rtt_sigma * rng.gauss(0, 1))
+            ), 1200.0)
+            cell_rtt_mult = c_rtt_m * exp(rtt_sigma * rng.gauss(0, 1))
+            wifi_meas.append(
+                estimate_tcp_throughput_mbps(wifi_rate, wifi_rtt)
+                * exp(noise * rng.gauss(0, 1))
+            )
+            cell_draws.append(
+                (cell_mult, cell_rtt_mult, exp(noise * rng.gauss(0, 1)))
+            )
+
+        def win_fraction(t: float) -> float:
+            rate_med = lte_med * exp(t)
+            rtt_med = lte_rtt_med * exp(-0.5 * t)
+            wins = 0
+            for i, (cell_mult, rtt_mult, cell_noise) in enumerate(cell_draws):
+                rate = max(0.1, rate_med * cell_mult)
+                rtt = min(max(15.0, rtt_med * rtt_mult), 1200.0)
+                measured = (
+                    estimate_tcp_throughput_mbps(rate, rtt) * cell_noise
+                )
+                if measured > wifi_meas[i]:
+                    wins += 1
+            return wins / len(cell_draws)
+
+        if abs(win_fraction(0.0) - site.lte_win_fraction) <= (
+            self.CROWD_CALIBRATION_TOL
+        ):
+            return self._site_params[site.name]
+        lo, hi = -4.0, 4.0
+        for _ in range(24):
+            mid = 0.5 * (lo + hi)
+            if win_fraction(mid) < site.lte_win_fraction:
+                lo = mid
+            else:
+                hi = mid
+        t = 0.5 * (lo + hi)
+        return (
+            wifi_med,
+            lte_med * math.exp(t),
+            wifi_rtt_med,
+            lte_rtt_med * math.exp(-0.5 * t),
+        )
+
+    # -- lookups used by the vectorized sampler ------------------------
+    def site_medians(self, site_name: str) -> Tuple[float, float, float, float]:
+        """Crowd-calibrated (wifi_mbps, lte_mbps, wifi_rtt_ms, lte_rtt_ms)."""
+        try:
+            return self._crowd_params[site_name]
+        except KeyError:
+            raise ConfigurationError(f"unknown Table-1 site: {site_name!r}")
+
+    def pick_operator(self, u: float) -> int:
+        """Operator index for a uniform draw ``u`` (share-weighted)."""
+        return _pick(self._operator_cum, u)
+
+    def pick_app(self, u: float) -> int:
+        """App index for a uniform draw ``u`` (mix-weighted)."""
+        return _pick(self._app_cum, u)
+
+    def modifiers(
+        self, operator_index: int, hour: float
+    ) -> Tuple[float, float, float, float]:
+        """Multipliers (wifi_cap, cell_cap, wifi_rtt, cell_rtt).
+
+        Composes the operator's log offsets with both diurnal curves
+        at local ``hour``.  Pure and deterministic — the sampler calls
+        this once per run.
+        """
+        operator = self.operators[operator_index]
+        wifi_cap = self.wifi_diurnal.capacity_mult(hour)
+        cell_cap = (
+            math.exp(operator.tput_log_offset)
+            * self.cell_diurnal.capacity_mult(hour)
+        )
+        wifi_rtt = self.wifi_diurnal.rtt_mult(hour)
+        cell_rtt = (
+            math.exp(operator.rtt_log_offset)
+            * self.cell_diurnal.rtt_mult(hour)
+        )
+        return wifi_cap, cell_cap, wifi_rtt, cell_rtt
+
+    def profile_dict(self) -> dict:
+        """JSON-safe description of the heterogeneity axes."""
+        return {
+            "operators": [op.to_dict() for op in self.operators],
+            "wifi_diurnal": self.wifi_diurnal.to_dict(),
+            "cell_diurnal": self.cell_diurnal.to_dict(),
+            "apps": [app.to_dict() for app in self.apps],
+        }
+
+    @classmethod
+    def from_profile_dict(
+        cls, data: Optional[dict], seed: int = DEFAULT_SEED
+    ) -> "CrowdWorld":
+        if not data:
+            return cls(seed=seed)
+        return cls(
+            seed=seed,
+            operators=tuple(
+                OperatorProfile.from_dict(op) for op in data["operators"]
+            ),
+            wifi_diurnal=DiurnalCurve.from_dict(data["wifi_diurnal"]),
+            cell_diurnal=DiurnalCurve.from_dict(data["cell_diurnal"]),
+            apps=tuple(AppProfile.from_dict(app) for app in data["apps"]),
+        )
+
+
+def _cumulative(weights: List[float]) -> List[float]:
+    total = sum(weights)
+    if total <= 0:
+        raise ConfigurationError("weights must sum to a positive value")
+    cum, acc = [], 0.0
+    for weight in weights:
+        acc += weight / total
+        cum.append(acc)
+    cum[-1] = 1.0  # guard float drift so u=0.999999... always lands
+    return cum
+
+
+def _pick(cumulative: List[float], u: float) -> int:
+    for index, edge in enumerate(cumulative):
+        if u < edge:
+            return index
+    return len(cumulative) - 1

@@ -65,13 +65,17 @@ EXPERIMENT_MODULES = [
     "fig17",
     "fig18_19",
     "fig20_21",
+    "crowd-scale",
 ]
 
 
 def load_all_experiments() -> None:
     """Import every experiment module so the registry is populated."""
     for module in EXPERIMENT_MODULES:
-        importlib.import_module(f"repro.experiments.{module}")
+        # Experiment ids may use hyphens; module files use underscores.
+        importlib.import_module(
+            f"repro.experiments.{module.replace('-', '_')}"
+        )
 
 
 def _run_kwargs(fn, workers: int) -> dict:

@@ -10,6 +10,8 @@ One instrumentation pathway for the whole simulator:
   (:class:`RunManifest`) stamped by the sweep engine.
 * :mod:`repro.obs.progress` — live sweep progress/ETA
   (:class:`SweepProgress`).
+* :mod:`repro.obs.fleet` — per-shard throughput/queue-depth metrics
+  for sharded crowd-scale sweeps (:class:`FleetRecorder`).
 * :mod:`repro.obs.summary` — offline trace digests backing the
   ``python -m repro.obs`` CLI.
 
@@ -21,6 +23,13 @@ layer: both accept a ``recorder=`` and feed the same event stream
 
 from repro.net.capture import PacketCapture
 from repro.net.telemetry import QueueDepthTracker
+from repro.obs.fleet import (
+    FleetMetrics,
+    FleetRecorder,
+    ShardRecord,
+    load_fleet_metrics,
+    render_fleet,
+)
 from repro.obs.manifest import RunManifest, diff_manifests, render_diff
 from repro.obs.metrics import (
     Counter,
@@ -56,9 +65,12 @@ __all__ = [
     "PROGRESS_ENV",
     "TRACE_DIR_ENV",
     "Counter",
+    "FleetMetrics",
+    "FleetRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ShardRecord",
     "PacketCapture",
     "QueueDepthTracker",
     "RunManifest",
@@ -71,6 +83,8 @@ __all__ = [
     "collect_transfer_metrics",
     "diff_manifests",
     "load_events",
+    "load_fleet_metrics",
+    "render_fleet",
     "progress_enabled_by_env",
     "reconcile",
     "render_diff",

@@ -15,6 +15,8 @@ from repro.obs.trace import load_events
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
+    if _try_summarize_fleet(args.trace):
+        return 0
     try:
         events = load_events(args.trace)
     except (OSError, ValueError) as exc:
@@ -24,6 +26,22 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
     summary = summarize_events(events)
     print(render_summary(summary, timeline_points=args.timeline_points))
     return 0
+
+
+def _try_summarize_fleet(path: str) -> bool:
+    """Render fleet-metrics JSON (``--metrics-out``) if ``path`` is one.
+
+    Returns False when the file is not a fleet document, so the caller
+    falls through to the JSONL trace path.
+    """
+    from repro.obs.fleet import load_fleet_metrics, render_fleet
+
+    try:
+        metrics = load_fleet_metrics(path)
+    except (OSError, ValueError, KeyError):
+        return False
+    print(render_fleet(metrics))
+    return True
 
 
 def _cmd_diff(args: argparse.Namespace) -> int:

@@ -1,0 +1,197 @@
+"""Per-shard fleet metrics: live aggregation across sweep runners.
+
+PR-6 gave each sweep a single :class:`~repro.parallel.SweepStats`
+line; crowd-scale execution wants to see *inside* the sweep — how
+fast each shard chewed through its user cohort and how deep the
+pending-shard queue ran while results streamed back.  A
+:class:`FleetRecorder` is fed from the coordinator's ``on_result``
+hook (completion order, which is exactly the live view), and the
+finished :class:`FleetMetrics` is JSON-round-trippable so it can be
+written next to ``BENCH_crowd.json`` and rendered later by
+``python -m repro.obs summarize metrics.json``.
+
+Presentation only: recording never influences sharding, seeding, or
+results — the same contract as :mod:`repro.obs.progress`.
+"""
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import percentile
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ShardRecord", "FleetMetrics", "FleetRecorder",
+           "load_fleet_metrics", "render_fleet"]
+
+#: Marker key that identifies a fleet-metrics JSON document.
+FLEET_SCHEMA = "repro.obs.fleet/v1"
+
+
+@dataclass
+class ShardRecord:
+    """One shard's execution, as observed at result time."""
+
+    shard: int
+    units: int
+    wall_s: float
+    cached: bool
+    #: Shards still outstanding when this one resolved (queue depth).
+    queue_depth: int
+
+    @property
+    def units_per_sec(self) -> float:
+        return self.units / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "units": self.units,
+            "wall_s": round(self.wall_s, 6),
+            "cached": self.cached,
+            "queue_depth": self.queue_depth,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardRecord":
+        return cls(
+            shard=int(data["shard"]),
+            units=int(data["units"]),
+            wall_s=float(data["wall_s"]),
+            cached=bool(data["cached"]),
+            queue_depth=int(data["queue_depth"]),
+        )
+
+
+@dataclass
+class FleetMetrics:
+    """The finished per-shard picture of one sweep."""
+
+    label: str
+    unit: str
+    shards: List[ShardRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def total_units(self) -> int:
+        return sum(record.units for record in self.shards)
+
+    @property
+    def units_per_sec(self) -> float:
+        return self.total_units / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((r.queue_depth for r in self.shards), default=0)
+
+    def shard_wall_percentile(self, q: float) -> float:
+        executed = [r.wall_s for r in self.shards if not r.cached]
+        if not executed:
+            return 0.0
+        return percentile(executed, q)
+
+    def registry(self) -> MetricsRegistry:
+        """The same data as labeled obs instruments."""
+        registry = MetricsRegistry()
+        for record in self.shards:
+            labels = {"shard": str(record.shard)}
+            registry.counter(f"crowd_{self.unit}", **labels).inc(record.units)
+            registry.gauge("crowd_shard_wall_s", **labels).set(record.wall_s)
+            registry.gauge("crowd_queue_depth", **labels).set(
+                record.queue_depth
+            )
+            registry.histogram("crowd_shard_units_per_sec").observe(
+                record.units_per_sec
+            )
+        return registry
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FLEET_SCHEMA,
+            "label": self.label,
+            "unit": self.unit,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "shards": [record.to_dict() for record in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetMetrics":
+        return cls(
+            label=str(data["label"]),
+            unit=str(data["unit"]),
+            elapsed_s=float(data["elapsed_s"]),
+            shards=[ShardRecord.from_dict(r) for r in data["shards"]],
+        )
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+class FleetRecorder:
+    """Collect :class:`ShardRecord` entries as shard results stream in.
+
+    Wire it to the sweep via ``on_result``; per-shard wall times come
+    from the coordinator's manifests after the run (`attach_walls`),
+    since the hook itself only sees values.
+    """
+
+    def __init__(self, label: str, total_shards: int, unit: str = "users"):
+        self.metrics = FleetMetrics(label=label, unit=unit)
+        self.total_shards = total_shards
+        self._done = 0
+        self._started = time.perf_counter()
+
+    def record(self, shard: int, units: int, cached: bool) -> ShardRecord:
+        self._done += 1
+        record = ShardRecord(
+            shard=shard,
+            units=units,
+            wall_s=0.0,
+            cached=cached,
+            queue_depth=self.total_shards - self._done,
+        )
+        self.metrics.shards.append(record)
+        return record
+
+    def finish(self, walls: Optional[Dict[int, float]] = None) -> FleetMetrics:
+        """Stamp elapsed time (and per-shard walls from manifests)."""
+        self.metrics.elapsed_s = time.perf_counter() - self._started
+        if walls:
+            for record in self.metrics.shards:
+                record.wall_s = walls.get(record.shard, record.wall_s)
+        self.metrics.shards.sort(key=lambda r: r.shard)
+        return self.metrics
+
+
+def load_fleet_metrics(path: str) -> FleetMetrics:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("schema") != FLEET_SCHEMA:
+        raise ValueError(f"{path} is not a fleet-metrics JSON document")
+    return FleetMetrics.from_dict(data)
+
+
+def render_fleet(metrics: FleetMetrics) -> str:
+    """Human-readable shard table for ``obs summarize``."""
+    lines = [
+        f"fleet: {metrics.label}",
+        f"  shards: {len(metrics.shards)}   total {metrics.unit}: "
+        f"{metrics.total_units}   elapsed: {metrics.elapsed_s:.2f}s   "
+        f"{metrics.unit}/sec: {metrics.units_per_sec:,.0f}",
+        f"  shard wall p50/p95: {metrics.shard_wall_percentile(50):.2f}s / "
+        f"{metrics.shard_wall_percentile(95):.2f}s   max queue depth: "
+        f"{metrics.max_queue_depth}",
+        "",
+        f"  {'shard':>5}  {'units':>9}  {'wall_s':>8}  {'units/s':>9}  "
+        f"{'queue':>5}  cached",
+    ]
+    for record in metrics.shards:
+        lines.append(
+            f"  {record.shard:>5}  {record.units:>9}  "
+            f"{record.wall_s:>8.2f}  {record.units_per_sec:>9,.0f}  "
+            f"{record.queue_depth:>5}  {'yes' if record.cached else 'no'}"
+        )
+    return "\n".join(lines)

@@ -1,5 +1,7 @@
 """Tests for the Cell vs WiFi CLI."""
 
+import json
+
 from repro.crowd.__main__ import main
 
 
@@ -34,3 +36,68 @@ class TestCellVsWifiCli:
     def test_substring_match_prefers_specific(self, capsys):
         assert main(["--site", "Thailand (Phichit)"]) == 0
         assert "Phichit" in capsys.readouterr().out
+
+
+SCALE_ARGS = ["--executor", "inprocess", "--workers", "1"]
+
+
+class TestCrowdScaleCli:
+    def test_users_switches_to_pipeline(self, capsys):
+        assert main(["--users", "800"] + SCALE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "800 users" in out
+        assert "users/sec" in out
+        assert "LTE wins" in out
+
+    def test_json_document(self, capsys):
+        assert main(["--users", "600", "--json"] + SCALE_ARGS) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["users"] == 600
+        assert document["sink"] == "sketch"
+        assert 0.0 < document["lte_win_fraction_combined"] < 1.0
+        assert len(document["downlink_diff_quartiles_mbps"]) == 3
+
+    def test_json_deterministic_for_seed(self, capsys):
+        runs = []
+        for _ in range(2):
+            assert main(["--users", "400", "--seed", "11",
+                         "--json"] + SCALE_ARGS) == 0
+            document = json.loads(capsys.readouterr().out)
+            del document["wall_s"], document["users_per_sec"]
+            runs.append(document)
+        assert runs[0] == runs[1]
+
+    def test_metrics_out_is_loadable_fleet_json(self, tmp_path, capsys):
+        target = tmp_path / "fleet.json"
+        assert main(["--users", "500", "--shard-users", "200",
+                     "--metrics-out", str(target)] + SCALE_ARGS) == 0
+        capsys.readouterr()
+        from repro.obs.fleet import load_fleet_metrics
+
+        fleet = load_fleet_metrics(str(target))
+        assert fleet.total_units == 500
+        assert len(fleet.shards) == 3
+
+    def test_csv_sink_writes_rows(self, tmp_path, capsys):
+        target = tmp_path / "runs.csv"
+        assert main(["--users", "300", "--sink", "csv",
+                     "--csv-out", str(target)] + SCALE_ARGS) == 0
+        assert "300" in capsys.readouterr().out
+        lines = target.read_text().strip().splitlines()
+        assert len(lines) == 301
+        assert lines[0].startswith("user_id,site,operator")
+
+    def test_csv_sink_requires_csv_out(self, capsys):
+        assert main(["--users", "100", "--sink", "csv"] + SCALE_ARGS) == 2
+        assert "--csv-out" in capsys.readouterr().err
+
+    def test_dataset_sink_prints_deprecation_note(self, capsys):
+        assert main(["--users", "300", "--sink", "dataset"]
+                    + SCALE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "materialized" in out
+        assert "deprecated" in out
+
+    def test_invalid_users_rejected(self, capsys):
+        assert main(["--users", "0"] + SCALE_ARGS) == 2
+        assert "users" in capsys.readouterr().err

@@ -1,0 +1,136 @@
+"""Tests for the sharded execution layer (layer 4).
+
+The headline contract: none of ``batch``, ``shard_users``,
+``workers``, or ``executor`` can change a crowd-scale result — only
+the wall-clock.  Sketch merges are exact, so equality below is
+bit-identical dict equality, not approximate.
+"""
+
+import io
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.crowd.aggregate import CrowdSketch
+from repro.crowd.pipeline import DEFAULT_BATCH, run_crowd_shard, simulate
+from repro.crowd.sampling import CrowdSampler, PopulationSpec
+
+USERS = 1500
+
+
+def _simulate(users=USERS, **kwargs):
+    kwargs.setdefault("cache", False)
+    kwargs.setdefault("executor", "inprocess")
+    kwargs.setdefault("workers", 1)
+    return simulate(population=PopulationSpec(users=users), **kwargs)
+
+
+@pytest.fixture(scope="module")
+def baseline(crowd_world):
+    return _simulate()
+
+
+class TestDeterminism:
+    def test_bit_identical_across_batch_sizes(self, baseline):
+        for batch in (64, 333, USERS):
+            result = _simulate(batch=batch)
+            assert result.sketch == baseline.sketch
+
+    def test_bit_identical_across_shard_counts(self, baseline):
+        for shard_users in (200, 700, USERS):
+            result = _simulate(shard_users=shard_users)
+            assert result.sketch == baseline.sketch
+            assert len(result.fleet.shards) == -(-USERS // shard_users)
+
+    def test_bit_identical_across_workers(self, baseline):
+        assert _simulate(workers=2).sketch == baseline.sketch
+
+    def test_bit_identical_across_executors(self, baseline):
+        result = _simulate(executor="process", workers=2, shard_users=500)
+        assert result.sketch == baseline.sketch
+
+    def test_matches_serial_reference(self, baseline):
+        # One worker-call over the whole population, no sweep engine.
+        partial = run_crowd_shard(
+            PopulationSpec(users=USERS).to_dict(), 0, USERS
+        )
+        assert partial["kind"] == "sketch"
+        assert CrowdSketch.from_dict(partial["sketch"]) == baseline.sketch
+
+
+class TestSinks:
+    def test_dataset_sink_equals_unsharded_columns(self, crowd_world):
+        spec = PopulationSpec(users=400)
+        result = simulate(population=spec, sink="dataset", shard_users=90,
+                          cache=False, executor="inprocess", workers=1)
+        expected = CrowdSampler(crowd_world, spec).sample_batch(
+            0, 400).to_measurement_runs()
+        assert list(result.value) == expected
+        assert result.sketch is None
+
+    def test_csv_sink_identical_across_shard_counts(self):
+        outputs = []
+        for shard_users in (100, 400):
+            stream = io.StringIO()
+            result = simulate(
+                population=PopulationSpec(users=400), sink="csv",
+                csv_stream=stream, shard_users=shard_users,
+                cache=False, executor="inprocess", workers=1,
+            )
+            assert result.value == 400
+            outputs.append(stream.getvalue())
+        assert outputs[0] == outputs[1]
+        assert outputs[0].count("\n") == 401  # header + one row per run
+
+    def test_csv_sink_requires_stream(self):
+        with pytest.raises(ConfigurationError):
+            _simulate(users=10, sink="csv")
+
+    def test_unknown_sink_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _simulate(users=10, sink="parquet")
+
+
+class TestSimulateSurface:
+    def test_population_int_coercion(self):
+        result = simulate(
+            population=300, cache=False, executor="inprocess", workers=1
+        )
+        assert result.users == 300
+        assert result.population == PopulationSpec(users=300)
+
+    def test_requires_population(self):
+        with pytest.raises(ConfigurationError):
+            simulate()
+
+    def test_rejects_world_and_profile_together(self, crowd_world):
+        spec = PopulationSpec(
+            users=10, world_profile=crowd_world.profile_dict()
+        )
+        with pytest.raises(ConfigurationError):
+            simulate(world=crowd_world, population=spec)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            _simulate(batch=0)
+
+    def test_result_shape(self, baseline):
+        assert baseline.users == USERS
+        assert baseline.total_runs == USERS
+        assert baseline.batch == DEFAULT_BATCH
+        assert baseline.sketch.counters["runs"] == USERS
+        assert baseline.users_per_sec > 0
+        summary = baseline.summary()
+        assert f"{USERS:,} users" in summary
+        assert "users/sec" in summary
+        assert "LTE wins" in summary
+
+    def test_fleet_metrics_populated(self, baseline):
+        fleet = baseline.fleet
+        assert fleet.total_units == USERS
+        assert fleet.elapsed_s > 0
+        assert [record.shard for record in fleet.shards] == list(
+            range(len(fleet.shards))
+        )
+        assert all(r.wall_s > 0 for r in fleet.shards)
+        assert fleet.max_queue_depth <= len(fleet.shards) - 1

@@ -1,0 +1,130 @@
+"""Tests for the vectorized sampling layer (layer 2)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.crowd.sampling import (
+    COLUMN_NAMES,
+    CrowdSampler,
+    PopulationSpec,
+    RunColumns,
+)
+
+
+@pytest.fixture(scope="module")
+def sampler(crowd_world):
+    return CrowdSampler(crowd_world, PopulationSpec(users=200))
+
+
+class TestPopulationSpec:
+    def test_defaults_cover_table1(self):
+        spec = PopulationSpec(users=100)
+        assert len(spec.site_names) == 22
+        assert spec.total_runs == 100
+
+    def test_total_runs_with_repeats(self):
+        assert PopulationSpec(users=10, runs_per_user=3).total_runs == 30
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PopulationSpec(users=0)
+        with pytest.raises(ConfigurationError):
+            PopulationSpec(users=1, runs_per_user=0)
+        with pytest.raises(ConfigurationError):
+            PopulationSpec(users=1, wifi_failure_p=1.5)
+        with pytest.raises(ConfigurationError):
+            PopulationSpec(users=1, site_names=("Israel",),
+                           site_weights=(1.0, 2.0))
+
+    def test_round_trip(self):
+        spec = PopulationSpec(users=50, seed=9, runs_per_user=2,
+                              noise_sigma=0.2)
+        assert PopulationSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestBatchScalarIdentity:
+    def test_batch_equals_scalar_reference(self, sampler):
+        # The determinism contract's first axis: the batched column
+        # path and the one-run scalar path are bit-identical.
+        batch = sampler.sample_batch(0, 200)
+        for i in range(200):
+            assert batch.row(i) == sampler.sample_run(i)
+
+    def test_partition_invariance(self, sampler):
+        whole = sampler.sample_batch(0, 200)
+        for size in (1, 37, 64, 200):
+            rebuilt = RunColumns()
+            for part in sampler.batches(0, 200, size):
+                rebuilt.extend(part)
+            assert rebuilt.to_lists() == whole.to_lists()
+
+    def test_offset_slice_identity(self, sampler):
+        whole = sampler.sample_batch(0, 150)
+        window = sampler.sample_batch(50, 30)
+        for i in range(30):
+            assert window.row(i) == whole.row(50 + i)
+
+    def test_batch_clamps_to_population(self, sampler):
+        assert len(sampler.sample_batch(190, 50)) == 10
+        assert len(sampler.sample_batch(500, 10)) == 0
+
+    def test_invalid_bounds(self, sampler):
+        with pytest.raises(ConfigurationError):
+            sampler.sample_batch(-1, 10)
+        with pytest.raises(ConfigurationError):
+            list(sampler.batches(0, 10, 0))
+
+
+class TestRunsPerUser:
+    def test_user_attributes_stable_across_runs(self, crowd_world):
+        spec = PopulationSpec(users=40, runs_per_user=3)
+        cols = CrowdSampler(crowd_world, spec).sample_batch(0, spec.total_runs)
+        for user in range(40):
+            rows = [cols.row(user * 3 + k) for k in range(3)]
+            assert {r.user_id for r in rows} == {user}
+            # Site, operator, and app are user attributes: constant
+            # across a user's runs even though conditions vary.
+            assert len({r.site for r in rows}) == 1
+            assert len({r.operator for r in rows}) == 1
+            assert len({r.app for r in rows}) == 1
+
+    def test_distinct_seeds_differ(self, crowd_world):
+        a = CrowdSampler(crowd_world, PopulationSpec(users=50, seed=1))
+        b = CrowdSampler(crowd_world, PopulationSpec(users=50, seed=2))
+        assert a.sample_batch(0, 50).to_lists() != b.sample_batch(0, 50).to_lists()
+
+
+class TestRunColumns:
+    def test_lists_round_trip(self, sampler):
+        cols = sampler.sample_batch(0, 30)
+        restored = RunColumns.from_lists(cols.to_lists())
+        assert restored.to_lists() == cols.to_lists()
+        assert set(cols.to_lists()) == set(COLUMN_NAMES)
+
+    def test_value_sanity(self, sampler):
+        cols = sampler.sample_batch(0, 200)
+        for i in range(len(cols)):
+            assert cols.tech[i] in (0, 1, 2)
+            assert 0.0 <= cols.hour[i] < 24.0
+            if cols.wifi_ok[i]:
+                assert cols.wifi_down[i] > 0
+                assert cols.wifi_rtt[i] > 0
+            else:
+                assert cols.wifi_down[i] == 0.0
+
+    def test_to_measurement_runs_respects_availability(self, sampler):
+        cols = sampler.sample_batch(0, 200)
+        runs = cols.to_measurement_runs()
+        assert len(runs) == 200
+        for i, run in enumerate(runs):
+            if cols.wifi_ok[i]:
+                assert run.wifi_down_mbps == cols.wifi_down[i]
+            else:
+                assert run.wifi_down_mbps is None
+            if cols.cell_ok[i]:
+                assert run.cell_down_mbps == cols.cell_down[i]
+            else:
+                assert run.cellular_technology is None
+        # Both failure branches must actually occur at this size.
+        assert any(not ok for ok in cols.wifi_ok)
+        assert any(not ok for ok in cols.cell_ok)

@@ -1,0 +1,91 @@
+"""Tests for per-shard fleet metrics (repro.obs.fleet)."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.fleet import (
+    FleetRecorder,
+    ShardRecord,
+    load_fleet_metrics,
+    render_fleet,
+)
+
+
+def _recorded_fleet():
+    recorder = FleetRecorder(label="crowd", total_shards=3, unit="users")
+    # Results stream back out of shard order; walls come from the
+    # manifests afterwards.
+    recorder.record(1, 500, cached=False)
+    recorder.record(0, 500, cached=True)
+    recorder.record(2, 250, cached=False)
+    return recorder.finish({0: 0.2, 1: 0.4, 2: 0.1})
+
+
+class TestRecorder:
+    def test_queue_depth_counts_outstanding_shards(self):
+        fleet = _recorded_fleet()
+        # First arrival (shard 1) left 2 outstanding, then 1, then 0.
+        by_shard = {r.shard: r for r in fleet.shards}
+        assert by_shard[1].queue_depth == 2
+        assert by_shard[0].queue_depth == 1
+        assert by_shard[2].queue_depth == 0
+        assert fleet.max_queue_depth == 2
+
+    def test_finish_sorts_and_stamps_walls(self):
+        fleet = _recorded_fleet()
+        assert [r.shard for r in fleet.shards] == [0, 1, 2]
+        assert [r.wall_s for r in fleet.shards] == [0.2, 0.4, 0.1]
+        assert fleet.elapsed_s > 0
+
+    def test_aggregates(self):
+        fleet = _recorded_fleet()
+        assert fleet.total_units == 1250
+        assert fleet.units_per_sec > 0
+        # Cached shards are excluded from wall percentiles.
+        assert fleet.shard_wall_percentile(100) == pytest.approx(0.4)
+        assert fleet.shard_wall_percentile(0) == pytest.approx(0.1)
+
+    def test_shard_units_per_sec(self):
+        record = ShardRecord(shard=0, units=100, wall_s=0.5,
+                             cached=False, queue_depth=0)
+        assert record.units_per_sec == pytest.approx(200.0)
+
+    def test_registry_exposes_obs_instruments(self):
+        registry = _recorded_fleet().registry()
+        snapshot = registry.snapshot()
+        assert any("crowd_users" in key for key in snapshot)
+        assert any("crowd_queue_depth" in key for key in snapshot)
+
+
+class TestSerialization:
+    def test_round_trip(self, tmp_path):
+        fleet = _recorded_fleet()
+        path = tmp_path / "fleet.json"
+        fleet.write(str(path))
+        loaded = load_fleet_metrics(str(path))
+        assert loaded.label == "crowd"
+        assert loaded.to_dict() == fleet.to_dict()
+
+    def test_load_rejects_non_fleet_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something/else"}))
+        with pytest.raises(ValueError):
+            load_fleet_metrics(str(path))
+
+    def test_render(self):
+        text = render_fleet(_recorded_fleet())
+        assert "fleet: crowd" in text
+        assert "total users: 1250" in text
+        assert "max queue depth: 2" in text
+
+
+class TestObsSummarizeIntegration:
+    def test_summarize_renders_fleet_json(self, tmp_path, capsys):
+        path = tmp_path / "fleet.json"
+        _recorded_fleet().write(str(path))
+        assert obs_main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: crowd" in out
+        assert "shards: 3" in out
