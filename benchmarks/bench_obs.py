@@ -1,6 +1,6 @@
 """Guard the cost of the observability layer.
 
-Two questions, answered into ``BENCH_obs.json`` at the repo root:
+Three questions, answered into ``BENCH_obs.json`` at the repo root:
 
 1. **Disabled-tracing overhead** — every hot path gained an
    ``if obs is not None`` guard this layer; the cold-serial
@@ -10,6 +10,10 @@ Two questions, answered into ``BENCH_obs.json`` at the repo root:
 2. **Enabled-tracing cost** (informational) — the same fig06-shaped
    transfer with and without a recorder attached, so the price of a
    full trace is known, not guessed.
+3. **Telemetry-plane overhead** — the same sweep with the live
+   :class:`~repro.obs.telemetry.TelemetryBus` enabled vs disabled
+   must also stay within the 3% budget (the ISSUE's ≤3% contract for
+   the telemetry plane).  Over budget → exit 1.
 
 Run it standalone (not part of CI timing)::
 
@@ -39,6 +43,20 @@ def _sweep_run_s() -> float:
     started = time.perf_counter()
     fig09_10.run(fast=True, workers=1)
     return time.perf_counter() - started
+
+
+def _telemetry_sweep_s(enabled: bool) -> float:
+    """The same sweep, with the telemetry plane on or off."""
+    from repro.obs import telemetry
+
+    if enabled:
+        telemetry.enable()
+    else:
+        telemetry.disable()
+    try:
+        return _sweep_run_s()
+    finally:
+        telemetry.disable()
 
 
 def _fig06_transfer_s(traced: bool) -> float:
@@ -105,6 +123,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     traced_ratio = round(traced_s / max(untraced_s, 1e-9), 3)
     print(f"  {traced_s:.4f}s  (enabled/disabled ratio {traced_ratio:.3f})")
 
+    print("cold serial sweep, telemetry plane off ...", flush=True)
+    telemetry_off_s = round(
+        _best_of(args.repeats, lambda: _telemetry_sweep_s(False)), 3
+    )
+    print(f"  {telemetry_off_s:.3f}s")
+    print("cold serial sweep, telemetry plane on ...", flush=True)
+    telemetry_on_s = round(
+        _best_of(args.repeats, lambda: _telemetry_sweep_s(True)), 3
+    )
+    telemetry_ratio = round(telemetry_on_s / max(telemetry_off_s, 1e-9), 3)
+    telemetry_within = telemetry_ratio <= args.budget
+    print(f"  {telemetry_on_s:.3f}s  (on/off ratio {telemetry_ratio:.3f})")
+
     within = ratio <= args.budget
     results = {
         "experiment": "fig09_10 --fast (serial, cold)",
@@ -116,6 +147,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fig06_untraced_s": untraced_s,
         "fig06_traced_s": traced_s,
         "fig06_traced_ratio": traced_ratio,
+        "telemetry_off_s": telemetry_off_s,
+        "telemetry_on_s": telemetry_on_s,
+        "telemetry_ratio": telemetry_ratio,
+        "telemetry_within_budget": telemetry_within,
         "repeats": args.repeats,
     }
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -128,6 +163,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(json.dumps(results, indent=2, sort_keys=True))
     if not within:
         print(f"FAIL: disabled-tracing overhead {ratio:.3f} exceeds "
+              f"budget {args.budget:.2f}", file=sys.stderr)
+        return 1
+    if not telemetry_within:
+        print(f"FAIL: telemetry-on overhead {telemetry_ratio:.3f} exceeds "
               f"budget {args.budget:.2f}", file=sys.stderr)
         return 1
     return 0

@@ -37,6 +37,7 @@ from repro.crowd.aggregate import (
 from repro.crowd.sampling import CrowdSampler, PopulationSpec
 from repro.crowd.world import CrowdWorld
 from repro.obs.fleet import FleetMetrics, FleetRecorder
+from repro.obs.telemetry import active_bus
 from repro.parallel import SimTask, SweepRunner, SweepStats, resolve_workers
 
 __all__ = ["simulate", "run_crowd_shard", "CrowdResult", "DEFAULT_BATCH"]
@@ -230,10 +231,14 @@ def simulate(
     recorder = FleetRecorder(label=label, total_shards=nshards, unit="users")
     pending: Dict[int, dict] = {}
     next_ordered = [0]
+    bus = active_bus()
 
     def on_result(index: int, task: SimTask, value: dict,
                   cached: bool) -> None:
-        recorder.record(index, value["units"], cached)
+        record = recorder.record(index, value["units"], cached)
+        if bus is not None:
+            bus.count("crowd.users_done", value["units"])
+            bus.record("crowd.shard_queue_depth", record.queue_depth)
         if not sink.ORDERED:
             _absorb(sink, value)
             return

@@ -12,6 +12,10 @@ One instrumentation pathway for the whole simulator:
   (:class:`SweepProgress`).
 * :mod:`repro.obs.fleet` — per-shard throughput/queue-depth metrics
   for sharded crowd-scale sweeps (:class:`FleetRecorder`).
+* :mod:`repro.obs.telemetry` — the *live* plane: a process-wide
+  :class:`TelemetryBus` fed by worker STATS heartbeats and
+  coordinator/Session/crowd publishers, with a Prometheus-style HTTP
+  exporter, a JSONL snapshot sink, and ``python -m repro.obs top``.
 * :mod:`repro.obs.summary` — offline trace digests backing the
   ``python -m repro.obs`` CLI.
 
@@ -36,6 +40,8 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    SpanTimer,
+    TimeSeries,
     collect_transfer_metrics,
     reconcile,
 )
@@ -50,6 +56,17 @@ from repro.obs.summary import (
     render_summary,
     summarize_events,
 )
+from repro.obs.telemetry import (
+    TELEMETRY_ENV,
+    TelemetryBus,
+    TelemetryServer,
+    TelemetrySink,
+    WorkerHealth,
+    active_bus,
+    load_telemetry_snapshots,
+    render_prometheus,
+    telemetry_enabled_by_env,
+)
 from repro.obs.trace import (
     EVENT_KINDS,
     TRACE_DIR_ENV,
@@ -63,6 +80,7 @@ from repro.obs.trace import (
 __all__ = [
     "EVENT_KINDS",
     "PROGRESS_ENV",
+    "TELEMETRY_ENV",
     "TRACE_DIR_ENV",
     "Counter",
     "FleetMetrics",
@@ -71,24 +89,34 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ShardRecord",
+    "SpanTimer",
     "PacketCapture",
     "QueueDepthTracker",
     "RunManifest",
     "SubflowSummary",
     "SweepProgress",
+    "TelemetryBus",
+    "TelemetryServer",
+    "TelemetrySink",
+    "TimeSeries",
     "TraceEvent",
     "TraceRecorder",
     "TraceSummary",
+    "WorkerHealth",
+    "active_bus",
     "active_trace_dir",
     "collect_transfer_metrics",
     "diff_manifests",
     "load_events",
     "load_fleet_metrics",
+    "load_telemetry_snapshots",
     "render_fleet",
+    "render_prometheus",
     "progress_enabled_by_env",
     "reconcile",
     "render_diff",
     "render_summary",
     "summarize_events",
+    "telemetry_enabled_by_env",
     "trace_filename",
 ]

@@ -1,14 +1,18 @@
-"""CLI for trace and manifest analysis.
+"""CLI for trace and manifest analysis plus live fleet telemetry.
 
 Usage::
 
     python -m repro.obs summarize TRACE.jsonl
+    python -m repro.obs summarize telemetry.jsonl     # sink timeline
     python -m repro.obs diff A.manifest.json B.manifest.json
+    python -m repro.obs top --connect HOST:PORT
+    python -m repro.obs top telemetry.jsonl
 """
 
 import argparse
 import sys
 
+from repro.core.errors import ReproError
 from repro.obs.manifest import RunManifest, render_diff
 from repro.obs.summary import render_summary, summarize_events
 from repro.obs.trace import load_events
@@ -17,11 +21,17 @@ from repro.obs.trace import load_events
 def _cmd_summarize(args: argparse.Namespace) -> int:
     if _try_summarize_fleet(args.trace):
         return 0
+    if _try_summarize_telemetry(args.trace):
+        return 0
     try:
         events = load_events(args.trace)
-    except (OSError, ValueError) as exc:
-        print(f"summarize: cannot read {args.trace}: {exc}",
-              file=sys.stderr)
+    except (OSError, ValueError, KeyError, TypeError, ReproError) as exc:
+        print(
+            f"summarize: cannot read {args.trace}: {exc} "
+            "(expected a JSONL trace, a fleet-metrics JSON document, "
+            "or a telemetry snapshot file)",
+            file=sys.stderr,
+        )
         return 2
     summary = summarize_events(events)
     print(render_summary(summary, timeline_points=args.timeline_points))
@@ -38,9 +48,24 @@ def _try_summarize_fleet(path: str) -> bool:
 
     try:
         metrics = load_fleet_metrics(path)
-    except (OSError, ValueError, KeyError):
+    except (OSError, ValueError, KeyError, TypeError):
         return False
     print(render_fleet(metrics))
+    return True
+
+
+def _try_summarize_telemetry(path: str) -> bool:
+    """Render a ``--telemetry-out`` sink file if ``path`` is one."""
+    from repro.obs.telemetry import (
+        load_telemetry_snapshots,
+        render_telemetry_timeline,
+    )
+
+    try:
+        snapshots = load_telemetry_snapshots(path)
+    except (OSError, ValueError, KeyError, TypeError):
+        return False
+    print(render_telemetry_timeline(snapshots))
     return True
 
 
@@ -59,14 +84,15 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
-        description="Summarize simulator traces and diff run manifests.",
+        description="Summarize simulator traces, diff run manifests, "
+                    "and watch live fleet telemetry.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     summarize = sub.add_parser(
         "summarize",
-        help="digest a JSONL trace: cwnd timeline, retransmit "
-             "breakdown, per-subflow byte split",
+        help="digest a JSONL trace, fleet-metrics JSON, or telemetry "
+             "snapshot file",
     )
     summarize.add_argument("trace", help="path to a .jsonl trace file")
     summarize.add_argument(
@@ -83,10 +109,23 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("a", help="first manifest JSON file")
     diff.add_argument("b", help="second manifest JSON file")
     diff.set_defaults(fn=_cmd_diff)
+
+    sub.add_parser(
+        "top",
+        help="live fleet view from a telemetry exporter or sink file "
+             "(python -m repro.obs top --help)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # `top` owns its argv (argparse.REMAINDER mis-parses a leading
+    # --connect), so dispatch it before the main parser runs.
+    if argv[:1] == ["top"]:
+        from repro.obs.top import top_main
+
+        return top_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -16,10 +16,19 @@ import sys
 import time
 from typing import Optional, TextIO
 
-__all__ = ["PROGRESS_ENV", "SweepProgress", "progress_enabled_by_env"]
+__all__ = ["MIN_REDRAW_INTERVAL_S", "PROGRESS_ENV", "SweepProgress",
+           "progress_enabled_by_env"]
 
 #: Environment toggle: "1"/"true"/"yes" (case-insensitive) enables.
 PROGRESS_ENV = "REPRO_PROGRESS"
+
+#: Default floor between stderr redraws.  A fully-cached sweep can
+#: resolve thousands of tasks in a few milliseconds; unthrottled, each
+#: would redraw the status line (thousands of writes flooding the
+#: terminal and any log capturing stderr).  ≥100 ms keeps the line
+#: live to a human while bounding a whole sweep's redraws.  Tests may
+#: pass an explicit smaller ``min_interval_s`` to observe every frame.
+MIN_REDRAW_INTERVAL_S = 0.1
 
 
 def progress_enabled_by_env() -> bool:
@@ -54,7 +63,7 @@ class SweepProgress:
         total: Optional[int],
         label: str = "sweep",
         stream: Optional[TextIO] = None,
-        min_interval_s: float = 0.1,
+        min_interval_s: float = MIN_REDRAW_INTERVAL_S,
     ) -> None:
         self.total = total
         self.label = label

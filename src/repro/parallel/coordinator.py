@@ -32,6 +32,7 @@ count, shard scheduling, and single-flight interleaving can never
 change (or reorder) the output — only the wall-clock.
 """
 
+import contextlib
 import os
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -40,6 +41,7 @@ from repro.core.errors import ConfigurationError, SweepTaskError
 from repro.core.rng import DEFAULT_SEED
 from repro.obs.manifest import RunManifest
 from repro.obs.progress import SweepProgress, progress_enabled_by_env
+from repro.obs.telemetry import active_bus
 from repro.obs.trace import active_trace_dir
 from repro.parallel.cache import ResultCache, spec_key
 from repro.parallel.executors import Executor, make_executor
@@ -114,6 +116,9 @@ class SweepCoordinator:
         self.on_result = on_result
         self.last_stats = SweepStats()
         self.last_manifests: List[RunManifest] = []
+        # Telemetry is resolved per run() so a bus enabled later is
+        # still seen; None keeps every publish site zero-cost.
+        self._bus = None
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[SimTask]) -> List[Any]:
@@ -121,6 +126,14 @@ class SweepCoordinator:
         started = time.perf_counter()
         seeded = [task.seeded(self.seed) for task in tasks]
         state = _RunState(seeded)
+        self._bus = active_bus()
+        if self._bus is not None:
+            self._bus.count("sweep.runs")
+            self._bus.record(
+                "sweep.tasks_total",
+                self._bus.registry.gauge("sweep.tasks_total").value
+                + len(seeded),
+            )
 
         # Tracing bypasses the cache: a hit would skip the simulation
         # and silently produce no trace file.
@@ -132,7 +145,8 @@ class SweepCoordinator:
         owned, awaited = self._scan_cache(state, cache, progress)
         try:
             if owned:
-                self._execute(state, owned, cache, progress)
+                with self._span("coordinator.dispatch"):
+                    self._execute(state, owned, cache, progress)
             if awaited:
                 self._resolve_awaited(state, awaited, cache, progress)
         finally:
@@ -206,7 +220,8 @@ class SweepCoordinator:
 
     def _try_hit(self, state: _RunState, cache: ResultCache,
                  index: int, key: str) -> bool:
-        hit, value = cache.get(key)
+        with self._span("cache.get"):
+            hit, value = cache.get(key)
         if not hit:
             return False
         state.results[index] = value
@@ -244,9 +259,18 @@ class SweepCoordinator:
                        for shard in shard_indices]
         needs_isolation: List[int] = []
         shard_errors: Dict[int, str] = {}
+        dispatched = time.perf_counter()
         for shard_id, outcome in self.executor.run_shards(
             shard_tasks, self.task_timeout_s
         ):
+            if self._bus is not None:
+                # Executor round-trip: dispatch to this shard's
+                # arrival (completion-order latency profile).
+                self._bus.observe(
+                    "executor.roundtrip_s",
+                    time.perf_counter() - dispatched,
+                    executor=self.executor.name,
+                )
             shard = shard_indices[shard_id]
             if outcome.ok:
                 for index, (value, wall, pid) in zip(shard, outcome.values):
@@ -336,7 +360,8 @@ class SweepCoordinator:
             # Publish immediately (atomic replace), then release the
             # single-flight lock so awaiting runners unblock now, not
             # at sweep end.
-            cache.put(state.keys[index], value)
+            with self._span("cache.put"):
+                cache.put(state.keys[index], value)
             if index in state.locked:
                 cache.release(state.keys[index])
                 state.locked.discard(index)
@@ -385,8 +410,21 @@ class SweepCoordinator:
         return DEFAULT_FLIGHT_TIMEOUT_S
 
     # ------------------------------------------------------------------
+    def _span(self, name: str):
+        """Telemetry span timer, or a no-op when the plane is off."""
+        if self._bus is None:
+            return contextlib.nullcontext()
+        return self._bus.timer(name)
+
     def _emit(self, state: _RunState, index: int, value: Any,
               cached: bool) -> None:
+        if self._bus is not None:
+            self._bus.count("sweep.tasks_done")
+            if cached:
+                self._bus.count("sweep.cache_hits")
+            total = self._bus.registry.gauge("sweep.tasks_total").value
+            done = self._bus.registry.counter("sweep.tasks_done").value
+            self._bus.record("sweep.queue_depth", max(0.0, total - done))
         if self.on_result is not None:
             self.on_result(index, state.tasks[index], value, cached)
 

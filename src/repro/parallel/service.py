@@ -95,6 +95,17 @@ def _parse_one_address(text: str, flag: str):
 # ---------------------------------------------------------------------------
 # submit
 # ---------------------------------------------------------------------------
+def _telemetry_sink(path: Optional[str]):
+    """A started JSONL sink on the process bus, or a no-op context."""
+    import contextlib
+
+    if not path:
+        return contextlib.nullcontext()
+    from repro.obs.telemetry import TelemetrySink, get_bus
+
+    return TelemetrySink(get_bus(), path)
+
+
 def _run_local(args) -> int:
     from repro.workload import Session
 
@@ -112,10 +123,11 @@ def _run_local(args) -> int:
     failures: List[Dict[str, Any]] = []
     exit_code = 0
     try:
-        session.run_workload(
-            workload, workers=args.workers, executor=args.executor,
-            on_result=on_result,
-        )
+        with _telemetry_sink(args.telemetry_out):
+            session.run_workload(
+                workload, workers=args.workers, executor=args.executor,
+                on_result=on_result,
+            )
     except SweepTaskError as exc:
         failures = _failures_payload(exc)
         exit_code = 3
@@ -233,7 +245,14 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--full-reports", action="store_true",
                         help="stream full round-trippable report dicts "
                              "instead of compact summaries")
+    parser.add_argument("--telemetry-out", metavar="FILE", default=None,
+                        help="write periodic telemetry snapshots (JSONL) "
+                             "to FILE during a local run; render later "
+                             "with 'python -m repro.obs summarize FILE'")
     args = parser.parse_args(argv)
+    if args.connect and args.telemetry_out:
+        parser.error("--telemetry-out applies to local runs; for remote "
+                     "jobs point it at the server's serve --telemetry-out")
     if args.no_cache:
         from repro.parallel.cache import CACHE_TOGGLE_ENV
 
@@ -335,6 +354,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                              "(overrides the client's request)")
     parser.add_argument("--workers", type=int, default=None,
                         help="force this worker count for every job")
+    parser.add_argument("--telemetry-port", type=int, default=None,
+                        metavar="PORT",
+                        help="expose live telemetry over HTTP on this "
+                             "port (0 = kernel-assigned): /metrics is "
+                             "Prometheus text exposition, /healthz a "
+                             "JSON snapshot for 'repro.obs top'")
+    parser.add_argument("--telemetry-out", metavar="FILE", default=None,
+                        help="write periodic telemetry snapshots (JSONL) "
+                             "to FILE while serving")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-connection logging on stderr")
     args = parser.parse_args(argv)
@@ -351,6 +379,23 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     if not host or not 0 <= port < 65536:
         parser.error(f"--listen must be HOST:PORT, got {args.listen!r}")
 
+    telemetry_server = None
+    telemetry_sink = None
+    if args.telemetry_port is not None:
+        from repro.obs.telemetry import TelemetryServer, get_bus
+
+        if not 0 <= args.telemetry_port < 65536:
+            parser.error(
+                f"--telemetry-port out of range: {args.telemetry_port}"
+            )
+        telemetry_server = TelemetryServer(
+            get_bus(), host=host, port=args.telemetry_port
+        )
+    if args.telemetry_out:
+        from repro.obs.telemetry import TelemetrySink, get_bus
+
+        telemetry_sink = TelemetrySink(get_bus(), args.telemetry_out)
+
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     try:
@@ -359,6 +404,12 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         bound_host, bound_port = server.getsockname()[:2]
         print(f"repro-serve listening on {bound_host}:{bound_port} "
               f"pid={os.getpid()}", flush=True)
+        if telemetry_server is not None:
+            tel_host, tel_port = telemetry_server.start()
+            print(f"repro-serve telemetry on {tel_host}:{tel_port}",
+                  flush=True)
+        if telemetry_sink is not None:
+            telemetry_sink.start()
         while True:
             conn, peer = server.accept()
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -377,6 +428,10 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         return 0
     finally:
+        if telemetry_sink is not None:
+            telemetry_sink.stop()
+        if telemetry_server is not None:
+            telemetry_server.stop()
         server.close()
 
 

@@ -25,6 +25,7 @@ import time
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.errors import ExecutorError
+from repro.obs.telemetry import active_bus
 from repro.parallel import wire
 from repro.parallel.executors import (
     Executor,
@@ -161,7 +162,8 @@ class SocketExecutor(Executor):
                 except queue.Empty:
                     break
                 outcome, alive = self._dispatch(
-                    conn, shard_index, shard, task_timeout_s
+                    conn, shard_index, shard, task_timeout_s,
+                    worker_id=f"{address[0]}:{address[1]}",
                 )
                 outcomes.put((shard_index, outcome))
                 if not alive:
@@ -197,15 +199,18 @@ class SocketExecutor(Executor):
             raise wire.WireError(problem)
         return conn
 
-    def _dispatch(self, conn, shard_index, shard,
-                  task_timeout_s) -> Tuple[ShardOutcome, bool]:
+    def _dispatch(self, conn, shard_index, shard, task_timeout_s,
+                  worker_id: str = "") -> Tuple[ShardOutcome, bool]:
         """Send one shard and await its outcome.
 
         Returns ``(outcome, connection_still_usable)``.  Heartbeats
         keep the per-frame recv deadline alive; the absolute shard
         deadline (``task_timeout_s`` scaled by shard length, matching
-        the local pool) is enforced on top.
+        the local pool) is enforced on top.  STATS heartbeat payloads
+        are forwarded to the telemetry bus when the plane is on —
+        purely observational, never part of the outcome.
         """
+        bus = active_bus()
         deadline = None
         if task_timeout_s is not None:
             deadline = time.monotonic() + task_timeout_s * (len(shard) + 1)
@@ -224,6 +229,13 @@ class SocketExecutor(Executor):
                     wait_s = min(wait_s, remaining)
                 msg_type, payload = wire.recv_frame(conn, timeout_s=wait_s)
                 if msg_type == wire.MSG_HEARTBEAT:
+                    if bus is not None and payload:
+                        try:
+                            stats = wire.recv_json(payload)
+                        except wire.WireError:
+                            stats = None  # legacy/corrupt beat: liveness only
+                        if isinstance(stats, dict):
+                            bus.publish_worker(worker_id, stats)
                     continue
                 if msg_type == wire.MSG_RESULT:
                     result_id, values = pickle.loads(payload)

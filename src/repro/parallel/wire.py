@@ -21,7 +21,15 @@ Message types
 ``SHARD``      client -> worker, pickle ``(shard_id, [SimTask...])``
 ``RESULT``     worker -> client, pickle ``(shard_id, [(value, wall, pid)...])``
 ``SHARD_ERR``  worker -> client, JSON ``{shard_id, error}``
-``HEARTBEAT``  worker -> client, empty; liveness while a shard runs
+``HEARTBEAT``  worker -> client, empty (legacy liveness) or JSON
+               ``STATS`` payload ``{pid, tasks_done, in_flight,
+               queue_depth, tasks_per_s, rss_kb, uptime_s,
+               interval_s}``; both forms prove liveness while a shard
+               runs, the payload additionally feeds the telemetry
+               bus (:mod:`repro.obs.telemetry`).  An empty payload
+               stays valid so the frame semantics are unchanged —
+               no ``WIRE_VERSION`` bump (the fingerprint handshake
+               already pins both sides to one source tree).
 ``SHUTDOWN``   client -> worker, empty; close the connection
 ``JOB``        client -> service, JSON workload submission
 ``REPORT``     service -> client, JSON one streamed task result

@@ -17,10 +17,13 @@ cross-revision result mixing structurally impossible.
 """
 
 import argparse
+import json
+import os
 import pickle
 import socket
 import sys
 import threading
+import time
 from typing import List, Optional
 
 from repro.parallel import wire
@@ -32,18 +35,86 @@ __all__ = ["main", "serve_worker"]
 HEARTBEAT_INTERVAL_S = 1.0
 
 
+def _rss_kb() -> float:
+    """Peak resident set size in KiB (0.0 where unavailable)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX
+        return 0.0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB already; macOS reports bytes.
+    return float(usage) / 1024.0 if sys.platform == "darwin" else float(usage)
+
+
+class _ShardStats:
+    """Live counters the heartbeat thread snapshots into STATS payloads.
+
+    The shard loop (main thread) writes, the heartbeat thread reads;
+    a lock keeps each payload internally consistent.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._tasks_done = 0
+        self._in_flight = 0
+        self._queue_depth = 0
+
+    def start_shard(self, queue_depth: int) -> None:
+        with self._lock:
+            self._queue_depth = queue_depth
+            self._in_flight = 0
+
+    def start_task(self) -> None:
+        with self._lock:
+            self._in_flight = 1
+            self._queue_depth = max(0, self._queue_depth - 1)
+
+    def finish_task(self) -> None:
+        with self._lock:
+            self._in_flight = 0
+            self._tasks_done += 1
+
+    def finish_shard(self) -> None:
+        with self._lock:
+            self._in_flight = 0
+            self._queue_depth = 0
+
+    def payload(self, interval_s: float) -> dict:
+        now = time.time()
+        with self._lock:
+            uptime_s = max(now - self._started, 1e-9)
+            return {
+                "pid": os.getpid(),
+                "tasks_done": self._tasks_done,
+                "in_flight": self._in_flight,
+                "queue_depth": self._queue_depth,
+                "tasks_per_s": self._tasks_done / uptime_s,
+                "rss_kb": _rss_kb(),
+                "uptime_s": uptime_s,
+                "interval_s": interval_s,
+            }
+
+
 class _Heartbeat:
-    """Emit HEARTBEAT frames on ``sock`` until stopped."""
+    """Emit HEARTBEAT ``STATS`` frames on ``sock`` until stopped.
+
+    One frame goes out immediately on ``__enter__`` so even a shard
+    that finishes inside the first interval ships at least one STATS
+    payload to the coordinator's telemetry bus.
+    """
 
     def __init__(self, sock: socket.socket, send_lock: threading.Lock,
-                 interval_s: float) -> None:
+                 interval_s: float, stats: "_ShardStats") -> None:
         self._sock = sock
         self._lock = send_lock
         self._interval_s = interval_s
+        self._stats = stats
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
     def __enter__(self) -> "_Heartbeat":
+        self._beat()
         self._thread.start()
         return self
 
@@ -51,13 +122,21 @@ class _Heartbeat:
         self._stop.set()
         self._thread.join(timeout=self._interval_s * 2)
 
+    def _beat(self) -> bool:
+        payload = json.dumps(
+            self._stats.payload(self._interval_s)
+        ).encode("utf-8")
+        try:
+            wire.send_frame(self._sock, wire.MSG_HEARTBEAT, payload,
+                            lock=self._lock)
+        except OSError:
+            return False  # connection gone; the main loop will notice
+        return True
+
     def _run(self) -> None:
         while not self._stop.wait(self._interval_s):
-            try:
-                wire.send_frame(self._sock, wire.MSG_HEARTBEAT,
-                                lock=self._lock)
-            except OSError:
-                return  # connection gone; the main loop will notice
+            if not self._beat():
+                return
 
 
 def _handle_connection(conn: socket.socket, heartbeat_s: float,
@@ -79,6 +158,7 @@ def _handle_connection(conn: socket.socket, heartbeat_s: float,
         return 0
     wire.send_json(conn, wire.MSG_HELLO, local_hello, lock=send_lock)
 
+    stats = _ShardStats()
     shards_done = 0
     while True:
         conn.settimeout(None)  # idle between shards is fine
@@ -101,13 +181,19 @@ def _handle_connection(conn: socket.socket, heartbeat_s: float,
                            lock=send_lock)
             return shards_done
         log(f"shard {shard_id}: {len(tasks)} task(s)")
-        with _Heartbeat(conn, send_lock, heartbeat_s):
+        stats.start_shard(len(tasks))
+        with _Heartbeat(conn, send_lock, heartbeat_s, stats):
             try:
                 # Task-by-task (not run_shard) so a mid-shard crash of
                 # this process has already shipped nothing partial:
                 # results leave only as one complete RESULT frame.
-                values = [run_task_timed(task) for task in tasks]
+                values = []
+                for task in tasks:
+                    stats.start_task()
+                    values.append(run_task_timed(task))
+                    stats.finish_task()
             except Exception as exc:
+                stats.finish_shard()
                 wire.send_json(
                     conn, wire.MSG_SHARD_ERR,
                     {"shard_id": shard_id,
@@ -116,6 +202,7 @@ def _handle_connection(conn: socket.socket, heartbeat_s: float,
                 )
                 shards_done += 1
                 continue
+            stats.finish_shard()
         wire.send_pickle(conn, wire.MSG_RESULT, (shard_id, values),
                          lock=send_lock)
         shards_done += 1
@@ -128,8 +215,6 @@ def serve_worker(host: str, port: int, once: bool = False,
     def log(message: str) -> None:
         if not quiet:
             print(f"repro-worker: {message}", file=sys.stderr, flush=True)
-
-    import os
 
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)

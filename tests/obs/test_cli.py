@@ -68,3 +68,51 @@ class TestDiffCommand:
         path = tmp_path / "m.json"
         manifest.write(str(path))
         assert main(["diff", str(path), str(path)]) == 0
+
+
+class TestSummarizeBadInput:
+    """Unknown/missing schema markers exit 2 with one line, no traceback."""
+
+    def test_unknown_schema_json_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "unknown.json"
+        target.write_text(json.dumps({"schema": "mystery/v9", "data": []},
+                                     indent=2))
+        assert main(["summarize", str(target)]) == 2
+        captured = capsys.readouterr()
+        error_lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert len(error_lines) == 1
+        assert "summarize: cannot read" in error_lines[0]
+
+    def test_schemaless_object_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "plain.json"
+        target.write_text(json.dumps({"results": [1, 2, 3]}))
+        assert main(["summarize", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+        assert "summarize: cannot read" in err
+
+    def test_jsonl_missing_required_field_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "bad.jsonl"
+        target.write_text('{"kind": "send"}\n')  # no "t" timestamp
+        assert main(["summarize", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "absent.jsonl")]) == 2
+        assert "summarize: cannot read" in capsys.readouterr().err
+
+
+class TestSummarizeTelemetry:
+    def test_renders_sink_timeline(self, tmp_path, capsys):
+        from repro.obs.telemetry import TelemetryBus, TelemetrySink
+
+        bus = TelemetryBus()
+        bus.record("sweep.tasks_total", 2)
+        path = tmp_path / "telemetry.jsonl"
+        with TelemetrySink(bus, str(path), interval_s=30.0):
+            bus.count("sweep.tasks_done", 2)
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry timeline" in out
+        assert "tasks: 2/2" in out

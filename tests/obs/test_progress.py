@@ -129,3 +129,27 @@ class TestUnknownTotal:
         progress.advance()
         progress.finish()
         assert stream.getvalue().endswith("\n")
+
+
+class TestRedrawThrottle:
+    """Fully-cached sweeps must not flood stderr (>=100 ms floor)."""
+
+    def test_default_interval_is_at_least_100ms(self):
+        from repro.obs.progress import MIN_REDRAW_INTERVAL_S
+
+        assert MIN_REDRAW_INTERVAL_S >= 0.1
+        assert SweepProgress(10, stream=io.StringIO()).min_interval_s \
+            >= 0.1
+
+    def test_fully_cached_sweep_writes_bounded_output(self):
+        # 5000 instant cache hits: without the throttle each would
+        # redraw the line (hundreds of KB of stderr).  With the
+        # default floor only start/finish (forced) plus at most a
+        # couple of interval-expiry redraws can land.
+        stream = io.StringIO()
+        progress = SweepProgress(5000, stream=stream)
+        progress.start()
+        for _ in range(5000):
+            progress.note_cached(1)
+        progress.finish()
+        assert len(stream.getvalue()) < 1000

@@ -32,7 +32,7 @@ def _isolated_sweep_env(monkeypatch):
     set_default_workers(None)
 
 
-def _spawn_worker():
+def _spawn_worker(*extra_args):
     """Start one loopback worker; returns ``(process, "host:port")``."""
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -41,7 +41,7 @@ def _spawn_worker():
     )
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.parallel", "worker",
-         "--listen", "127.0.0.1:0", "--quiet"],
+         "--listen", "127.0.0.1:0", "--quiet", *extra_args],
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
         text=True, env=env, cwd=REPO_ROOT,
     )
@@ -150,3 +150,98 @@ class TestSocketExecutor:
         expected = [{"value": i * 2, "seed": i} for i in range(6)]
         assert first.run(_double_tasks()) == expected
         assert second.run(_double_tasks()) == expected
+
+
+class TestHeartbeatStats:
+    """STATS heartbeats: 2-worker fleet -> bus -> `obs top` rows.
+
+    The acceptance path for the live telemetry plane: per-worker
+    throughput/queue-depth rows in ``python -m repro.obs top`` must be
+    sourced from real heartbeat STATS frames crossing the wire.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_bus(self):
+        from repro.obs import telemetry
+
+        telemetry.disable()
+        yield
+        telemetry.disable()
+
+    @pytest.fixture
+    def fast_beat_workers(self):
+        procs_addrs = [_spawn_worker("--heartbeat-s", "0.05")
+                       for _ in range(2)]
+        yield procs_addrs
+        for proc, _ in procs_addrs:
+            proc.terminate()
+        for proc, _ in procs_addrs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    def _sleep_tasks(self, count=4, duration_s=0.2):
+        return [
+            SimTask(fn="tests.faults._tasks:sleep_task",
+                    kwargs={"duration_s": duration_s, "seed": i},
+                    key=f"sleep.{i}")
+            for i in range(count)
+        ]
+
+    def test_fleet_stats_reach_bus_and_top(self, fast_beat_workers):
+        from repro.obs import telemetry
+        from repro.obs.top import render_top
+
+        addrs = [addr for _, addr in fast_beat_workers]
+        bus = telemetry.enable()
+        runner = SweepRunner(workers=2, cache=False,
+                             executor=f"socket:{','.join(addrs)}")
+        results = runner.run(self._sleep_tasks())
+        assert results == [0.2] * 4
+
+        # Both workers heartbeated STATS frames into the bus.
+        workers = bus.workers()
+        assert sorted(h.worker_id for h in workers) == sorted(addrs)
+        total_done = 0
+        for health in workers:
+            assert health.pid > 0
+            assert health.state() == "ok"
+            assert health.interval_s == pytest.approx(0.05)
+            assert "queue_depth" in health.stats
+            assert "tasks_per_s" in health.stats
+            total_done += health.stats["tasks_done"]
+        # Every task ran on some worker; final beats may precede the
+        # last finish_task, so the sum is bounded by the task count.
+        assert 0 < total_done <= 4
+
+        # The live view renders one row per worker with the
+        # throughput/queue-depth columns filled from those frames.
+        frame = render_top(bus.snapshot())
+        for addr in addrs:
+            assert addr in frame
+        assert "tasks/s" in frame and "queue" in frame
+        assert "DEGRADED" not in frame
+
+    def test_stats_ignored_when_plane_off(self, fast_beat_workers):
+        from repro.obs import telemetry
+
+        addrs = [addr for _, addr in fast_beat_workers]
+        assert telemetry.active_bus() is None
+        runner = SweepRunner(workers=2, cache=False,
+                             executor=f"socket:{','.join(addrs)}")
+        assert runner.run(self._sleep_tasks(count=2)) == [0.2] * 2
+        # No bus was ever created as a side effect of the sweep.
+        assert telemetry.active_bus() is None
+
+    def test_results_identical_with_and_without_bus(self, fast_beat_workers):
+        from repro.obs import telemetry
+
+        addrs = [addr for _, addr in fast_beat_workers]
+        spec = f"socket:{','.join(addrs)}"
+        off = SweepRunner(workers=2, cache=False,
+                          executor=spec).run(_double_tasks())
+        telemetry.enable()
+        on = SweepRunner(workers=2, cache=False,
+                         executor=spec).run(_double_tasks())
+        assert on == off
