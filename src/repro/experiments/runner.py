@@ -127,6 +127,21 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--progress", action="store_true",
                         help="live sweep progress/ETA on stderr "
                              "(sets REPRO_PROGRESS=1)")
+    parser.add_argument("--chaos", metavar="FILE", default=None,
+                        help="inject deterministic infrastructure faults "
+                             "from a ChaosSpec JSON file (see "
+                             "examples/chaos.json; sets REPRO_CHAOS). "
+                             "Results must stay bit-identical.")
+
+
+def _apply_chaos_flag(path: Optional[str]) -> None:
+    """Validate and export ``--chaos FILE`` before any sweep starts."""
+    if not path:
+        return
+    from repro.parallel.chaos import CHAOS_ENV, ChaosSpec
+
+    ChaosSpec.from_file(path)  # surface a bad spec before running
+    os.environ[CHAOS_ENV] = os.path.abspath(path)
 
 
 def _workload_with_faults(workload, path: str):
@@ -180,6 +195,7 @@ def run_spec_main(argv: Optional[List[str]] = None) -> int:
         set_default_executor(args.executor)
         resolve_executor_spec()  # surface a bad $REPRO_EXECUTOR early
         workers = resolve_workers(args.workers)
+        _apply_chaos_flag(args.chaos)
         with open(args.workload, "r", encoding="utf-8") as handle:
             workload = WorkloadSpec.from_json(handle.read())
         if args.faults:
@@ -255,7 +271,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_executor(args.executor)
         resolve_executor_spec()  # surface a bad $REPRO_EXECUTOR early
         workers = resolve_workers(args.workers)
-    except ConfigurationError as exc:
+        _apply_chaos_flag(args.chaos)
+    except (OSError, ConfigurationError) as exc:
         parser.error(str(exc))
     set_default_workers(workers)
     if args.no_cache:

@@ -509,6 +509,13 @@ def render_telemetry_timeline(snapshots: List[dict]) -> str:
         f"  tasks: {fleet['tasks_done']:.0f}/{fleet['tasks_total']:.0f}"
         f"   cache hits: {fleet['cache_hits']:.0f}"
         f"   final rate: {fleet['rate_per_s']:.1f}/s",
+    ]
+    from repro.obs.top import resilience_line
+
+    healing = resilience_line(last.get("metrics", {}))
+    if healing is not None:
+        lines.append("  " + healing)
+    lines += [
         "",
         f"  {'t+s':>7}  {'done':>8}  {'rate/s':>8}  {'hits':>6}  "
         f"{'workers':>7}  {'eta_s':>7}",

@@ -23,7 +23,7 @@ from typing import Optional
 from repro.obs.telemetry import TELEMETRY_SCHEMA
 
 __all__ = ["fetch_http_snapshot", "read_last_snapshot", "render_top",
-           "top_main"]
+           "resilience_line", "top_main"]
 
 _CLEAR = "\x1b[2J\x1b[H"
 
@@ -72,6 +72,36 @@ def _fmt(value, spec: str = ".0f", missing: str = "-") -> str:
     return format(value, spec)
 
 
+def _metric_total(metrics: dict, name: str) -> float:
+    """Sum a counter across label sets (``name`` and ``name{...}`` keys)."""
+    return sum(
+        value for key, value in metrics.items()
+        if key == name or key.startswith(name + "{")
+    )
+
+
+def resilience_line(metrics: dict) -> Optional[str]:
+    """The self-healing event totals, or ``None`` when all quiet.
+
+    One line covering the fleet layer: supervisor restarts, executor
+    redispatches/breaker trips/hedges, sweeps degraded to the local
+    pool, and chaos injections (non-zero only under ``REPRO_CHAOS``).
+    """
+    events = [
+        ("restarts", _metric_total(metrics, "fleet.restarts")),
+        ("redispatches", _metric_total(metrics, "executor.redispatches")),
+        ("breaker trips", _metric_total(metrics, "executor.breaker_trips")),
+        ("hedges", _metric_total(metrics, "executor.hedges")),
+        ("degraded sweeps", _metric_total(metrics, "sweep.degraded")),
+        ("chaos injected", _metric_total(metrics, "chaos.injected")),
+    ]
+    if not any(count for _, count in events):
+        return None
+    return "resilience: " + "   ".join(
+        f"{label} {count:.0f}" for label, count in events if count
+    )
+
+
 def render_top(snapshot: dict) -> str:
     """One frame of the live view (no ANSI — caller clears)."""
     fleet = snapshot["fleet"]
@@ -89,6 +119,9 @@ def render_top(snapshot: dict) -> str:
             else ""
         ),
     ]
+    healing = resilience_line(snapshot.get("metrics", {}))
+    if healing is not None:
+        lines.append(healing)
     workers = snapshot.get("workers", [])
     if workers:
         lines.append("")

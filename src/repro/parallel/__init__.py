@@ -18,8 +18,13 @@ across three separated layers:
 
 plus the shared :mod:`~repro.parallel.cache` result store (atomic
 writes, per-key single-flight — safe for many concurrent runners on
-one ``REPRO_CACHE_DIR``) and the :mod:`~repro.parallel.service` CLI
-(``python -m repro.parallel submit/serve/cache``).
+one ``REPRO_CACHE_DIR``), the :mod:`~repro.parallel.service` CLI
+(``python -m repro.parallel submit/serve/cache``), and the
+self-healing fleet layer: :mod:`~repro.parallel.supervisor`
+(:class:`FleetSupervisor` + ``python -m repro.parallel fleet``) keeps
+socket workers alive through crashes and stalls, while
+:mod:`~repro.parallel.chaos` injects deterministic infrastructure
+faults (``REPRO_CHAOS``) so the healing paths stay tested.
 
 :class:`SweepRunner` remains the one-call surface over all of it.
 Every backend at every worker count produces bit-identical results:
@@ -30,6 +35,7 @@ finished first.
 """
 
 from repro.parallel.cache import ResultCache, code_fingerprint, spec_key
+from repro.parallel.chaos import ChaosController, ChaosEvent, ChaosSpec
 from repro.parallel.coordinator import SweepCoordinator
 from repro.parallel.executors import (
     EXECUTOR_ENV,
@@ -50,10 +56,16 @@ from repro.parallel.runner import (
     resolve_workers,
     set_default_workers,
 )
+from repro.parallel.supervisor import FleetSpec, FleetSupervisor
 
 __all__ = [
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosSpec",
     "EXECUTOR_ENV",
     "Executor",
+    "FleetSpec",
+    "FleetSupervisor",
     "InProcessExecutor",
     "LocalPoolExecutor",
     "ResultCache",

@@ -6,6 +6,7 @@ Subcommands::
     submit workload.json        run a workload, stream JSONL results
     serve  --listen HOST:PORT   accept remote workload submissions
     cache  stats|gc|clear       administer the shared result store
+    fleet  up|status|down       launch and supervise a worker fleet
 """
 
 import sys
@@ -19,6 +20,7 @@ commands:
   submit   execute a workload JSON file, streaming JSONL results
   serve    accept workload submissions over TCP
   cache    inspect/maintain the shared result store (stats|gc|clear)
+  fleet    launch/supervise a self-healing worker fleet (up|status|down)
 
 run `python -m repro.parallel COMMAND --help` for details.
 """
@@ -46,6 +48,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.parallel.service import cache_main
 
         return cache_main(rest)
+    if command == "fleet":
+        from repro.parallel.supervisor import fleet_main
+
+        return fleet_main(rest)
     print(f"python -m repro.parallel: unknown command {command!r}\n",
           file=sys.stderr)
     print(_USAGE, end="", file=sys.stderr)

@@ -44,6 +44,9 @@ import time
 import warnings
 from typing import Any, Dict, Optional, Tuple
 
+from repro.core.proc import pid_start_token, same_process
+from repro.parallel import chaos
+
 __all__ = ["CACHE_DIR_ENV", "CACHE_TOGGLE_ENV", "ResultCache",
            "cache_enabled_by_env", "canonical_spec", "code_fingerprint",
            "default_cache_dir", "spec_key"]
@@ -268,6 +271,11 @@ class ResultCache:
                 raise
         except (OSError, pickle.PickleError):
             return False
+        controller = chaos.active_controller()
+        if controller is not None:
+            # Chaos seam: flip a payload byte *after* the atomic rename,
+            # modelling post-write bit rot the checksum must catch.
+            controller.on_cache_put(path, _HEADER_BYTES)
         return True
 
     # ------------------------------------------------------------------
@@ -286,8 +294,12 @@ class ResultCache:
         use :meth:`wait_for` to collect their result.
         """
         lock_path = self._lock_path(key)
+        # The (pid, start-token) pair closes the PID-reuse race: a
+        # kill-0 probe alone can mistake an unrelated process that
+        # recycled the dead owner's pid for a live owner.
         body = json.dumps(
-            {"pid": os.getpid(), "time": time.time()}
+            {"pid": os.getpid(), "start": pid_start_token(os.getpid()),
+             "time": time.time()}
         ).encode("utf-8")
         try:
             os.makedirs(os.path.dirname(lock_path), exist_ok=True)
@@ -343,7 +355,13 @@ class ResultCache:
             time.sleep(poll_s)
 
     def _lock_is_stale(self, lock_path: str) -> bool:
-        """A lock whose owner is provably dead (or far too old)."""
+        """A lock whose owner is provably dead (or far too old).
+
+        "Provably dead" checks the recorded (pid, start-token) pair,
+        not bare pid liveness: an unrelated process that recycled the
+        dead owner's pid has a different start token, so the lock is
+        still broken instead of stranding waiters for ``stale_lock_s``.
+        """
         try:
             with open(lock_path, "rb") as handle:
                 body = json.loads(handle.read().decode("utf-8"))
@@ -358,14 +376,19 @@ class ResultCache:
                 return False  # vanished: not stale, just gone
         if pid == os.getpid():
             return False
-        try:
-            os.kill(pid, 0)
-        except ProcessLookupError:
-            return True  # owner pid is gone on this host
-        except PermissionError:
-            pass  # pid exists (another user's process)
-        except OSError:
-            pass  # cannot probe (or another host's pid): age decides
+        start = body.get("start")
+        if isinstance(start, str) and not same_process(pid, start):
+            return True  # owner (this exact incarnation) is gone
+        if not isinstance(start, str):
+            # Old-format lock (no token): bare liveness probe only.
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True  # owner pid is gone on this host
+            except PermissionError:
+                pass  # pid exists (another user's process)
+            except OSError:
+                pass  # cannot probe (another host's pid): age decides
         return time.time() - stamped > self.stale_lock_s
 
     @staticmethod

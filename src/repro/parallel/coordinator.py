@@ -35,16 +35,25 @@ change (or reorder) the output — only the wall-clock.
 import contextlib
 import os
 import time
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.core.errors import ConfigurationError, SweepTaskError
+from repro.core.errors import (
+    ConfigurationError,
+    ExecutorError,
+    SweepTaskError,
+)
 from repro.core.rng import DEFAULT_SEED
 from repro.obs.manifest import RunManifest
 from repro.obs.progress import SweepProgress, progress_enabled_by_env
 from repro.obs.telemetry import active_bus
 from repro.obs.trace import active_trace_dir
 from repro.parallel.cache import ResultCache, spec_key
-from repro.parallel.executors import Executor, make_executor
+from repro.parallel.executors import (
+    Executor,
+    LocalPoolExecutor,
+    make_executor,
+)
 from repro.parallel.task import (
     SimTask,
     SweepStats,
@@ -119,6 +128,11 @@ class SweepCoordinator:
         # Telemetry is resolved per run() so a bus enabled later is
         # still seen; None keeps every publish site zero-cost.
         self._bus = None
+        # Full-fleet loss degrades the current run to this local pool
+        # (created on first use); reset per run so a recovered fleet
+        # is used again on the next sweep.
+        self._fallback: Optional[LocalPoolExecutor] = None
+        self._degraded = False
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[SimTask]) -> List[Any]:
@@ -126,6 +140,7 @@ class SweepCoordinator:
         started = time.perf_counter()
         seeded = [task.seeded(self.seed) for task in tasks]
         state = _RunState(seeded)
+        self._degraded = False
         self._bus = active_bus()
         if self._bus is not None:
             self._bus.count("sweep.runs")
@@ -250,17 +265,72 @@ class SweepCoordinator:
                     state, index, run_task_timed, cache, progress,
                 )
             return
-        # Deterministic sharding: miss j -> shard j % nshards.  The
-        # assignment depends only on task order and shard count, and
-        # results are reassembled by original index, so scheduling
-        # jitter cannot reorder (or change) anything.
+        needs_isolation: List[int] = []
+        shard_errors: Dict[int, str] = {}
+        try:
+            self._run_sharded(self.executor, state, misses, nshards,
+                              cache, progress, needs_isolation, shard_errors)
+        except ExecutorError as exc:
+            # Full fleet loss (zero reachable workers, or every
+            # connection died mid-sweep).  Degrade this run to the
+            # local process pool rather than failing a sweep whose
+            # tasks are all still perfectly runnable here.
+            self._degrade(exc)
+            unresolved = [
+                index for index in misses
+                if index not in state.executed
+                and index not in state.failures
+                and index not in set(needs_isolation)
+            ]
+            if unresolved:
+                fallback = self._fallback
+                nshards = fallback.shard_count(self.workers,
+                                               len(unresolved))
+                if nshards <= 1:
+                    for index in unresolved:
+                        self._run_with_retries(
+                            state, index, run_task_timed, cache, progress,
+                        )
+                else:
+                    self._run_sharded(fallback, state, unresolved, nshards,
+                                      cache, progress, needs_isolation,
+                                      shard_errors)
+        for index in sorted(needs_isolation):
+            # The failed shard run counts as an attempt, but never the
+            # last one: every casualty gets at least one isolated
+            # re-run, so an innocent shard-mate of a poison task
+            # survives even with max_retries=0.
+            state.attempts[index] = min(
+                state.attempts.get(index, 0) + 1, self.max_retries
+            )
+            self._run_with_retries(
+                state, index, self._isolated_run_one, cache, progress,
+                initial_error=shard_errors.get(index),
+            )
+
+    def _run_sharded(
+        self,
+        executor: Executor,
+        state: _RunState,
+        misses: List[int],
+        nshards: int,
+        cache: Optional[ResultCache],
+        progress: Optional[SweepProgress],
+        needs_isolation: List[int],
+        shard_errors: Dict[int, str],
+    ) -> None:
+        """Run ``misses`` as shards on ``executor``, resolving results.
+
+        Deterministic sharding: miss j -> shard j % nshards.  The
+        assignment depends only on task order and shard count, and
+        results are reassembled by original index, so scheduling
+        jitter cannot reorder (or change) anything.
+        """
         shard_indices = [misses[offset::nshards] for offset in range(nshards)]
         shard_tasks = [[state.tasks[index] for index in shard]
                        for shard in shard_indices]
-        needs_isolation: List[int] = []
-        shard_errors: Dict[int, str] = {}
         dispatched = time.perf_counter()
-        for shard_id, outcome in self.executor.run_shards(
+        for shard_id, outcome in executor.run_shards(
             shard_tasks, self.task_timeout_s
         ):
             if self._bus is not None:
@@ -269,7 +339,7 @@ class SweepCoordinator:
                 self._bus.observe(
                     "executor.roundtrip_s",
                     time.perf_counter() - dispatched,
-                    executor=self.executor.name,
+                    executor=executor.name,
                 )
             shard = shard_indices[shard_id]
             if outcome.ok:
@@ -286,21 +356,24 @@ class SweepCoordinator:
                 for index in shard:
                     shard_errors[index] = outcome.error
                 needs_isolation.extend(shard)
-        for index in sorted(needs_isolation):
-            # The failed shard run counts as an attempt, but never the
-            # last one: every casualty gets at least one isolated
-            # re-run, so an innocent shard-mate of a poison task
-            # survives even with max_retries=0.
-            state.attempts[index] = min(
-                state.attempts.get(index, 0) + 1, self.max_retries
-            )
-            self._run_with_retries(
-                state, index, self._isolated_run_one, cache, progress,
-                initial_error=shard_errors.get(index),
-            )
+
+    def _degrade(self, exc: ExecutorError) -> None:
+        """Switch the rest of this run to the local process pool."""
+        self._degraded = True
+        if self._fallback is None:
+            self._fallback = LocalPoolExecutor()
+        warnings.warn(
+            f"{self.executor.name} executor unavailable ({exc}); "
+            f"degrading this sweep to the local process executor",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        if self._bus is not None:
+            self._bus.count("sweep.degraded")
 
     def _isolated_run_one(self, task: SimTask) -> Tuple[Any, float, int]:
-        return self.executor.run_one(task, self.task_timeout_s)
+        executor = self._fallback if self._degraded else self.executor
+        return executor.run_one(task, self.task_timeout_s)
 
     def _run_with_retries(
         self,

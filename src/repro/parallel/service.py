@@ -39,11 +39,46 @@ import os
 import socket
 import sys
 import threading
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.errors import ConfigurationError, ReproError, SweepTaskError
 
 __all__ = ["cache_main", "serve_main", "submit_main"]
+
+#: ``submit --connect`` handshake budget: how many connection attempts
+#: before giving up, and the backoff between them.  Covers the window
+#: where ``serve`` was just launched and is still binding its socket,
+#: so serve→submit orchestration needs no ad-hoc sleeps.
+CONNECT_ATTEMPTS = 8
+CONNECT_BACKOFF_S = 0.1
+CONNECT_BACKOFF_CAP_S = 1.0
+
+
+def _connect_with_retry(host: str, port: int,
+                        timeout_s: float = 10.0,
+                        attempts: int = CONNECT_ATTEMPTS) -> socket.socket:
+    """Connect, retrying refused/unreachable with exponential backoff.
+
+    Raises the final ``OSError`` once the attempt budget is spent; the
+    caller turns that into the exit-2 diagnostic.
+    """
+    delay = CONNECT_BACKOFF_S
+    started = time.monotonic()
+    for attempt in range(1, attempts + 1):
+        try:
+            return socket.create_connection((host, port), timeout=timeout_s)
+        except OSError as exc:
+            if attempt >= attempts:
+                elapsed = time.monotonic() - started
+                raise OSError(
+                    f"{exc} (after {attempts} attempts over "
+                    f"{elapsed:.1f}s — is 'python -m repro.parallel "
+                    f"serve' running there?)"
+                ) from exc
+            time.sleep(delay)
+            delay = min(delay * 2, CONNECT_BACKOFF_CAP_S)
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _emit(obj: Dict[str, Any], stream=None) -> None:
@@ -155,7 +190,7 @@ def _run_remote(args) -> int:
     progress = (SweepProgress(None, label=workload.name)
                 if progress_enabled_by_env() else None)
     try:
-        sock = socket.create_connection((host, port), timeout=10.0)
+        sock = _connect_with_retry(host, port)
     except OSError as exc:
         print(f"submit: cannot reach {host}:{port}: {exc}",
               file=sys.stderr)
@@ -249,7 +284,15 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
                         help="write periodic telemetry snapshots (JSONL) "
                              "to FILE during a local run; render later "
                              "with 'python -m repro.obs summarize FILE'")
+    parser.add_argument("--chaos", metavar="FILE", default=None,
+                        help="arm this deterministic infrastructure chaos "
+                             "spec (sets REPRO_CHAOS for this process and "
+                             "its workers; see repro.parallel.chaos)")
     args = parser.parse_args(argv)
+    if args.chaos:
+        from repro.parallel.chaos import CHAOS_ENV
+
+        os.environ[CHAOS_ENV] = os.path.abspath(args.chaos)
     if args.connect and args.telemetry_out:
         parser.error("--telemetry-out applies to local runs; for remote "
                      "jobs point it at the server's serve --telemetry-out")
@@ -286,10 +329,25 @@ def _handle_job(conn: socket.socket, job: Dict[str, Any], args,
     log(f"job: workload {workload.name!r}, "
         f"{len(workload.transfers)} transfer(s)")
 
+    # A client that disconnects mid-stream must not abort the sweep
+    # (results still land in the shared cache) and must never take the
+    # server down: the first failed send trips this event and every
+    # later send is skipped.
+    client_gone = threading.Event()
+
+    def _send(msg_type: int, obj: Dict[str, Any]) -> None:
+        if client_gone.is_set():
+            return
+        try:
+            wire.send_json(conn, msg_type, obj, lock=send_lock)
+        except OSError:
+            client_gone.set()
+            log("client disconnected mid-stream; finishing the sweep "
+                "for the cache")
+
     def on_result(index, task, report, cached):
-        wire.send_json(conn, wire.MSG_REPORT,
-                       _report_payload(index, task, report, cached, full),
-                       lock=send_lock)
+        _send(wire.MSG_REPORT,
+              _report_payload(index, task, report, cached, full))
 
     session = Session(seed=workload.seed)
     failures: List[Dict[str, Any]] = []
@@ -299,14 +357,22 @@ def _handle_job(conn: socket.socket, job: Dict[str, Any], args,
     except SweepTaskError as exc:
         failures = _failures_payload(exc)
     except (ConfigurationError, ReproError) as exc:
-        wire.send_json(conn, wire.MSG_REFUSED, {"error": str(exc)},
-                       lock=send_lock)
+        _send(wire.MSG_REFUSED, {"error": str(exc)})
         return
-    wire.send_json(conn, wire.MSG_DONE, {
+    except Exception as exc:  # noqa: BLE001 - one job, not the server
+        # A job blowing up in unexpected ways is *that connection's*
+        # problem: report and return to the accept loop intact.
+        log(f"job crashed: {type(exc).__name__}: {exc}")
+        _send(wire.MSG_REFUSED,
+              {"error": f"job crashed: {type(exc).__name__}: {exc}"})
+        return
+    if client_gone.is_set():
+        return
+    _send(wire.MSG_DONE, {
         "event": "done",
         "stats": _stats_dict(session.last_stats),
         "failures": failures,
-    }, lock=send_lock)
+    })
 
 
 def _serve_connection(conn: socket.socket, args, log) -> None:
@@ -363,9 +429,17 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--telemetry-out", metavar="FILE", default=None,
                         help="write periodic telemetry snapshots (JSONL) "
                              "to FILE while serving")
+    parser.add_argument("--chaos", metavar="FILE", default=None,
+                        help="arm this deterministic infrastructure chaos "
+                             "spec (sets REPRO_CHAOS; see "
+                             "repro.parallel.chaos)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-connection logging on stderr")
     args = parser.parse_args(argv)
+    if args.chaos:
+        from repro.parallel.chaos import CHAOS_ENV
+
+        os.environ[CHAOS_ENV] = os.path.abspath(args.chaos)
 
     def log(message: str) -> None:
         if not args.quiet:
@@ -418,6 +492,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
                 _serve_connection(conn, args, log)
             except wire.WireError as exc:
                 log(f"connection error: {exc}")
+            except Exception as exc:  # noqa: BLE001 - stay serving
+                # Per-connection isolation: nothing one connection
+                # does — a crashing job, a mid-frame disconnect, a
+                # protocol violation — may take the server down.
+                log(f"connection failed: {type(exc).__name__}: {exc}")
             finally:
                 try:
                     conn.close()

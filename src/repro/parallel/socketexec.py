@@ -1,28 +1,53 @@
-"""Dispatch sweep shards to remote workers over TCP.
+"""Dispatch sweep shards to remote workers over TCP — self-healingly.
 
 A :class:`SocketExecutor` holds a list of worker addresses (each a
 ``python -m repro.parallel worker`` process).  ``run_shards`` opens
-one connection per worker and pulls shards from a shared queue, so a
-fast worker naturally takes more shards than a slow one — load
-balance never affects results, which the coordinator reassembles by
-task index.
+one connection per worker and pulls shards from a shared dispatch
+state, so a fast worker naturally takes more shards than a slow one —
+load balance never affects results, which the coordinator reassembles
+by task index.
 
-Failure containment mirrors the local pool: a worker that dies
-mid-shard, stops heartbeating, or blows the scaled shard deadline
-costs only that shard (reported as a failed
-:class:`~repro.parallel.executors.ShardOutcome`; the coordinator
-re-runs its tasks in local isolation), and its remaining queue share
-is absorbed by surviving workers.  Only a sweep with *zero* reachable
-workers raises — silent degradation to local execution would make a
-broken fleet look healthy.
+Failure containment goes beyond the local pool's (PR 6) passive model:
+
+* **Redispatch** — a shard in flight on a worker that dies, stops
+  heartbeating, or garbles its result frame is re-queued and re-run on
+  a healthy peer, up to ``redispatch_budget`` extra dispatches.  Only
+  when that budget is spent does the shard surface as a failed
+  :class:`~repro.parallel.executors.ShardOutcome` for the coordinator
+  to isolate locally — so infrastructure flakes never consume the
+  coordinator's per-task retry budget.
+* **Reconnect** — a broken connection is retried against the same
+  address with exponential backoff (a supervisor-restarted worker
+  comes back on its old port), bounded by ``reconnect_attempts``.
+* **Circuit breaker** — per-address consecutive failures past
+  ``breaker_threshold`` open the breaker: no dispatch to that worker
+  until ``breaker_cooldown_s`` has passed, then a single half-open
+  probe decides.  Breakers persist across ``run_shards`` calls, so a
+  flapping worker stays quarantined between sweeps.
+* **Hedged dispatch** (optional, ``hedge=True`` or ``REPRO_HEDGE=1``)
+  — once the pending queue is empty, an idle worker re-runs a
+  straggler's shard; the first result wins.  Results are bit-identical
+  by construction (tasks carry derived seeds), so hedging can never
+  change a sweep's output, only its tail latency.
+
+Worker-*reported* task errors (``SHARD_ERR``) are not infrastructure
+failures: they are delivered as-is, exactly once, and never redispatched
+— a poison task must not burn the fleet's redispatch budget.
+
+Only a sweep where *zero* workers ever connected — or where every
+connection died with shards unfinished — raises
+:class:`~repro.core.errors.ExecutorError`; the coordinator answers by
+degrading to the local process pool with a one-line warning.
 """
 
+import collections
+import os
 import pickle
 import queue
 import socket
 import threading
 import time
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.errors import ExecutorError
 from repro.obs.telemetry import active_bus
@@ -34,11 +59,166 @@ from repro.parallel.executors import (
 )
 from repro.parallel.task import SimTask
 
-__all__ = ["SocketExecutor"]
+__all__ = ["CircuitBreaker", "SocketExecutor", "hedge_enabled_by_env"]
 
 #: recv deadline between frames while a shard runs; the worker
 #: heartbeats every second, so 10 missed beats means it is gone.
 HEARTBEAT_TIMEOUT_S = 10.0
+
+#: Extra dispatches an infrastructure-failed shard may consume before
+#: it is surfaced to the coordinator as a failed outcome.
+REDISPATCH_BUDGET = 2
+
+#: Consecutive per-address failures that open the circuit breaker.
+BREAKER_THRESHOLD = 3
+#: Seconds an open breaker blocks dispatch before a half-open probe.
+BREAKER_COOLDOWN_S = 2.0
+
+#: Reconnect attempts per address after a mid-run disconnect.
+RECONNECT_ATTEMPTS = 10
+RECONNECT_BACKOFF_S = 0.2
+RECONNECT_BACKOFF_CAP_S = 2.0
+
+#: Set to 1/on to enable hedged dispatch for straggler shards.
+HEDGE_ENV = "REPRO_HEDGE"
+
+
+def hedge_enabled_by_env() -> bool:
+    return os.environ.get(HEDGE_ENV, "").lower() in {"1", "on", "yes", "true"}
+
+
+class CircuitBreaker:
+    """Per-worker dispatch gate: stop hammering a flapping address.
+
+    Closed (normal) → ``threshold`` consecutive failures → open: every
+    :meth:`allows` is ``False`` until ``cooldown_s`` passes, after
+    which one caller gets a half-open probe.  A failure while open
+    re-arms the cooldown; a success closes the breaker.
+    """
+
+    def __init__(self, threshold: int = BREAKER_THRESHOLD,
+                 cooldown_s: float = BREAKER_COOLDOWN_S,
+                 clock=time.monotonic) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self.trips = 0
+
+    @property
+    def open(self) -> bool:
+        with self._lock:
+            return self._opened_at is not None
+
+    def allows(self) -> bool:
+        """May the caller dispatch (or probe) this worker right now?"""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            return self._clock() - self._opened_at >= self.cooldown_s
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this one *trips* it open."""
+        with self._lock:
+            self._failures += 1
+            if self._opened_at is not None:
+                self._opened_at = self._clock()  # failed half-open probe
+                return False
+            if self._failures >= self.threshold:
+                self._opened_at = self._clock()
+                self.trips += 1
+                return True
+            return False
+
+
+class _FleetRun:
+    """Shared dispatch state for one ``run_shards`` call.
+
+    Tracks, under one lock, which shards are pending / in flight / and
+    delivered, plus per-shard dispatch counts for the redispatch budget
+    and the hedged set.  Exactly one outcome is ever delivered per
+    shard — hedge twins and late duplicates are dropped here.
+    """
+
+    def __init__(self, shards, max_dispatches: int, hedge: bool) -> None:
+        self.shards = shards
+        self.max_dispatches = max_dispatches
+        self.hedge = hedge
+        self.lock = threading.Lock()
+        self.pending: "collections.deque" = collections.deque(
+            range(len(shards)))
+        self.dispatches = [0] * len(shards)
+        self.in_flight: Dict[int, Set[str]] = {}
+        self.hedged: Set[int] = set()
+        self.delivered: Set[int] = set()
+        self.outcomes: "queue.Queue" = queue.Queue()
+        self.aborted = False
+
+    def finished(self) -> bool:
+        with self.lock:
+            return len(self.delivered) == len(self.shards)
+
+    def claim(self, worker_id: str) -> Optional[Tuple[int, bool]]:
+        """Next shard for this worker as ``(shard_id, is_hedge)``."""
+        with self.lock:
+            while self.pending:
+                shard_id = self.pending.popleft()
+                if shard_id in self.delivered:
+                    continue
+                self.dispatches[shard_id] += 1
+                self.in_flight.setdefault(shard_id, set()).add(worker_id)
+                return shard_id, False
+            if self.hedge:
+                for shard_id, owners in self.in_flight.items():
+                    if (shard_id in self.delivered
+                            or shard_id in self.hedged
+                            or worker_id in owners
+                            or not owners):
+                        continue
+                    self.hedged.add(shard_id)
+                    self.dispatches[shard_id] += 1
+                    owners.add(worker_id)
+                    return shard_id, True
+            return None
+
+    def deliver(self, shard_id: int, outcome: ShardOutcome,
+                worker_id: str) -> bool:
+        """Publish an outcome; False when a twin already delivered it."""
+        with self.lock:
+            self.in_flight.get(shard_id, set()).discard(worker_id)
+            if shard_id in self.delivered:
+                return False
+            self.delivered.add(shard_id)
+            self.outcomes.put((shard_id, outcome))
+            return True
+
+    def release(self, shard_id: int, worker_id: str, error: str) -> str:
+        """A dispatch failed under ``worker_id``: requeue, fail, or drop.
+
+        Returns ``"requeued"`` (budget left: a peer will re-run it),
+        ``"failed"`` (budget spent: a failed outcome was delivered), or
+        ``"dropped"`` (a hedge twin is still running it, or it already
+        delivered — nothing to do).
+        """
+        with self.lock:
+            self.in_flight.get(shard_id, set()).discard(worker_id)
+            if shard_id in self.delivered:
+                return "dropped"
+            if self.in_flight.get(shard_id):
+                return "dropped"  # a hedge twin is still on it
+            if self.dispatches[shard_id] >= self.max_dispatches:
+                self.delivered.add(shard_id)
+                self.outcomes.put((shard_id, ShardOutcome(error=error)))
+                return "failed"
+            self.pending.append(shard_id)
+            return "requeued"
 
 
 class SocketExecutor(Executor):
@@ -55,13 +235,30 @@ class SocketExecutor(Executor):
         addresses: List[Tuple[str, int]],
         connect_timeout_s: float = 5.0,
         heartbeat_timeout_s: float = HEARTBEAT_TIMEOUT_S,
+        redispatch_budget: int = REDISPATCH_BUDGET,
+        hedge: Optional[bool] = None,
+        breaker_threshold: int = BREAKER_THRESHOLD,
+        breaker_cooldown_s: float = BREAKER_COOLDOWN_S,
+        reconnect_attempts: int = RECONNECT_ATTEMPTS,
+        reconnect_backoff_s: float = RECONNECT_BACKOFF_S,
     ) -> None:
         if not addresses:
             raise ExecutorError("socket executor needs at least one worker")
         self.addresses = list(addresses)
         self.connect_timeout_s = connect_timeout_s
         self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.redispatch_budget = max(0, int(redispatch_budget))
+        self.hedge = hedge_enabled_by_env() if hedge is None else bool(hedge)
+        self.reconnect_attempts = max(1, int(reconnect_attempts))
+        self.reconnect_backoff_s = reconnect_backoff_s
         self._isolation = LocalPoolExecutor()
+        #: Breakers persist across run_shards calls: a worker flapping
+        #: in sweep N starts sweep N+1 quarantined until its cooldown.
+        self._breakers: Dict[str, CircuitBreaker] = {
+            f"{host}:{port}": CircuitBreaker(breaker_threshold,
+                                             breaker_cooldown_s)
+            for host, port in self.addresses
+        }
 
     def shard_count(self, workers: int, nmisses: int) -> int:
         # At least one shard per worker; more when the caller asked
@@ -69,21 +266,22 @@ class SocketExecutor(Executor):
         # and drain by worker speed).
         return min(max(workers, len(self.addresses)), nmisses)
 
+    def breaker(self, worker_id: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``worker_id`` (``host:port``)."""
+        return self._breakers[worker_id]
+
     # ------------------------------------------------------------------
     def run_shards(
         self,
         shards: List[List[SimTask]],
         task_timeout_s: Optional[float] = None,
     ) -> Iterator[Tuple[int, ShardOutcome]]:
-        pending: "queue.Queue" = queue.Queue()
-        for shard_index, shard in enumerate(shards):
-            pending.put((shard_index, shard))
-        outcomes: "queue.Queue" = queue.Queue()
+        state = _FleetRun(shards, 1 + self.redispatch_budget, self.hedge)
         status: "queue.Queue" = queue.Queue()
         threads = [
             threading.Thread(
                 target=self._serve_address,
-                args=(address, pending, outcomes, status, task_timeout_s),
+                args=(address, state, status, task_timeout_s),
                 daemon=True,
             )
             for address in self.addresses
@@ -92,7 +290,7 @@ class SocketExecutor(Executor):
             thread.start()
 
         # Fail loudly if the whole fleet is unreachable: every address
-        # reports its handshake outcome exactly once.
+        # reports its first handshake outcome exactly once.
         connected = 0
         connect_errors = []
         for _ in self.addresses:
@@ -102,6 +300,7 @@ class SocketExecutor(Executor):
             else:
                 connect_errors.append(f"{address[0]}:{address[1]}: {error}")
         if not connected:
+            state.aborted = True
             raise ExecutorError(
                 "no socket worker reachable — start workers with "
                 "'python -m repro.parallel worker --listen HOST:PORT' "
@@ -111,27 +310,21 @@ class SocketExecutor(Executor):
         delivered = 0
         while delivered < len(shards):
             try:
-                shard_index, outcome = outcomes.get(timeout=0.2)
+                shard_index, outcome = state.outcomes.get(timeout=0.2)
             except queue.Empty:
                 if any(thread.is_alive() for thread in threads):
                     continue
-                # Every connection died; whatever is still queued can
-                # only be isolated locally by the coordinator.
-                try:
-                    while True:
-                        shard_index, _ = pending.get_nowait()
-                        yield shard_index, ShardOutcome(
-                            error="every socket worker connection died"
-                        )
-                        delivered += 1
-                except queue.Empty:
-                    pass
-                if delivered < len(shards):  # pragma: no cover - defensive
-                    raise ExecutorError(
-                        "socket executor lost track of "
-                        f"{len(shards) - delivered} shard(s)"
-                    )
-                return
+                # Every connection died with work unfinished.  Raising
+                # (rather than yielding failed outcomes) lets the
+                # coordinator degrade the *rest of the sweep* to the
+                # local pool in one step instead of isolating tasks
+                # one by one against a fleet that is gone.
+                state.aborted = True
+                raise ExecutorError(
+                    f"socket fleet lost mid-sweep: every worker "
+                    f"connection died with {len(shards) - delivered} "
+                    f"shard(s) unfinished"
+                )
             delivered += 1
             yield shard_index, outcome
 
@@ -146,37 +339,97 @@ class SocketExecutor(Executor):
         return self._isolation.run_one(task, task_timeout_s)
 
     # ------------------------------------------------------------------
-    def _serve_address(self, address, pending, outcomes, status,
+    def _serve_address(self, address, state: _FleetRun, status,
                        task_timeout_s) -> None:
-        """One worker connection: pull shards until the queue drains."""
+        """One worker's dispatch loop: connect, claim, dispatch, heal."""
+        worker_id = f"{address[0]}:{address[1]}"
+        breaker = self._breakers[worker_id]
+        bus = active_bus()
+        conn: Optional[socket.socket] = None
+        reported = False
+        reconnects = 0
         try:
-            conn = self._connect(address)
-        except (OSError, wire.WireError) as exc:
-            status.put((False, address, str(exc)))
-            return
-        status.put((True, address, None))
-        try:
-            while True:
-                try:
-                    shard_index, shard = pending.get_nowait()
-                except queue.Empty:
-                    break
-                outcome, alive = self._dispatch(
-                    conn, shard_index, shard, task_timeout_s,
-                    worker_id=f"{address[0]}:{address[1]}",
+            while not state.finished() and not state.aborted:
+                if conn is None:
+                    if not breaker.allows():
+                        if not reported:
+                            status.put((False, address, "circuit open"))
+                            reported = True
+                        time.sleep(0.05)
+                        continue
+                    try:
+                        conn = self._connect(address)
+                    except (OSError, wire.WireError) as exc:
+                        if not reported:
+                            # First connect failed: report and give up
+                            # this address — run_shards fast-fails a
+                            # fully unreachable fleet off these reports.
+                            status.put((False, address, str(exc)))
+                            reported = True
+                            return
+                        if breaker.record_failure() and bus is not None:
+                            bus.count("executor.breaker_trips",
+                                      worker=worker_id)
+                        reconnects += 1
+                        if reconnects >= self.reconnect_attempts:
+                            return  # address is gone for good
+                        time.sleep(min(
+                            self.reconnect_backoff_s * (2 ** (reconnects - 1)),
+                            RECONNECT_BACKOFF_CAP_S,
+                        ))
+                        continue
+                    breaker.record_success()
+                    if not reported:
+                        status.put((True, address, None))
+                        reported = True
+                claim = state.claim(worker_id)
+                if claim is None:
+                    if state.finished():
+                        break
+                    time.sleep(0.02)  # stragglers in flight elsewhere
+                    continue
+                shard_id, is_hedge = claim
+                if is_hedge and bus is not None:
+                    bus.count("executor.hedges")
+                outcome, alive, requeueable = self._dispatch(
+                    conn, shard_id, state.shards[shard_id], task_timeout_s,
+                    worker_id=worker_id,
                 )
-                outcomes.put((shard_index, outcome))
-                if not alive:
-                    return  # connection unusable; peers drain the queue
-            try:
-                wire.send_frame(conn, wire.MSG_SHUTDOWN)
-            except OSError:
-                pass
+                if alive:
+                    breaker.record_success()
+                    state.deliver(shard_id, outcome, worker_id)
+                    continue
+                # Connection is unusable from here on.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                conn = None
+                if not requeueable:
+                    # Shard deadline blown: every peer would blow it
+                    # too — surface it for local isolation instead of
+                    # burning the redispatch budget on a lost cause.
+                    state.deliver(shard_id, outcome, worker_id)
+                    continue
+                if breaker.record_failure() and bus is not None:
+                    bus.count("executor.breaker_trips", worker=worker_id)
+                disposition = state.release(shard_id, worker_id,
+                                            outcome.error or "worker failed")
+                if disposition == "requeued" and bus is not None:
+                    bus.count("executor.redispatches")
+            if conn is not None:
+                try:
+                    wire.send_frame(conn, wire.MSG_SHUTDOWN)
+                except OSError:
+                    pass
         finally:
-            try:
-                conn.close()
-            except OSError:
-                pass
+            if not reported:
+                status.put((False, address, "dispatch thread exited"))
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
 
     def _connect(self, address) -> socket.socket:
         conn = socket.create_connection(address,
@@ -200,15 +453,19 @@ class SocketExecutor(Executor):
         return conn
 
     def _dispatch(self, conn, shard_index, shard, task_timeout_s,
-                  worker_id: str = "") -> Tuple[ShardOutcome, bool]:
+                  worker_id: str = "") -> Tuple[ShardOutcome, bool, bool]:
         """Send one shard and await its outcome.
 
-        Returns ``(outcome, connection_still_usable)``.  Heartbeats
-        keep the per-frame recv deadline alive; the absolute shard
-        deadline (``task_timeout_s`` scaled by shard length, matching
-        the local pool) is enforced on top.  STATS heartbeat payloads
-        are forwarded to the telemetry bus when the plane is on —
-        purely observational, never part of the outcome.
+        Returns ``(outcome, connection_still_usable, requeueable)``.
+        ``requeueable`` distinguishes infrastructure failures (dead
+        socket, truncated/garbled frame, protocol violation — a healthy
+        peer may well succeed) from a blown shard deadline (a peer
+        would blow it too).  Heartbeats keep the per-frame recv
+        deadline alive; the absolute shard deadline (``task_timeout_s``
+        scaled by shard length, matching the local pool) is enforced on
+        top.  STATS heartbeat payloads are forwarded to the telemetry
+        bus when the plane is on — purely observational, never part of
+        the outcome.
         """
         bus = active_bus()
         deadline = None
@@ -225,7 +482,7 @@ class SocketExecutor(Executor):
                             f"shard timed out after "
                             f"{task_timeout_s * (len(shard) + 1):g}s "
                             f"(task_timeout_s={task_timeout_s:g})"
-                        )), False
+                        )), False, False
                     wait_s = min(wait_s, remaining)
                 msg_type, payload = wire.recv_frame(conn, timeout_s=wait_s)
                 if msg_type == wire.MSG_HEARTBEAT:
@@ -238,27 +495,37 @@ class SocketExecutor(Executor):
                             bus.publish_worker(worker_id, stats)
                     continue
                 if msg_type == wire.MSG_RESULT:
-                    result_id, values = pickle.loads(payload)
+                    try:
+                        result_id, values = pickle.loads(payload)
+                    except Exception as exc:
+                        # A garbled payload under an intact header can
+                        # raise nearly anything from pickle.loads —
+                        # all of it means "cannot trust this connection".
+                        return ShardOutcome(
+                            error=f"undecodable RESULT frame: {exc}"
+                        ), False, True
                     if result_id != shard_index:
                         return ShardOutcome(error=(
                             f"worker answered shard {result_id}, "
                             f"expected {shard_index}"
-                        )), False
-                    return ShardOutcome(values=values), True
+                        )), False, True
+                    return ShardOutcome(values=values), True, False
                 if msg_type == wire.MSG_SHARD_ERR:
+                    # A task raised *on* the worker: task failure, not
+                    # infrastructure — deliver once, never redispatch.
                     body = wire.recv_json(payload)
                     return ShardOutcome(
                         error=str(body.get("error", "unknown worker error"))
-                    ), True
+                    ), True, False
                 if msg_type == wire.MSG_REFUSED:
                     return ShardOutcome(
                         error=f"worker refused shard: "
                               f"{wire.recv_json(payload).get('error')}"
-                    ), False
+                    ), False, True
                 return ShardOutcome(
                     error=f"unexpected message {msg_type} from worker"
-                ), False
+                ), False, True
         except (OSError, wire.WireError, pickle.PickleError) as exc:
             return ShardOutcome(
                 error=f"socket worker failed mid-shard: {exc}"
-            ), False
+            ), False, True

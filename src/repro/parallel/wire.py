@@ -1,7 +1,11 @@
 """Length-prefixed TCP framing for the distributed sweep service.
 
-Every frame is a 5-byte header — one message-type byte plus a 4-byte
-big-endian payload length — followed by the payload.  Control frames
+Every frame is a 9-byte header — one message-type byte, a 4-byte
+big-endian payload length, and a CRC32 of the payload — followed by
+the payload.  The checksum turns in-transit payload corruption (bit
+rot, a buggy middlebox, the chaos harness's ``frame_garbage`` fault)
+into a :class:`WireError` the executor can heal by redispatching,
+instead of silently unpickling damaged data.  Control frames
 (``HELLO``, ``DONE``, job submissions, streamed reports) carry UTF-8
 JSON; shard dispatch and results carry pickle, because task kwargs and
 :class:`~repro.workload.report.TransferReport` values are arbitrary
@@ -41,9 +45,11 @@ import json
 import pickle
 import socket
 import struct
+import zlib
 from typing import Any, Optional, Tuple
 
 from repro.core.errors import ReproError
+from repro.parallel import chaos
 
 __all__ = [
     "WIRE_VERSION",
@@ -66,7 +72,8 @@ __all__ = [
 ]
 
 #: Bump on any incompatible framing or message-semantics change.
-WIRE_VERSION = 1
+#: v2: the frame header grew a CRC32 of the payload.
+WIRE_VERSION = 2
 
 #: Refuse absurd frames before allocating for them (corrupt peer,
 #: port scanner, wrong protocol): 256 MiB is far above any shard.
@@ -83,7 +90,7 @@ MSG_REPORT = 8
 MSG_DONE = 9
 MSG_REFUSED = 10
 
-_HEADER = struct.Struct(">BI")
+_HEADER = struct.Struct(">BII")
 
 
 class WireError(ReproError):
@@ -92,8 +99,36 @@ class WireError(ReproError):
 
 def send_frame(sock: socket.socket, msg_type: int, payload: bytes = b"",
                lock=None) -> None:
-    """Send one frame; ``lock`` serializes concurrent senders."""
-    frame = _HEADER.pack(msg_type, len(payload)) + payload
+    """Send one frame; ``lock`` serializes concurrent senders.
+
+    This is the chaos harness's wire seam: with ``REPRO_CHAOS`` armed,
+    an outbound RESULT frame may be truncated mid-payload (then the
+    socket is shut down, so the peer sees EOF inside a frame) or have
+    its payload garbled under an intact header.  The header CRC is
+    computed over the *clean* payload in both cases — the model is
+    corruption in transit, after the sender checksummed a healthy
+    frame — so the receiver always detects the damage.  Chaos off
+    costs one ``None`` check.
+    """
+    header = _HEADER.pack(msg_type, len(payload), zlib.crc32(payload))
+    controller = chaos.active_controller()
+    if controller is not None:
+        action = controller.frame_action(is_result=(msg_type == MSG_RESULT))
+        if action == "frame_garbage":
+            payload = controller.garble(payload)
+        elif action == "frame_truncate":
+            frame = header + payload[:max(1, len(payload) // 2)]
+            if lock is not None:
+                with lock:
+                    sock.sendall(frame)
+            else:
+                sock.sendall(frame)
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            return
+    frame = header + payload
     if lock is not None:
         with lock:
             sock.sendall(frame)
@@ -139,16 +174,19 @@ def recv_frame(sock: socket.socket,
 
     ``timeout_s`` bounds the wait for *this* frame (``None`` keeps the
     socket's current timeout).  Raises :class:`WireError` on EOF,
-    timeout, or a malformed header.
+    timeout, a malformed header, or a payload checksum mismatch.
     """
     if timeout_s is not None:
         sock.settimeout(timeout_s)
     header = _recv_exact(sock, _HEADER.size)
-    msg_type, length = _HEADER.unpack(header)
+    msg_type, length, crc = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise WireError(f"frame of {length} bytes exceeds the "
                         f"{MAX_FRAME_BYTES}-byte cap (protocol mismatch?)")
     payload = _recv_exact(sock, length) if length else b""
+    if zlib.crc32(payload) != crc:
+        raise WireError(f"frame checksum mismatch on message {msg_type} "
+                        f"(payload corrupted in transit)")
     return msg_type, payload
 
 

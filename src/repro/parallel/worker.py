@@ -26,7 +26,7 @@ import threading
 import time
 from typing import List, Optional
 
-from repro.parallel import wire
+from repro.parallel import chaos, wire
 from repro.parallel.task import run_task_timed
 
 __all__ = ["main", "serve_worker"]
@@ -123,6 +123,11 @@ class _Heartbeat:
         self._thread.join(timeout=self._interval_s * 2)
 
     def _beat(self) -> bool:
+        controller = chaos.active_controller()
+        if controller is not None and controller.heartbeats_suppressed():
+            # Chaos seam: the worker keeps computing but its keepalives
+            # vanish — indistinguishable from a stall to the peer.
+            return True
         payload = json.dumps(
             self._stats.payload(self._interval_s)
         ).encode("utf-8")
@@ -156,6 +161,11 @@ def _handle_connection(conn: socket.socket, heartbeat_s: float,
         wire.send_json(conn, wire.MSG_REFUSED, {"error": problem},
                        lock=send_lock)
         return 0
+    controller = chaos.active_controller()
+    if controller is not None:
+        delay_s = controller.connect_delay_s()
+        if delay_s > 0:
+            time.sleep(delay_s)  # chaos seam: a worker slow to handshake
     wire.send_json(conn, wire.MSG_HELLO, local_hello, lock=send_lock)
 
     stats = _ShardStats()
@@ -192,6 +202,10 @@ def _handle_connection(conn: socket.socket, heartbeat_s: float,
                     stats.start_task()
                     values.append(run_task_timed(task))
                     stats.finish_task()
+                    if controller is not None:
+                        # Chaos seam: kill/stall/heartbeat-drop trigger
+                        # on the completed-task counter.
+                        controller.on_task_done()
             except Exception as exc:
                 stats.finish_shard()
                 wire.send_json(

@@ -1,0 +1,42 @@
+"""(pid, start-token) process identity probes."""
+
+import os
+
+from repro.core.proc import pid_alive, pid_start_token, same_process
+
+_NOBODY = 2 ** 22 + 17  # far above any default pid_max
+
+
+class TestPidAlive:
+    def test_own_process(self):
+        assert pid_alive(os.getpid())
+
+    def test_nonexistent_pid(self):
+        assert not pid_alive(_NOBODY)
+
+    def test_nonpositive_pids_never_alive(self):
+        assert not pid_alive(0)
+        assert not pid_alive(-1)
+
+
+class TestStartToken:
+    def test_own_token_is_stable_and_nonempty(self):
+        token = pid_start_token(os.getpid())
+        assert token != ""
+        assert pid_start_token(os.getpid()) == token
+
+    def test_dead_pid_has_no_token(self):
+        assert pid_start_token(_NOBODY) == ""
+
+    def test_same_process_with_matching_token(self):
+        assert same_process(os.getpid(), pid_start_token(os.getpid()))
+
+    def test_same_process_rejects_wrong_token(self):
+        # A recycled pid: alive, but started at a different tick.
+        assert not same_process(os.getpid(), "1")
+
+    def test_empty_token_degrades_to_liveness(self):
+        # Old-format locks carry no token; the probe falls back to
+        # kill-0 semantics rather than breaking a live owner's lock.
+        assert same_process(os.getpid(), "")
+        assert not same_process(_NOBODY, "")

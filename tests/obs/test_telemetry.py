@@ -214,6 +214,61 @@ class TestStaleness:
         (health,) = bus.workers()
         assert health.state(clock()) == "ok"
 
+    def test_exactly_three_intervals_is_still_ok(self):
+        # The boundary is strict: a beat that is exactly
+        # STALE_INTERVALS x interval old has not *passed* the deadline.
+        clock = _FakeClock()
+        bus = TelemetryBus(clock=clock)
+        bus.publish_worker("w", {"pid": 4, "interval_s": 1.0})
+        clock.advance(STALE_INTERVALS * 1.0)
+        (health,) = bus.workers()
+        assert health.state(clock()) == "ok"
+        clock.advance(0.001)
+        assert health.state(clock()) == "degraded"
+
+    def test_flapping_worker_tracks_every_transition(self):
+        # ok -> degraded -> (beat) ok -> degraded again: each poll
+        # reflects the instantaneous truth, no sticky state.
+        clock = _FakeClock()
+        bus = TelemetryBus(clock=clock)
+        bus.publish_worker("w", {"pid": 4, "interval_s": 1.0})
+        states = [bus.workers()[0].state(clock())]
+        clock.advance(5.0)
+        states.append(bus.workers()[0].state(clock()))
+        bus.publish_worker("w", {"pid": 4, "interval_s": 1.0})
+        states.append(bus.workers()[0].state(clock()))
+        clock.advance(5.0)
+        states.append(bus.workers()[0].state(clock()))
+        assert states == ["ok", "degraded", "ok", "degraded"]
+
+    def test_interval_change_mid_run_rescales_staleness(self):
+        # A worker relaunched with a slower heartbeat must be judged
+        # by the interval it *now* claims, not the one it started with.
+        clock = _FakeClock()
+        bus = TelemetryBus(clock=clock)
+        bus.publish_worker("w", {"pid": 4, "interval_s": 1.0})
+        clock.advance(2.0)
+        bus.publish_worker("w", {"pid": 4, "interval_s": 10.0})
+        clock.advance(5.0)  # stale under 1s beats, fresh under 10s
+        (health,) = bus.workers()
+        assert health.state(clock()) == "ok"
+        clock.advance(26.0)  # now past 3 x 10s
+        assert health.state(clock()) == "degraded"
+
+    def test_empty_stats_payload_gets_safe_defaults(self):
+        # A bare liveness beat ({} payload) must neither crash nor
+        # divide by a zero interval.
+        clock = _FakeClock()
+        bus = TelemetryBus(clock=clock)
+        bus.publish_worker("w", {})
+        (health,) = bus.workers()
+        assert health.pid == 0
+        assert health.interval_s == 1.0
+        assert health.state(clock()) == "ok"
+        import json as json_module
+
+        json_module.dumps(bus.snapshot())  # snapshot stays serializable
+
     def test_worker_health_to_dict_merges_stats(self):
         health = WorkerHealth("w", pid=3, interval_s=1.0, last_seen=5.0,
                               stats={"tasks_done": 7.0})

@@ -123,3 +123,48 @@ class TestCliDispatch:
         path.write_text(json.dumps(_busy_bus().snapshot()) + "\n")
         assert main(["top", str(path), "--once"]) == 0
         assert "tasks 3/8" in capsys.readouterr().out
+
+
+class TestResilienceLine:
+    def test_absent_when_all_counters_zero(self):
+        from repro.obs.top import resilience_line
+
+        assert resilience_line({}) is None
+        assert resilience_line({"sweep.tasks_done": 5.0}) is None
+        frame = render_top(_busy_bus().snapshot())
+        assert "resilience:" not in frame
+
+    def test_present_with_only_nonzero_events(self):
+        from repro.obs.top import resilience_line
+
+        line = resilience_line({
+            "executor.redispatches": 3.0,
+            "sweep.degraded": 1.0,
+        })
+        assert line == "resilience: redispatches 3   degraded sweeps 1"
+
+    def test_labelled_counters_are_summed(self):
+        from repro.obs.top import resilience_line
+
+        line = resilience_line({
+            "fleet.restarts{worker=127.0.0.1:9001}": 2.0,
+            "fleet.restarts{worker=127.0.0.1:9002}": 1.0,
+            "chaos.injected{kind=worker_kill}": 1.0,
+        })
+        assert "restarts 3" in line
+        assert "chaos injected 1" in line
+
+    def test_rendered_into_top_frame(self):
+        bus = _busy_bus()
+        bus.count("executor.redispatches")
+        bus.count("fleet.restarts", worker="127.0.0.1:41001")
+        frame = render_top(bus.snapshot())
+        assert "resilience: restarts 1   redispatches 1" in frame
+
+    def test_rendered_into_timeline(self):
+        from repro.obs.telemetry import render_telemetry_timeline
+
+        bus = _busy_bus()
+        bus.count("executor.redispatches")
+        text = render_telemetry_timeline([bus.snapshot()])
+        assert "redispatches 1" in text

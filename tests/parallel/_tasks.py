@@ -14,6 +14,15 @@ def double(value: int = 0, seed: int = 0) -> dict:
     return {"value": value * 2, "seed": seed}
 
 
+def slow_double(value: int = 0, seed: int = 0,
+                duration_s: float = 0.2) -> dict:
+    """`double` with a pause: slow enough that a multi-worker fleet
+    spreads the shards, so chaos armed in one worker reliably sees
+    in-flight work to hurt."""
+    time.sleep(duration_s)
+    return {"value": value * 2, "seed": seed}
+
+
 def logged_task(log_path: str = "", value: int = 0, seed: int = 0) -> dict:
     """Append one line per *execution* so tests can count computations.
 

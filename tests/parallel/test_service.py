@@ -161,3 +161,213 @@ class TestSubmitRemote:
         (done,) = remote_dones
         assert done["failures"] == []
         assert done["stats"]["tasks"] == 2
+
+
+class TestConnectRetry:
+    def test_retries_with_backoff_then_succeeds(self, monkeypatch):
+        import socket as socket_module
+
+        from repro.parallel import service
+
+        calls = {"n": 0}
+        sentinel = object()
+
+        def flaky_connect(address, timeout=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise ConnectionRefusedError("refused")
+            return sentinel
+
+        delays = []
+        monkeypatch.setattr(socket_module, "create_connection",
+                            flaky_connect)
+        monkeypatch.setattr(service.time, "sleep", delays.append)
+        assert service._connect_with_retry("127.0.0.1", 1) is sentinel
+        assert delays == [0.1, 0.2]  # exponential from CONNECT_BACKOFF_S
+
+    def test_exhausted_attempts_raise_with_guidance(self, monkeypatch):
+        import socket as socket_module
+
+        from repro.parallel import service
+
+        def always_refused(address, timeout=None):
+            raise ConnectionRefusedError("refused")
+
+        monkeypatch.setattr(socket_module, "create_connection",
+                            always_refused)
+        monkeypatch.setattr(service.time, "sleep", lambda _s: None)
+        with pytest.raises(OSError) as excinfo:
+            service._connect_with_retry("127.0.0.1", 1, attempts=3)
+        message = str(excinfo.value)
+        assert "after 3 attempts" in message
+        assert "is 'python -m repro.parallel serve' running there?" \
+            in message
+
+    def test_submit_to_dead_port_exits_2(self, tmp_path, capsys,
+                                         monkeypatch):
+        import socket as socket_module
+
+        from repro.parallel import service
+
+        # Bind-then-close guarantees nothing listens on the port.
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        monkeypatch.setattr(service.time, "sleep", lambda _s: None)
+        path = _write_workload(tmp_path)
+        assert submit_main([path, "--connect", f"127.0.0.1:{port}"]) == 2
+        err = capsys.readouterr().err
+        assert f"submit: cannot reach 127.0.0.1:{port}" in err
+        assert "serve' running there?" in err
+
+
+class TestServeIsolation:
+    """One server, three hostile connections, still serving."""
+
+    @pytest.fixture
+    def serve_proc(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"), REPO_ROOT,
+                        env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.parallel", "serve",
+             "--listen", "127.0.0.1:0", "--quiet",
+             "--executor", "inprocess"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env, cwd=REPO_ROOT,
+        )
+        line = proc.stdout.readline()
+        match = re.match(r"repro-serve listening on (\S+):(\d+)", line)
+        assert match, line
+        yield proc, match.group(1), int(match.group(2))
+        proc.terminate()
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    def _handshake(self, host, port):
+        import socket as socket_module
+
+        from repro.parallel import wire
+
+        sock = socket_module.create_connection((host, port), timeout=10.0)
+        local_hello = wire.hello_payload()
+        wire.send_json(sock, wire.MSG_HELLO, local_hello)
+        msg_type, payload = wire.recv_frame(sock, timeout_s=10.0)
+        assert msg_type == wire.MSG_HELLO
+        return sock
+
+    def test_bad_job_then_disconnect_then_clean_submit(
+            self, serve_proc, tmp_path, capsys):
+        from repro.parallel import wire
+
+        proc, host, port = serve_proc
+
+        # 1. A malformed workload is refused, connection ends there.
+        sock = self._handshake(host, port)
+        wire.send_json(sock, wire.MSG_JOB, {"workload": {"bogus": True}})
+        msg_type, payload = wire.recv_frame(sock, timeout_s=10.0)
+        assert msg_type == wire.MSG_REFUSED
+        assert "bad workload" in wire.recv_json(payload)["error"]
+        sock.close()
+
+        # 2. A client that vanishes mid-stream (valid job, then an
+        #    abrupt close after the first report).
+        sock = self._handshake(host, port)
+        wire.send_json(sock, wire.MSG_JOB,
+                       {"workload": _workload().to_dict()})
+        msg_type, _ = wire.recv_frame(sock, timeout_s=60.0)
+        assert msg_type == wire.MSG_REPORT
+        sock.close()  # mid-stream disconnect
+
+        # 3. The same server still completes an honest submission.
+        path = _write_workload(tmp_path)
+        assert submit_main(
+            [path, "--connect", f"{host}:{port}"]) == 0
+        results, dones = _parse_stream(capsys.readouterr().out)
+        assert len(results) == 2 and len(dones) == 1
+        assert proc.poll() is None  # never died
+
+
+class TestHandleJobIsolation:
+    """In-process `_handle_job`: the catch-all and the gone client."""
+
+    def _args(self):
+        import argparse
+
+        return argparse.Namespace(workers=None, executor="inprocess")
+
+    def test_crashing_job_is_refused_not_raised(self, monkeypatch):
+        import socket as socket_module
+
+        import repro.workload
+        from repro.parallel import wire
+        from repro.parallel.service import _handle_job
+
+        class ExplodingSession:
+            def __init__(self, seed=0):
+                self.last_stats = None
+
+            def run_workload(self, *args, **kwargs):
+                raise ZeroDivisionError("surprise inside a task runner")
+
+        monkeypatch.setattr(repro.workload, "Session", ExplodingSession)
+        server, client = socket_module.socketpair()
+        try:
+            client.settimeout(5.0)
+            _handle_job(server, {"workload": _workload().to_dict()},
+                        self._args(), lambda _m: None)
+            msg_type, payload = wire.recv_frame(client)
+            assert msg_type == wire.MSG_REFUSED
+            error = wire.recv_json(payload)["error"]
+            assert "job crashed" in error and "ZeroDivisionError" in error
+        finally:
+            server.close()
+            client.close()
+
+    def test_client_gone_mid_stream_does_not_raise(self, monkeypatch):
+        import socket as socket_module
+
+        import repro.workload
+        from repro.parallel.service import _handle_job
+
+        finished = {"sweep": False}
+
+        class StreamingSession:
+            def __init__(self, seed=0):
+                self.last_stats = None
+
+            def run_workload(self, workload, workers=None, executor=None,
+                             on_result=None):
+                class _Report:
+                    def summary_dict(self):
+                        return {"completed": True}
+
+                    def to_dict(self):
+                        return {"completed": True}
+
+                class _Task:
+                    def label(self):
+                        return "t0"
+
+                for index in range(3):
+                    on_result(index, _Task(), _Report(), False)
+                finished["sweep"] = True
+                return []
+
+        monkeypatch.setattr(repro.workload, "Session", StreamingSession)
+        server, client = socket_module.socketpair()
+        client.close()  # the peer is already gone
+        try:
+            # Must neither raise nor abort the sweep: the results are
+            # still computed (and in real runs, cached).
+            _handle_job(server, {"workload": _workload().to_dict()},
+                        self._args(), lambda _m: None)
+            assert finished["sweep"]
+        finally:
+            server.close()

@@ -293,3 +293,69 @@ class TestCacheCli:
         out = capsys.readouterr().out
         assert str(tmp_path) in out
         assert "entries" in out
+
+
+class TestPidReuseLock:
+    """The (pid, start-token) pair vs recycled pids and old locks."""
+
+    def _forge_lock(self, cache, key, body):
+        lock_path = cache._lock_path(key)
+        os.makedirs(os.path.dirname(lock_path), exist_ok=True)
+        with open(lock_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(body))
+        return lock_path
+
+    def test_dead_owner_with_token_is_broken(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="t")
+        self._forge_lock(cache, "k", {
+            "pid": 2 ** 22 + 17, "start": "12345", "time": time.time(),
+        })
+        assert cache.acquire("k") is True
+
+    @pytest.mark.skipif(not os.path.exists("/proc/self/stat"),
+                        reason="needs /proc start tokens")
+    def test_recycled_pid_is_not_mistaken_for_the_owner(self, tmp_path):
+        from repro.core.proc import pid_start_token
+
+        cache = ResultCache(str(tmp_path), fingerprint="t")
+        # A *live* pid (our parent) under a token from a different
+        # incarnation: pre-token code would have kept this lock alive
+        # until stale_lock_s; the pair check breaks it immediately.
+        live_pid = os.getppid()
+        assert pid_start_token(live_pid) != ""
+        self._forge_lock(cache, "k", {
+            "pid": live_pid, "start": "1", "time": time.time(),
+        })
+        assert cache.acquire("k") is True
+
+    @pytest.mark.skipif(not os.path.exists("/proc/self/stat"),
+                        reason="needs /proc start tokens")
+    def test_live_owner_with_matching_token_keeps_the_lock(self, tmp_path):
+        from repro.core.proc import pid_start_token
+
+        cache = ResultCache(str(tmp_path), fingerprint="t")
+        live_pid = os.getppid()
+        self._forge_lock(cache, "k", {
+            "pid": live_pid, "start": pid_start_token(live_pid),
+            "time": time.time(),
+        })
+        assert cache.acquire("k") is False
+
+    def test_old_format_live_lock_still_respected(self, tmp_path):
+        # Locks written before the token existed carry only a pid;
+        # a live owner must keep them (bare kill-0 semantics).
+        cache = ResultCache(str(tmp_path), fingerprint="t")
+        self._forge_lock(cache, "k", {
+            "pid": os.getppid(), "time": time.time(),
+        })
+        assert cache.acquire("k") is False
+
+    def test_new_locks_carry_the_token_pair(self, tmp_path):
+        cache = ResultCache(str(tmp_path), fingerprint="t")
+        assert cache.acquire("k") is True
+        with open(cache._lock_path("k"), encoding="utf-8") as handle:
+            body = json.load(handle)
+        assert body["pid"] == os.getpid()
+        assert isinstance(body["start"], str)
+        if os.path.exists("/proc/self/stat"):
+            assert body["start"] != ""

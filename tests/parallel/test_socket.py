@@ -134,13 +134,25 @@ class TestSocketExecutor:
         results = runner.run(_double_tasks())
         assert results == [{"value": i * 2, "seed": i} for i in range(6)]
 
-    def test_unreachable_fleet_raises_executor_error(self):
+    def test_unreachable_fleet_degrades_to_local_pool(self):
+        # The executor raises; the coordinator answers with one
+        # warning and finishes the sweep on the local process pool —
+        # full-fleet loss costs latency, never results.
         runner = SweepRunner(
             workers=2, cache=False,
             executor=f"socket:127.0.0.1:{_free_port()}",
         )
-        with pytest.raises(ExecutorError):
-            runner.run(_double_tasks())
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            results = runner.run(_double_tasks())
+        assert results == [{"value": i * 2, "seed": i} for i in range(6)]
+
+    def test_unreachable_fleet_raises_at_executor_level(self):
+        from repro.parallel.socketexec import SocketExecutor
+
+        executor = SocketExecutor([("127.0.0.1", _free_port())],
+                                  connect_timeout_s=1.0)
+        with pytest.raises(ExecutorError, match="no socket worker"):
+            list(executor.run_shards([_double_tasks()[:2]]))
 
     def test_worker_reused_across_sweeps(self, two_workers):
         _, addr = two_workers[0]
@@ -245,3 +257,165 @@ class TestHeartbeatStats:
         on = SweepRunner(workers=2, cache=False,
                          executor=spec).run(_double_tasks())
         assert on == off
+
+
+class TestCircuitBreaker:
+    """Per-address dispatch gate, driven by an injected clock."""
+
+    def _breaker(self, threshold=3, cooldown_s=5.0):
+        from repro.parallel.socketexec import CircuitBreaker
+
+        clock = {"now": 100.0}
+        breaker = CircuitBreaker(threshold=threshold, cooldown_s=cooldown_s,
+                                 clock=lambda: clock["now"])
+        return breaker, clock
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = self._breaker(threshold=3)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.allows()
+        assert breaker.record_failure() is True  # the tripping failure
+        assert not breaker.allows()
+        assert breaker.open
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker, _ = self._breaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False  # streak restarted
+        assert breaker.allows()
+
+    def test_cooldown_grants_a_half_open_probe(self):
+        breaker, clock = self._breaker(threshold=1, cooldown_s=5.0)
+        breaker.record_failure()
+        assert not breaker.allows()
+        clock["now"] += 5.0
+        assert breaker.allows()  # half-open probe
+        breaker.record_success()
+        assert breaker.allows() and not breaker.open
+
+    def test_failed_probe_rearms_the_cooldown(self):
+        breaker, clock = self._breaker(threshold=1, cooldown_s=5.0)
+        breaker.record_failure()
+        clock["now"] += 5.0
+        assert breaker.allows()
+        # The probe fails: cooldown restarts from now, no new trip.
+        assert breaker.record_failure() is False
+        assert not breaker.allows()
+        assert breaker.trips == 1
+        clock["now"] += 5.0
+        assert breaker.allows()
+
+
+class TestFleetRun:
+    """Dispatch-state bookkeeping: budgets, duplicates, hedging."""
+
+    def _run(self, nshards=2, max_dispatches=2, hedge=False):
+        from repro.parallel.socketexec import _FleetRun
+
+        return _FleetRun([["task"]] * nshards, max_dispatches, hedge)
+
+    def test_claims_drain_in_order_then_none(self):
+        state = self._run(nshards=2)
+        assert state.claim("a") == (0, False)
+        assert state.claim("b") == (1, False)
+        assert state.claim("a") is None  # nothing pending, no hedging
+
+    def test_release_requeues_until_budget_then_fails(self):
+        from repro.parallel.executors import ShardOutcome  # noqa: F401
+
+        state = self._run(nshards=1, max_dispatches=2)
+        assert state.claim("a") == (0, False)
+        assert state.release(0, "a", "boom") == "requeued"
+        assert state.claim("b") == (0, False)  # redispatched to a peer
+        assert state.release(0, "b", "boom again") == "failed"
+        shard_id, outcome = state.outcomes.get_nowait()
+        assert shard_id == 0
+        assert outcome.error == "boom again"
+        assert state.finished()
+
+    def test_duplicate_delivery_is_dropped(self):
+        from repro.parallel.executors import ShardOutcome
+
+        state = self._run(nshards=1, max_dispatches=3, hedge=True)
+        state.claim("a")
+        state.claim("b")  # hedge twin
+        assert state.deliver(0, ShardOutcome(values=[1]), "a") is True
+        assert state.deliver(0, ShardOutcome(values=[1]), "b") is False
+        assert state.outcomes.qsize() == 1
+
+    def test_hedge_only_when_pending_empty_and_not_owner(self):
+        state = self._run(nshards=2, max_dispatches=3, hedge=True)
+        assert state.claim("a") == (0, False)
+        # Pending work left: "b" gets shard 1, not a hedge of shard 0.
+        assert state.claim("b") == (1, False)
+        # The owner never hedges its own shard: "a" owns 0, so its
+        # only hedge option is "b"'s shard 1.
+        assert state.claim("a") == (1, True)
+        state = self._run(nshards=1, max_dispatches=3, hedge=True)
+        assert state.claim("a") == (0, False)
+        assert state.claim("a") is None  # own shard
+        assert state.claim("b") == (0, True)  # a real hedge
+        assert state.claim("c") is None  # hedged at most once
+
+    def test_release_with_hedge_twin_in_flight_is_dropped(self):
+        state = self._run(nshards=1, max_dispatches=3, hedge=True)
+        state.claim("a")
+        state.claim("b")  # hedge twin
+        assert state.release(0, "a", "a died") == "dropped"
+        assert not state.finished()  # twin still owns it
+        assert state.outcomes.qsize() == 0
+
+
+class TestDegradeTelemetry:
+    def test_degraded_sweep_is_counted_on_the_bus(self):
+        from repro.obs import telemetry
+
+        telemetry.disable()
+        bus = telemetry.enable()
+        try:
+            runner = SweepRunner(
+                workers=2, cache=False,
+                executor=f"socket:127.0.0.1:{_free_port()}",
+            )
+            with pytest.warns(RuntimeWarning, match="degrading"):
+                results = runner.run(_double_tasks())
+            assert results == [{"value": i * 2, "seed": i}
+                               for i in range(6)]
+            assert bus.registry.snapshot().get("sweep.degraded") == 1.0
+        finally:
+            telemetry.disable()
+
+
+class TestHedgedDispatch:
+    def test_hedging_keeps_results_identical(self, two_workers,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_HEDGE", "1")
+        spec = "socket:" + ",".join(addr for _, addr in two_workers)
+        tasks = [
+            SimTask(fn="tests.parallel._tasks:slow_double",
+                    kwargs={"value": i, "seed": i, "duration_s": 0.1},
+                    key=f"h{i}")
+            for i in range(3)
+        ]
+        reference = SweepRunner(workers=1, cache=False,
+                                executor="inprocess").run(tasks)
+        # 4 dispatch slots vs 3 shards: idle workers hedge stragglers;
+        # first result wins and results cannot change.
+        results = SweepRunner(workers=4, cache=False,
+                              executor=spec).run(tasks)
+        assert results == reference
+
+    def test_breaker_accessor_exposes_fleet_state(self, two_workers):
+        from repro.parallel.socketexec import SocketExecutor
+
+        addrs = [addr for _, addr in two_workers]
+        executor = SocketExecutor([
+            (addr.rsplit(":", 1)[0], int(addr.rsplit(":", 1)[1]))
+            for addr in addrs
+        ])
+        for addr in addrs:
+            assert executor.breaker(addr).allows()
+            assert not executor.breaker(addr).open
